@@ -1,0 +1,78 @@
+//! End-to-end engine benchmarks: SEAL vs every baseline on one shared
+//! workload (the Criterion counterpart of Figures 16/17), plus build
+//! costs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use seal_bench::data::{build_store, dataset, with_thresholds, workload, BenchConfig, Which};
+use seal_core::{FilterKind, SealEngine};
+use seal_datagen::QuerySpec;
+
+fn small_cfg() -> BenchConfig {
+    BenchConfig {
+        objects: 10_000,
+        queries: 20,
+        seed: 5,
+    }
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let cfg = small_cfg();
+    let d = dataset(Which::Twitter, &cfg);
+    let store = build_store(&d);
+    let raw = workload(&d, QuerySpec::LargeRegion, &cfg);
+    let qs = with_thresholds(&raw, 0.4, 0.4);
+    let mut group = c.benchmark_group("method");
+    for (name, kind) in [
+        ("seal", FilterKind::seal_default()),
+        ("irtree", FilterKind::IrTree { fanout: 64 }),
+        ("keyword", FilterKind::KeywordFirst),
+        ("spatial", FilterKind::SpatialFirst),
+    ] {
+        let engine = SealEngine::build(store.clone(), kind);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &engine, |bench, e| {
+            bench.iter(|| {
+                let mut n = 0usize;
+                for q in &qs {
+                    n += e.search(q).answers.len();
+                }
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let cfg = BenchConfig {
+        objects: 5_000,
+        queries: 1,
+        seed: 5,
+    };
+    let d = dataset(Which::Twitter, &cfg);
+    let store = build_store(&d);
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("token", FilterKind::Token),
+        ("grid1024", FilterKind::Grid { side: 1024 }),
+        (
+            "hier_l9_b16",
+            FilterKind::Hierarchical {
+                max_level: 9,
+                budget: 16,
+            },
+        ),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(SealEngine::build(store.clone(), kind)).index_bytes())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_methods, bench_builds
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Filter ablations (DESIGN.md §5 decision #3): `Sig-Filter` (no
+//! prefix, no bounds) vs `Sig-Filter+` (threshold-aware pruning) on
+//! textual signatures, plus a per-filter candidate-generation shootout.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use seal_bench::data::{build_store, dataset, with_thresholds, workload, BenchConfig, Which};
+use seal_core::{FilterKind, SealEngine, SearchStats};
+use seal_datagen::QuerySpec;
+
+fn small_cfg() -> BenchConfig {
+    BenchConfig {
+        objects: 10_000,
+        queries: 20,
+        seed: 5,
+    }
+}
+
+fn bench_prefix_ablation(c: &mut Criterion) {
+    let cfg = small_cfg();
+    let d = dataset(Which::Twitter, &cfg);
+    let store = build_store(&d);
+    let raw = workload(&d, QuerySpec::SmallRegion, &cfg);
+    let qs = with_thresholds(&raw, 0.4, 0.4);
+    let plus = SealEngine::build(store.clone(), FilterKind::Token);
+    let basic = SealEngine::build(store.clone(), FilterKind::TokenBasic);
+    c.bench_function("ablation/sig_filter_plus(token)", |bench| {
+        bench.iter(|| {
+            let mut total = 0usize;
+            for q in &qs {
+                let mut stats = SearchStats::new();
+                total += plus.filter().candidates(q, &mut stats).len();
+            }
+            black_box(total)
+        })
+    });
+    c.bench_function("ablation/sig_filter_basic(token)", |bench| {
+        bench.iter(|| {
+            let mut total = 0usize;
+            for q in &qs {
+                let mut stats = SearchStats::new();
+                total += basic.filter().candidates(q, &mut stats).len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_filter_shootout(c: &mut Criterion) {
+    let cfg = small_cfg();
+    let d = dataset(Which::Twitter, &cfg);
+    let store = build_store(&d);
+    let raw = workload(&d, QuerySpec::LargeRegion, &cfg);
+    let qs = with_thresholds(&raw, 0.4, 0.4);
+    let engines = vec![
+        ("token", SealEngine::build(store.clone(), FilterKind::Token)),
+        ("grid512", SealEngine::build(store.clone(), FilterKind::Grid { side: 512 })),
+        (
+            "hash512",
+            SealEngine::build(
+                store.clone(),
+                FilterKind::HashHybrid {
+                    side: 512,
+                    buckets: Some(1 << 18),
+                },
+            ),
+        ),
+        (
+            "hier",
+            SealEngine::build(
+                store.clone(),
+                FilterKind::Hierarchical {
+                    max_level: 9,
+                    budget: 16,
+                },
+            ),
+        ),
+    ];
+    for (name, engine) in &engines {
+        c.bench_function(&format!("filter/{name}/search"), |bench| {
+            bench.iter(|| {
+                let mut answers = 0usize;
+                for q in &qs {
+                    answers += engine.search(q).answers.len();
+                }
+                black_box(answers)
+            })
+        });
+    }
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_prefix_ablation, bench_filter_shootout
+}
+criterion_main!(benches);

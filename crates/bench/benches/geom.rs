@@ -1,0 +1,52 @@
+//! Microbenchmarks for the geometry substrate: area arithmetic, grid
+//! signature enumeration, grid-tree cell math.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use seal_geom::{Grid, GridCellId, GridTree, Rect, SpatialSim};
+
+fn bench_rect_ops(c: &mut Criterion) {
+    let a = Rect::new(10.0, 10.0, 500.0, 400.0).unwrap();
+    let b = Rect::new(200.0, 50.0, 900.0, 700.0).unwrap();
+    c.bench_function("rect/intersection_area", |bench| {
+        bench.iter(|| black_box(a).intersection_area(black_box(&b)))
+    });
+    c.bench_function("rect/jaccard", |bench| {
+        bench.iter(|| black_box(a).jaccard(black_box(&b)))
+    });
+}
+
+fn bench_grid_overlaps(c: &mut Criterion) {
+    let space = Rect::new(0.0, 0.0, 36_633.0, 36_633.0).unwrap();
+    let region = Rect::new(18_000.0, 18_000.0, 18_030.0, 18_020.0).unwrap();
+    for side in [256u32, 1024, 8192] {
+        let grid = Grid::new(space, side).unwrap();
+        c.bench_function(&format!("grid/overlaps/{side}"), |bench| {
+            bench.iter(|| {
+                let mut acc = 0.0;
+                for ov in grid.overlaps(black_box(&region)) {
+                    acc += ov.area;
+                }
+                black_box(acc)
+            })
+        });
+    }
+}
+
+fn bench_gridtree(c: &mut Criterion) {
+    let space = Rect::new(0.0, 0.0, 36_633.0, 36_633.0).unwrap();
+    let tree = GridTree::new(space, 12).unwrap();
+    let cell = GridCellId::new(10, 511, 300).unwrap();
+    c.bench_function("gridtree/cell_rect", |bench| {
+        bench.iter(|| tree.cell_rect(black_box(cell)).unwrap())
+    });
+    c.bench_function("gridtree/pack_unpack", |bench| {
+        bench.iter(|| GridCellId::unpack(black_box(cell).pack()).unwrap())
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rect_ops, bench_grid_overlaps, bench_gridtree
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation: threshold-bounded posting lists (Lemma 3's descending sort
+//! + binary-search cut) versus a naive linear scan of unsorted lists.
+//! This is design decision #1 of DESIGN.md §5.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seal_index::BoundedPostingList;
+
+fn build_list(n: usize, seed: u64) -> (BoundedPostingList, Vec<(u32, f64)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut list = BoundedPostingList::new();
+    let mut raw = Vec::with_capacity(n);
+    for i in 0..n {
+        let bound = rng.gen::<f64>() * 1000.0;
+        list.push(i as u32, bound);
+        raw.push((i as u32, bound));
+    }
+    list.finalize();
+    (list, raw)
+}
+
+fn bench_qualifying(c: &mut Criterion) {
+    for n in [1_000usize, 100_000] {
+        let (list, raw) = build_list(n, 42);
+        // A selective threshold: ~1% of postings qualify.
+        let threshold = 990.0;
+        c.bench_function(&format!("postings/sorted_cut/{n}"), |bench| {
+            bench.iter(|| {
+                let q = list.qualifying(black_box(threshold));
+                black_box(q.len())
+            })
+        });
+        c.bench_function(&format!("postings/linear_scan/{n}"), |bench| {
+            bench.iter(|| {
+                let mut count = 0usize;
+                for (_, b) in &raw {
+                    if *b >= black_box(threshold) {
+                        count += 1;
+                    }
+                }
+                black_box(count)
+            })
+        });
+    }
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    use seal_index::InvertedIndex;
+    let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..50_000 {
+        idx.push(rng.gen_range(0..2_000), rng.gen_range(0..100_000), rng.gen());
+    }
+    idx.finalize();
+    c.bench_function("index/serialize_50k", |bench| {
+        bench.iter(|| black_box(idx.to_bytes()).len())
+    });
+    let bytes = idx.to_bytes();
+    c.bench_function("index/deserialize_50k", |bench| {
+        bench.iter(|| {
+            let back: InvertedIndex<u64> = InvertedIndex::from_bytes(bytes.clone()).unwrap();
+            black_box(back.posting_count())
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_qualifying, bench_serialization
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! R-tree substrate benchmarks: STR bulk load, Guttman insertion,
+//! overlap queries.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seal_geom::Rect;
+use seal_rtree::{RTree, RTreeConfig};
+
+fn random_items(n: usize, seed: u64) -> Vec<(Rect, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.gen::<f64>() * 10_000.0;
+            let y = rng.gen::<f64>() * 10_000.0;
+            let w = rng.gen::<f64>() * 20.0;
+            let h = rng.gen::<f64>() * 20.0;
+            (Rect::new(x, y, x + w, y + h).unwrap(), i as u32)
+        })
+        .collect()
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let items = random_items(100_000, 1);
+    c.bench_function("rtree/bulk_load_100k", |bench| {
+        bench.iter_batched(
+            || items.clone(),
+            |items| black_box(RTree::bulk_load(items, RTreeConfig::default())),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let items = random_items(10_000, 2);
+    c.bench_function("rtree/insert_10k", |bench| {
+        bench.iter_batched(
+            || items.clone(),
+            |items| {
+                let mut t = RTree::new(RTreeConfig::default());
+                for (r, v) in items {
+                    t.insert(r, v);
+                }
+                black_box(t.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let tree = RTree::bulk_load(random_items(100_000, 3), RTreeConfig::default());
+    let probe = Rect::new(4_000.0, 4_000.0, 4_400.0, 4_400.0).unwrap();
+    c.bench_function("rtree/search_intersecting", |bench| {
+        bench.iter(|| black_box(tree.search_intersecting(black_box(&probe))).len())
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bulk_load, bench_insert, bench_query
+}
+criterion_main!(benches);

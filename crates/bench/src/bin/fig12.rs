@@ -1,0 +1,68 @@
+//! **Figure 12** — TokenFilter vs GridFilter(256/512/1024) on the
+//! Twitter-like dataset: mean elapsed time per query while sweeping the
+//! spatial threshold (a, c) and the textual threshold (b, d), for
+//! large-region (a, b) and small-region (c, d) workloads.
+//!
+//! Run: `cargo run --release -p seal-bench --bin fig12 [--objects N]`
+
+use seal_bench::data::{build_store, dataset, with_thresholds, workload, BenchConfig, Which};
+use seal_bench::harness::{mean_query_ms, print_header, print_row};
+use seal_core::{FilterKind, SealEngine};
+use seal_datagen::QuerySpec;
+
+const TAUS: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
+const DEFAULT_TAU: f64 = 0.4;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let d = dataset(Which::Twitter, &cfg);
+    let store = build_store(&d);
+    eprintln!("building 4 engines over {} objects…", store.len());
+    let engines: Vec<SealEngine> = vec![
+        SealEngine::build(store.clone(), FilterKind::Token),
+        SealEngine::build(store.clone(), FilterKind::Grid { side: 256 }),
+        SealEngine::build(store.clone(), FilterKind::Grid { side: 512 }),
+        SealEngine::build(store.clone(), FilterKind::Grid { side: 1024 }),
+    ];
+    let names = ["TokenFilter", "GridFilter(256)", "GridFilter(512)", "GridFilter(1024)"];
+    let widths = [8, 14, 16, 16, 17];
+
+    for (panel, spec) in [
+        ("a: large-region, sweep tau_R", QuerySpec::LargeRegion),
+        ("c: small-region, sweep tau_R", QuerySpec::SmallRegion),
+    ] {
+        let raw = workload(&d, spec, &cfg);
+        println!("\n## Fig 12({panel})  [ms/query]");
+        print_header(&["tau_R", names[0], names[1], names[2], names[3]], &widths);
+        for tau_r in TAUS {
+            let qs = with_thresholds(&raw, tau_r, DEFAULT_TAU);
+            let mut cells = vec![format!("{tau_r:.1}")];
+            for e in &engines {
+                cells.push(format!("{:.2}", mean_query_ms(&qs, |q| e.search(q))));
+            }
+            print_row(&cells, &widths);
+        }
+    }
+
+    for (panel, spec) in [
+        ("b: large-region, sweep tau_T", QuerySpec::LargeRegion),
+        ("d: small-region, sweep tau_T", QuerySpec::SmallRegion),
+    ] {
+        let raw = workload(&d, spec, &cfg);
+        println!("\n## Fig 12({panel})  [ms/query]");
+        print_header(&["tau_T", names[0], names[1], names[2], names[3]], &widths);
+        for tau_t in TAUS {
+            let qs = with_thresholds(&raw, DEFAULT_TAU, tau_t);
+            let mut cells = vec![format!("{tau_t:.1}")];
+            for e in &engines {
+                cells.push(format!("{:.2}", mean_query_ms(&qs, |q| e.search(q))));
+            }
+            print_row(&cells, &widths);
+        }
+    }
+    println!(
+        "\npaper shape to check: TokenFilter flat in tau_R / improving in tau_T;\n\
+         GridFilter improving in tau_R; finer grids faster at high tau_R;\n\
+         crossover between the two families as thresholds grow."
+    );
+}

@@ -1,0 +1,80 @@
+//! **Figure 15** — hash-based vs hierarchical hybrid signatures under
+//! an index-size budget (tau_R = 0.4, tau_T = 0.1), Twitter-like
+//! dataset, large-region (a) and small-region (b) workloads.
+//!
+//! The paper sweeps four index-size budgets (280–400 MB at 1M objects);
+//! here the budget knob is the per-token grid count `m_t` for the
+//! hierarchical scheme and the bucket count for the hash scheme, and we
+//! report the resulting index sizes alongside the elapsed times.
+//!
+//! Run: `cargo run --release -p seal-bench --bin fig15 [--objects N]`
+
+use seal_bench::data::{build_store, dataset, with_thresholds, workload, BenchConfig, Which};
+use seal_bench::harness::{mb, mean_query_ms, print_header, print_row};
+use seal_core::{FilterKind, SealEngine};
+use seal_datagen::QuerySpec;
+
+const TAU_R: f64 = 0.4;
+const TAU_T: f64 = 0.1;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let d = dataset(Which::Twitter, &cfg);
+    let store = build_store(&d);
+
+    // Four matched budget steps: hash bucket counts and HSS budgets.
+    let steps: [(u64, usize); 4] =
+        [(1 << 14, 8), (1 << 16, 32), (1 << 18, 128), (1 << 20, 512)];
+    eprintln!("building {} engine pairs over {} objects…", steps.len(), store.len());
+    let engines: Vec<(SealEngine, SealEngine)> = steps
+        .iter()
+        .map(|&(buckets, budget)| {
+            (
+                SealEngine::build(
+                    store.clone(),
+                    FilterKind::HashHybrid {
+                        side: 1024,
+                        buckets: Some(buckets),
+                    },
+                ),
+                SealEngine::build(
+                    store.clone(),
+                    FilterKind::Hierarchical {
+                        max_level: 10,
+                        budget,
+                    },
+                ),
+            )
+        })
+        .collect();
+
+    let widths = [10, 14, 12, 14, 12];
+    for (panel, spec) in [
+        ("a: large-region", QuerySpec::LargeRegion),
+        ("b: small-region", QuerySpec::SmallRegion),
+    ] {
+        let raw = workload(&d, spec, &cfg);
+        let qs = with_thresholds(&raw, TAU_R, TAU_T);
+        println!("\n## Fig 15({panel})  tau_R={TAU_R} tau_T={TAU_T}");
+        print_header(
+            &["step", "Hash MB", "Hash ms", "Hier MB", "Hier ms"],
+            &widths,
+        );
+        for (i, (hash, hier)) in engines.iter().enumerate() {
+            print_row(
+                &[
+                    format!("{}", i + 1),
+                    mb(hash.index_bytes()),
+                    format!("{:.2}", mean_query_ms(&qs, |q| hash.search(q))),
+                    mb(hier.index_bytes()),
+                    format!("{:.2}", mean_query_ms(&qs, |q| hier.search(q))),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!(
+        "\npaper shape to check: hierarchical beats hash at comparable (and\n\
+         smaller) index sizes — judicious per-token grids > uniform grids."
+    );
+}

@@ -1,0 +1,16 @@
+//! **Figure 16** — SEAL vs the baselines (IR-tree, Keyword-first,
+//! Spatial-first) on the Twitter-like dataset: tau_R sweep (a, c) and
+//! tau_T sweep (b, d) for large-region (a, b) and small-region (c, d)
+//! workloads.
+//!
+//! Run: `cargo run --release -p seal-bench --bin fig16 [--objects N]`
+
+use seal_bench::data::{build_store, dataset, BenchConfig, Which};
+use seal_bench::figures::run_method_comparison;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let d = dataset(Which::Twitter, &cfg);
+    let store = build_store(&d);
+    run_method_comparison("Fig 16", &d, store, &cfg);
+}

@@ -1,0 +1,14 @@
+//! **Figure 17** — SEAL vs the baselines on the USA-like dataset
+//! (same panels as Figure 16).
+//!
+//! Run: `cargo run --release -p seal-bench --bin fig17 [--objects N]`
+
+use seal_bench::data::{build_store, dataset, BenchConfig, Which};
+use seal_bench::figures::run_method_comparison;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let d = dataset(Which::Usa, &cfg);
+    let store = build_store(&d);
+    run_method_comparison("Fig 17", &d, store, &cfg);
+}

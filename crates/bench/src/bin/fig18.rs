@@ -1,0 +1,60 @@
+//! **Figure 18** — scalability of SEAL's hybrid filtering: mean elapsed
+//! time per query as the number of objects grows (5 steps), at three
+//! spatial thresholds (a) and three textual thresholds (b),
+//! large-region workload, Twitter-like dataset.
+//!
+//! Run: `cargo run --release -p seal-bench --bin fig18 [--objects N]`
+//! (`--objects` sets the LARGEST step; smaller steps are 1/5 … 4/5.)
+
+use seal_bench::data::{build_store, with_thresholds, workload, BenchConfig, Which};
+use seal_bench::harness::{mean_query_ms, print_header, print_row};
+use seal_core::{FilterKind, SealEngine};
+use seal_datagen::QuerySpec;
+
+const DEFAULT_TAU: f64 = 0.4;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let widths = [12, 10, 10, 10];
+    let steps: Vec<usize> = (1..=5).map(|i| cfg.objects * i / 5).collect();
+
+    let mut rows_spatial: Vec<Vec<String>> = Vec::new();
+    let mut rows_textual: Vec<Vec<String>> = Vec::new();
+    for &n in &steps {
+        let step_cfg = BenchConfig {
+            objects: n,
+            ..cfg.clone()
+        };
+        let d = seal_bench::data::dataset(Which::Twitter, &step_cfg);
+        let store = build_store(&d);
+        eprintln!("building SEAL over {n} objects…");
+        let engine = SealEngine::build(store, FilterKind::seal_default());
+        let raw = workload(&d, QuerySpec::LargeRegion, &step_cfg);
+
+        let mut row = vec![format!("{n}")];
+        for tau_r in [0.1, 0.3, 0.5] {
+            let qs = with_thresholds(&raw, tau_r, DEFAULT_TAU);
+            row.push(format!("{:.1}", 1e3 * mean_query_ms(&qs, |q| engine.search(q))));
+        }
+        rows_spatial.push(row);
+
+        let mut row = vec![format!("{n}")];
+        for tau_t in [0.1, 0.3, 0.5] {
+            let qs = with_thresholds(&raw, DEFAULT_TAU, tau_t);
+            row.push(format!("{:.1}", 1e3 * mean_query_ms(&qs, |q| engine.search(q))));
+        }
+        rows_textual.push(row);
+    }
+
+    println!("\n## Fig 18(a) large-region, tau_T={DEFAULT_TAU}  [us/query]");
+    print_header(&["objects", "tau_R=0.1", "tau_R=0.3", "tau_R=0.5"], &widths);
+    for r in &rows_spatial {
+        print_row(r, &widths);
+    }
+    println!("\n## Fig 18(b) large-region, tau_R={DEFAULT_TAU}  [us/query]");
+    print_header(&["objects", "tau_T=0.1", "tau_T=0.3", "tau_T=0.5"], &widths);
+    for r in &rows_textual {
+        print_row(r, &widths);
+    }
+    println!("\npaper shape to check: sub-linear growth in the number of objects.");
+}

@@ -1,0 +1,75 @@
+//! **Table 1** — data statistics and index sizes for both datasets:
+//! IR-tree, TokenInv, GridInv(1024), HashInv(1024), HierarchicalInv.
+//!
+//! Run: `cargo run --release -p seal-bench --bin table1 [--objects N]`
+
+use seal_bench::data::{build_store, dataset, BenchConfig, Which};
+use seal_bench::harness::{mb, print_header, print_row, time_ms};
+use seal_core::{FilterKind, SealEngine};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("# Table 1: data statistics and index sizes ({} objects/dataset)\n", cfg.objects);
+
+    let widths = [26, 16, 16];
+    print_header(&["", "Twitter-like", "USA-like"], &widths);
+
+    let mut rows: Vec<[String; 3]> = Vec::new();
+    let mut engines: Vec<Vec<(String, usize)>> = Vec::new();
+    for which in [Which::Twitter, Which::Usa] {
+        let d = dataset(which, &cfg);
+        let store = build_store(&d);
+        let stats = store.stats();
+        if rows.is_empty() {
+            rows.push(["Object number".into(), String::new(), String::new()]);
+            rows.push(["Avg region area (km^2)".into(), String::new(), String::new()]);
+            rows.push(["Entire space (M km^2)".into(), String::new(), String::new()]);
+            rows.push(["Avg token number".into(), String::new(), String::new()]);
+            rows.push(["Data size (MB)".into(), String::new(), String::new()]);
+        }
+        let col = if which == Which::Twitter { 1 } else { 2 };
+        rows[0][col] = format!("{}", stats.objects);
+        rows[1][col] = format!("{:.1}", stats.avg_region_area);
+        rows[2][col] = format!("{:.0}", stats.space_area / 1e6);
+        rows[3][col] = format!("{:.1}", stats.avg_token_count);
+        rows[4][col] = mb(stats.data_bytes);
+
+        // Index sizes (paper rows: IR-tree, TokenInv, GridInv(1024),
+        // HashInv(1024), HierarchicalInv).
+        let mut sizes = Vec::new();
+        for (name, kind) in [
+            ("IR-tree size (MB)", FilterKind::IrTree { fanout: 64 }),
+            ("TokenInv size (MB)", FilterKind::Token),
+            ("GridInv (1024) size (MB)", FilterKind::Grid { side: 1024 }),
+            (
+                "HashInv (1024) size (MB)",
+                FilterKind::HashHybrid {
+                    side: 1024,
+                    buckets: Some(1 << 20),
+                },
+            ),
+            (
+                "HierarchicalInv size (MB)",
+                FilterKind::Hierarchical {
+                    max_level: 10,
+                    budget: 16,
+                },
+            ),
+        ] {
+            let store2 = store.clone();
+            let (engine, ms) = time_ms(move || SealEngine::build(store2, kind));
+            eprintln!("  [{}] built {name} in {ms:.0} ms", d.name);
+            sizes.push((name.to_string(), engine.index_bytes()));
+        }
+        engines.push(sizes);
+    }
+    for row in &rows {
+        print_row(row.as_ref(), &widths);
+    }
+    for (tw, usa) in engines[0].iter().zip(engines[1].iter()) {
+        print_row(&[tw.0.clone(), mb(tw.1), mb(usa.1)], &widths);
+    }
+    println!(
+        "\npaper shape to check: IR-tree >> HashInv > HierarchicalInv > TokenInv > GridInv"
+    );
+}

@@ -1,0 +1,142 @@
+//! Dataset/workload construction shared by the figure binaries.
+
+use seal_core::{ObjectStore, Query, RoiObject};
+use seal_datagen::{
+    generate_queries, twitter_like, usa_like, Dataset, QueryParams, QuerySpec, RawQuery,
+    TwitterParams, UsaParams,
+};
+use seal_text::TokenSet;
+use std::sync::Arc;
+
+/// Scale knobs every figure binary accepts on its command line.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Number of objects (paper: 1,000,000; default here 50,000 so the
+    /// full suite runs in minutes — pass `--objects 1000000` for the
+    /// paper scale).
+    pub objects: usize,
+    /// Queries per workload (paper: 100).
+    pub queries: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            objects: 50_000,
+            queries: 100,
+            seed: 2012,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Parses `--objects N`, `--queries N`, `--seed N` from argv.
+    pub fn from_args() -> Self {
+        let mut cfg = BenchConfig::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            match args[i].as_str() {
+                "--objects" => cfg.objects = args[i + 1].parse().expect("--objects N"),
+                "--queries" => cfg.queries = args[i + 1].parse().expect("--queries N"),
+                "--seed" => cfg.seed = args[i + 1].parse().expect("--seed N"),
+                _ => {}
+            }
+            i += 1;
+        }
+        cfg
+    }
+}
+
+/// Which of the two evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// The Twitter-like dataset.
+    Twitter,
+    /// The USA-like dataset.
+    Usa,
+}
+
+/// Generates a dataset at the configured scale.
+pub fn dataset(which: Which, cfg: &BenchConfig) -> Dataset {
+    match which {
+        Which::Twitter => twitter_like(&TwitterParams {
+            count: cfg.objects,
+            seed: cfg.seed,
+            ..TwitterParams::default()
+        }),
+        Which::Usa => usa_like(&UsaParams {
+            count: cfg.objects,
+            seed: cfg.seed,
+            ..UsaParams::default()
+        }),
+    }
+}
+
+/// Builds the object store from a generated dataset.
+pub fn build_store(dataset: &Dataset) -> Arc<ObjectStore> {
+    let objects: Vec<RoiObject> = dataset
+        .objects
+        .iter()
+        .map(|o| RoiObject::new(o.region, TokenSet::from_ids(o.tokens.iter().copied())))
+        .collect();
+    Arc::new(ObjectStore::from_objects(objects, dataset.vocab_size))
+}
+
+/// Generates the paper's large-region / small-region workloads.
+pub fn workload(dataset: &Dataset, spec: QuerySpec, cfg: &BenchConfig) -> Vec<RawQuery> {
+    generate_queries(
+        dataset,
+        &QueryParams {
+            spec,
+            count: cfg.queries,
+            seed: cfg.seed ^ 0xABCD,
+        },
+    )
+}
+
+/// Instantiates raw queries with thresholds.
+pub fn with_thresholds(raw: &[RawQuery], tau_r: f64, tau_t: f64) -> Vec<Query> {
+    raw.iter()
+        .map(|r| {
+            Query::with_token_ids(r.region, r.tokens.iter().copied(), tau_r, tau_t)
+                .expect("thresholds in (0,1]")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_produces_store_and_queries() {
+        let cfg = BenchConfig {
+            objects: 500,
+            queries: 10,
+            seed: 1,
+        };
+        let d = dataset(Which::Twitter, &cfg);
+        let store = build_store(&d);
+        assert_eq!(store.len(), 500);
+        let raw = workload(&d, QuerySpec::SmallRegion, &cfg);
+        let qs = with_thresholds(&raw, 0.4, 0.4);
+        assert_eq!(qs.len(), 10);
+        assert!(qs.iter().all(|q| q.tau_spatial == 0.4));
+    }
+
+    #[test]
+    fn usa_dataset_builds() {
+        let cfg = BenchConfig {
+            objects: 300,
+            queries: 5,
+            seed: 2,
+        };
+        let d = dataset(Which::Usa, &cfg);
+        assert_eq!(d.name, "usa-like");
+        let store = build_store(&d);
+        assert_eq!(store.len(), 300);
+    }
+}

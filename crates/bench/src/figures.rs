@@ -1,0 +1,74 @@
+//! The shared method-comparison harness behind Figures 16 and 17.
+
+use crate::data::{with_thresholds, workload, BenchConfig};
+use crate::harness::{mean_query_ms, print_header, print_row};
+use seal_core::{FilterKind, ObjectStore, SealEngine};
+use seal_datagen::{Dataset, QuerySpec};
+use std::sync::Arc;
+
+const TAUS: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
+const DEFAULT_TAU: f64 = 0.4;
+
+/// Runs the four panels of a method-comparison figure: SEAL vs IR-tree
+/// vs Keyword vs Spatial, sweeping each threshold on each workload.
+pub fn run_method_comparison(
+    figure: &str,
+    dataset: &Dataset,
+    store: Arc<ObjectStore>,
+    cfg: &BenchConfig,
+) {
+    eprintln!(
+        "building 4 engines over {} objects ({})…",
+        store.len(),
+        dataset.name
+    );
+    let engines: Vec<(&str, SealEngine)> = vec![
+        (
+            "IR-Tree",
+            SealEngine::build(store.clone(), FilterKind::IrTree { fanout: 64 }),
+        ),
+        (
+            "Keyword",
+            SealEngine::build(store.clone(), FilterKind::KeywordFirst),
+        ),
+        (
+            "Spatial",
+            SealEngine::build(store.clone(), FilterKind::SpatialFirst),
+        ),
+        (
+            "SEAL",
+            SealEngine::build(store.clone(), FilterKind::seal_default()),
+        ),
+    ];
+    let widths = [8, 11, 11, 11, 11];
+    let header = ["tau", "IR-Tree", "Keyword", "Spatial", "SEAL"];
+
+    for (panel, spec, sweep_spatial) in [
+        ("a: large-region, sweep tau_R", QuerySpec::LargeRegion, true),
+        ("b: large-region, sweep tau_T", QuerySpec::LargeRegion, false),
+        ("c: small-region, sweep tau_R", QuerySpec::SmallRegion, true),
+        ("d: small-region, sweep tau_T", QuerySpec::SmallRegion, false),
+    ] {
+        let raw = workload(dataset, spec, cfg);
+        println!("\n## {figure}({panel})  [{}]  [ms/query]", dataset.name);
+        print_header(&header, &widths);
+        for tau in TAUS {
+            let (tr, tt) = if sweep_spatial {
+                (tau, DEFAULT_TAU)
+            } else {
+                (DEFAULT_TAU, tau)
+            };
+            let qs = with_thresholds(&raw, tr, tt);
+            let mut cells = vec![format!("{tau:.1}")];
+            for (_, e) in &engines {
+                cells.push(format!("{:.2}", mean_query_ms(&qs, |q| e.search(q))));
+            }
+            print_row(&cells, &widths);
+        }
+    }
+    println!(
+        "\npaper shape to check: SEAL fastest everywhere (paper: tens of times);\n\
+         IR-tree slowest or near-slowest; Keyword suffers at low tau_T,\n\
+         Spatial at low tau_R."
+    );
+}

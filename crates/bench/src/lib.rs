@@ -1,0 +1,9 @@
+//! # seal-bench — shared harness utilities for the SEAL experiments.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure of the
+//! paper; this library holds the shared scaffolding (dataset caching,
+//! timing, table printing). See `DESIGN.md` §3 for the experiment index.
+
+pub mod data;
+pub mod figures;
+pub mod harness;

@@ -1,0 +1,181 @@
+//! Minimal `--flag value` argument parsing (no external dependencies,
+//! per the project's crate policy).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand plus `--key value` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    opts: HashMap<String, String>,
+}
+
+/// Argument-parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` without a value, or a stray positional.
+    Malformed(String),
+    /// A required option was not supplied.
+    MissingOption(&'static str),
+    /// An option value failed to parse.
+    BadValue {
+        /// The option name.
+        option: &'static str,
+        /// Why it failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given"),
+            ArgError::Malformed(s) => write!(f, "malformed argument {s:?}"),
+            ArgError::MissingOption(o) => write!(f, "missing required option --{o}"),
+            ArgError::BadValue { option, reason } => {
+                write!(f, "bad value for --{option}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `subcommand --key value --key value …`.
+    pub fn parse(argv: &[String]) -> Result<Self, ArgError> {
+        let mut it = argv.iter();
+        let command = it.next().ok_or(ArgError::MissingCommand)?.clone();
+        let mut opts = HashMap::new();
+        while let Some(flag) = it.next() {
+            let Some(key) = flag.strip_prefix("--") else {
+                return Err(ArgError::Malformed(flag.clone()));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::Malformed(format!("--{key} (missing value)")))?;
+            opts.insert(key.to_string(), value.clone());
+        }
+        Ok(Args { command, opts })
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &'static str) -> Result<&str, ArgError> {
+        self.opts
+            .get(key)
+            .map(String::as_str)
+            .ok_or(ArgError::MissingOption(key))
+    }
+
+    /// An optional string option.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed option with a default.
+    pub fn parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &'static str,
+        default: T,
+    ) -> Result<T, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.opts.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e: T::Err| ArgError::BadValue {
+                option: key,
+                reason: e.to_string(),
+            }),
+        }
+    }
+
+    /// A required parsed option.
+    pub fn parsed<T: std::str::FromStr>(&self, key: &'static str) -> Result<T, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        self.required(key)?
+            .parse()
+            .map_err(|e: T::Err| ArgError::BadValue {
+                option: key,
+                reason: e.to_string(),
+            })
+    }
+}
+
+/// Parses `x0,y0,x1,y1` into a rectangle.
+pub fn parse_region(s: &str) -> Result<seal_geom::Rect, ArgError> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 4 {
+        return Err(ArgError::BadValue {
+            option: "region",
+            reason: format!("expected x0,y0,x1,y1 — got {} fields", parts.len()),
+        });
+    }
+    let mut nums = [0.0f64; 4];
+    for (i, p) in parts.iter().enumerate() {
+        nums[i] = p.trim().parse().map_err(|e| ArgError::BadValue {
+            option: "region",
+            reason: format!("{p:?}: {e}"),
+        })?;
+    }
+    seal_geom::Rect::new(nums[0], nums[1], nums[2], nums[3]).map_err(|e| ArgError::BadValue {
+        option: "region",
+        reason: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = Args::parse(&argv("generate --objects 100 --kind twitter")).unwrap();
+        assert_eq!(a.command, "generate");
+        assert_eq!(a.required("kind").unwrap(), "twitter");
+        assert_eq!(a.parsed_or::<usize>("objects", 5).unwrap(), 100);
+        assert_eq!(a.parsed_or::<usize>("absent", 7).unwrap(), 7);
+        assert!(a.optional("absent").is_none());
+    }
+
+    #[test]
+    fn rejects_missing_command_and_values() {
+        assert_eq!(Args::parse(&[]).unwrap_err(), ArgError::MissingCommand);
+        let e = Args::parse(&argv("query --region")).unwrap_err();
+        assert!(matches!(e, ArgError::Malformed(_)));
+        let e = Args::parse(&argv("query stray")).unwrap_err();
+        assert!(matches!(e, ArgError::Malformed(_)));
+    }
+
+    #[test]
+    fn required_and_parsed_errors() {
+        let a = Args::parse(&argv("query --tau-r abc")).unwrap();
+        assert_eq!(
+            a.required("data").unwrap_err(),
+            ArgError::MissingOption("data")
+        );
+        assert!(matches!(
+            a.parsed::<f64>("tau-r").unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+    }
+
+    #[test]
+    fn region_parsing() {
+        let r = parse_region("0, 0, 10, 20").unwrap();
+        assert_eq!(r.area(), 200.0);
+        assert!(parse_region("1,2,3").is_err());
+        assert!(parse_region("a,b,c,d").is_err());
+        assert!(parse_region("10,0,0,5").is_err(), "inverted rect");
+    }
+}

@@ -1,0 +1,249 @@
+//! The `seal` subcommands.
+
+use crate::args::{parse_region, Args};
+use seal_core::{FilterKind, ObjectStore, Query, RoiObject, SealEngine};
+use seal_datagen::{io as dio, twitter_like, usa_like, Dataset, TwitterParams, UsaParams};
+use seal_text::{TokenId, TokenSet};
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::sync::Arc;
+
+/// Help text printed on errors and by `seal help`.
+pub const USAGE: &str = "\
+usage: seal <command> [--option value ...]
+
+commands:
+  generate  --kind twitter|usa --out FILE [--objects N] [--seed N]
+            synthesize a dataset and write it as TSV
+  stats     --data FILE
+            print dataset statistics (Table 1's data rows)
+  index     --data FILE [--filter seal|token|grid|hash|adaptive|irtree]
+            build an index and report build time + size
+  query     --data FILE --region x0,y0,x1,y1 --tokens a,b,c
+            [--tau-r F] [--tau-t F] [--filter ...] [--top-k N]
+            run one spatio-textual similarity query
+  help      show this message";
+
+/// Entry point used by `main` (and by the tests, with captured output).
+pub fn run(argv: &[String]) -> Result<(), Box<dyn Error>> {
+    if argv.is_empty() || argv[0] == "help" {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "index" => cmd_index(&args),
+        "query" => cmd_query(&args),
+        other => Err(format!("unknown command {other:?}").into()),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let kind = args.required("kind")?;
+    let out = args.required("out")?;
+    let objects: usize = args.parsed_or("objects", 10_000)?;
+    let seed: u64 = args.parsed_or("seed", 2012)?;
+    let dataset = match kind {
+        "twitter" => twitter_like(&TwitterParams {
+            count: objects,
+            seed,
+            ..TwitterParams::default()
+        }),
+        "usa" => usa_like(&UsaParams {
+            count: objects,
+            seed,
+            ..UsaParams::default()
+        }),
+        other => return Err(format!("unknown dataset kind {other:?}").into()),
+    };
+    let names: Vec<String> = (0..dataset.vocab_size).map(|i| format!("tok{i}")).collect();
+    let mut w = BufWriter::new(File::create(out)?);
+    dio::write_tsv(&mut w, &dataset, &names)?;
+    w.flush()?;
+    println!(
+        "wrote {} objects ({}, avg area {:.2}, avg tokens {:.1}) to {out}",
+        dataset.objects.len(),
+        dataset.name,
+        dataset.avg_region_area(),
+        dataset.avg_token_count(),
+    );
+    Ok(())
+}
+
+/// Loads a TSV dataset into an object store plus the token-name table.
+fn load(path: &str) -> Result<(Arc<ObjectStore>, Vec<String>), Box<dyn Error>> {
+    let reader = BufReader::new(File::open(path)?);
+    let (dataset, names) = dio::read_tsv(reader)?;
+    Ok((store_from(&dataset), names))
+}
+
+fn store_from(dataset: &Dataset) -> Arc<ObjectStore> {
+    let objects: Vec<RoiObject> = dataset
+        .objects
+        .iter()
+        .map(|o| RoiObject::new(o.region, TokenSet::from_ids(o.tokens.iter().copied())))
+        .collect();
+    Arc::new(ObjectStore::from_objects(objects, dataset.vocab_size))
+}
+
+fn filter_kind(name: &str) -> Result<FilterKind, Box<dyn Error>> {
+    Ok(match name {
+        "seal" | "hierarchical" => FilterKind::seal_default(),
+        "token" => FilterKind::Token,
+        "grid" => FilterKind::Grid { side: 1024 },
+        "hash" => FilterKind::HashHybrid {
+            side: 1024,
+            buckets: Some(1 << 20),
+        },
+        "adaptive" => FilterKind::Adaptive { side: 1024 },
+        "irtree" => FilterKind::IrTree { fanout: 64 },
+        "keyword" => FilterKind::KeywordFirst,
+        "spatial" => FilterKind::SpatialFirst,
+        other => return Err(format!("unknown filter {other:?}").into()),
+    })
+}
+
+fn cmd_stats(args: &Args) -> Result<(), Box<dyn Error>> {
+    let (store, _names) = load(args.required("data")?)?;
+    let s = store.stats();
+    println!("objects:          {}", s.objects);
+    println!("vocabulary:       {}", s.vocab_size);
+    println!("avg region area:  {:.4}", s.avg_region_area);
+    println!("entire space:     {:.1}", s.space_area);
+    println!("avg tokens:       {:.2}", s.avg_token_count);
+    println!("data bytes:       {}", s.data_bytes);
+    Ok(())
+}
+
+fn cmd_index(args: &Args) -> Result<(), Box<dyn Error>> {
+    let (store, _names) = load(args.required("data")?)?;
+    let kind = filter_kind(args.optional("filter").unwrap_or("seal"))?;
+    let t0 = std::time::Instant::now();
+    let engine = SealEngine::build(store, kind);
+    println!(
+        "built {} in {:.3}s, index size {:.2} MB",
+        engine.filter_name(),
+        t0.elapsed().as_secs_f64(),
+        engine.index_bytes() as f64 / (1024.0 * 1024.0),
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), Box<dyn Error>> {
+    let (store, names) = load(args.required("data")?)?;
+    let region = parse_region(args.required("region")?)?;
+    let tau_r: f64 = args.parsed_or("tau-r", 0.4)?;
+    let tau_t: f64 = args.parsed_or("tau-t", 0.4)?;
+    let kind = filter_kind(args.optional("filter").unwrap_or("seal"))?;
+
+    // Resolve query tokens against the dataset's vocabulary.
+    let mut ids: Vec<TokenId> = Vec::new();
+    let mut unknown: Vec<&str> = Vec::new();
+    for t in args.required("tokens")?.split(',').map(str::trim) {
+        if t.is_empty() {
+            continue;
+        }
+        match names.iter().position(|n| n == t) {
+            Some(i) => ids.push(TokenId(i as u32)),
+            None => unknown.push(t),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!("note: tokens not in the dataset vocabulary: {unknown:?}");
+    }
+
+    let engine = SealEngine::build(store.clone(), kind);
+    if let Some(k) = args.optional("top-k") {
+        let k: usize = k.parse().map_err(|e| format!("bad --top-k: {e}"))?;
+        let top = engine.search_top_k(region, TokenSet::from_ids(ids), k, 0.5);
+        println!("top-{k} by combined score:");
+        for (id, score) in top {
+            println!("  object {:>8}  score {score:.4}", id.0);
+        }
+        return Ok(());
+    }
+
+    let q = Query::with_token_ids(region, ids, tau_r, tau_t)
+        .map_err(|e| format!("invalid thresholds: {e}"))?;
+    let result = engine.search(&q).sorted();
+    println!(
+        "{} answers ({} candidates, filter {:?}, verify {:?}, engine {})",
+        result.answers.len(),
+        result.stats.candidates,
+        result.stats.filter_time,
+        result.stats.verify_time,
+        engine.filter_name(),
+    );
+    for id in result.answers.iter().take(20) {
+        let o = store.get(*id);
+        let toks: Vec<&str> = o
+            .tokens
+            .iter()
+            .filter_map(|t| names.get(t.0 as usize).map(String::as_str))
+            .collect();
+        println!("  object {:>8}  area {:.3}  tokens {}", id.0, o.region.area(), toks.join(","));
+    }
+    if result.answers.len() > 20 {
+        println!("  … and {} more", result.answers.len() - 20);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("seal-cli-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn generate_stats_index_query_pipeline() {
+        let data = temp_path("pipeline.tsv");
+        let data_s = data.to_str().unwrap().to_string();
+        run(&argv(&format!(
+            "generate --kind twitter --objects 500 --seed 7 --out {data_s}"
+        )))
+        .unwrap();
+        run(&argv(&format!("stats --data {data_s}"))).unwrap();
+        run(&argv(&format!("index --data {data_s} --filter adaptive"))).unwrap();
+        // Query with a huge region and a frequent token: must not error.
+        run(&argv(&format!(
+            "query --data {data_s} --region 0,0,40000,40000 --tokens tok0 \
+             --tau-r 0.01 --tau-t 0.01 --filter token"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "query --data {data_s} --region 0,0,40000,40000 --tokens tok0 --top-k 5"
+        )))
+        .unwrap();
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&argv("bogus")).is_err());
+        assert!(run(&argv("generate --kind nope --out /tmp/x")).is_err());
+        assert!(run(&argv("query --data /nonexistent-file.tsv --region 0,0,1,1 --tokens a"))
+            .is_err());
+        run(&argv("help")).unwrap();
+        run(&[]).unwrap();
+    }
+
+    #[test]
+    fn filter_kinds_resolve() {
+        for f in ["seal", "token", "grid", "hash", "adaptive", "irtree", "keyword", "spatial"] {
+            assert!(filter_kind(f).is_ok(), "{f}");
+        }
+        assert!(filter_kind("nope").is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! The Keyword-first baseline (Section 2.3): inverted index from tokens
+//! to objects; compute the exact textual similarity of every object
+//! sharing a token with the query, keep those with `simT ≥ τ_T`, verify
+//! the spatial predicate afterwards.
+
+use crate::filters::CandidateFilter;
+use crate::{ObjectId, ObjectStore, Query, SearchStats};
+use parking_lot::Mutex;
+use seal_index::InvertedIndex;
+use seal_text::TokenWeights;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Keyword-first: exact textual filtering, no spatial pruning.
+pub struct KeywordFirst {
+    store: Arc<ObjectStore>,
+    cfg: crate::SimilarityConfig,
+    index: InvertedIndex<u32>,
+    /// Σ_{t ∈ o.T} w(t) per object, for the Jaccard denominator.
+    object_weights: Vec<f64>,
+    empty_token_objects: Vec<ObjectId>,
+    acc: Mutex<Acc>,
+}
+
+#[derive(Debug)]
+struct Acc {
+    sums: Vec<f64>,
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl KeywordFirst {
+    /// Builds the token inverted index (postings carry token weights).
+    pub fn build(store: Arc<ObjectStore>) -> Self {
+        Self::build_with_config(store, crate::SimilarityConfig::default())
+    }
+
+    /// Builds with an explicit similarity configuration: the exact
+    /// first-stage test evaluates the configured textual function.
+    pub fn build_with_config(store: Arc<ObjectStore>, cfg: crate::SimilarityConfig) -> Self {
+        let mut index: InvertedIndex<u32> = InvertedIndex::new();
+        let mut empty = Vec::new();
+        let mut object_weights = Vec::with_capacity(store.len());
+        for (id, o) in store.iter() {
+            object_weights.push(store.weights().set_weight(&o.tokens));
+            if o.tokens.is_empty() {
+                empty.push(id);
+                continue;
+            }
+            for t in o.tokens.iter() {
+                index.push(t.0, id.0, store.weights().weight(t));
+            }
+        }
+        index.finalize();
+        let n = store.len();
+        KeywordFirst {
+            store,
+            cfg,
+            index,
+            object_weights,
+            empty_token_objects: empty,
+            acc: Mutex::new(Acc {
+                sums: vec![0.0; n],
+                stamps: vec![0; n],
+                epoch: 0,
+            }),
+        }
+    }
+}
+
+impl CandidateFilter for KeywordFirst {
+    fn name(&self) -> &'static str {
+        "Keyword"
+    }
+
+    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+        let start = Instant::now();
+        let mut out = Vec::new();
+        if q.tokens.is_empty() {
+            out.extend_from_slice(&self.empty_token_objects);
+            stats.filter_time += start.elapsed();
+            return out;
+        }
+        let w_q = self.store.weights().set_weight(&q.tokens);
+        let mut acc = self.acc.lock();
+        if acc.epoch == u32::MAX {
+            acc.stamps.fill(0);
+            acc.epoch = 0;
+        }
+        acc.epoch += 1;
+        let epoch = acc.epoch;
+        let mut touched: Vec<u32> = Vec::new();
+        for t in q.tokens.iter() {
+            stats.lists_probed += 1;
+            if let Some(list) = self.index.list(&t.0) {
+                stats.postings_scanned += list.len();
+                for p in list.postings() {
+                    let i = p.object as usize;
+                    if acc.stamps[i] != epoch {
+                        acc.stamps[i] = epoch;
+                        acc.sums[i] = 0.0;
+                        touched.push(p.object);
+                    }
+                    acc.sums[i] += p.bound; // = w(t)
+                }
+            }
+        }
+        for o in touched {
+            let inter = acc.sums[o as usize];
+            let w_o = self.object_weights[o as usize];
+            let sim = textual_sim_from_components(self.cfg.textual, inter, w_q, w_o);
+            if sim >= crate::signatures::relax(q.tau_textual) {
+                out.push(ObjectId(o));
+            }
+        }
+        stats.filter_time += start.elapsed();
+        out
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.size_bytes() + self.object_weights.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Evaluates a textual similarity function from the accumulated
+/// intersection weight and the two set weights (the keyword-first
+/// filter never materializes the intersection set).
+fn textual_sim_from_components(
+    f: seal_text::similarity::TextualSimFn,
+    inter: f64,
+    w_q: f64,
+    w_o: f64,
+) -> f64 {
+    use seal_text::similarity::TextualSimFn;
+    let safe = |num: f64, den: f64| if den <= 0.0 { 1.0 } else { num / den };
+    match f {
+        TextualSimFn::Jaccard => safe(inter, w_q + w_o - inter),
+        TextualSimFn::Dice => safe(2.0 * inter, w_q + w_o),
+        TextualSimFn::Cosine => safe(inter, (w_q * w_o).sqrt()),
+        TextualSimFn::Overlap => safe(inter, w_q.min(w_o)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::figure1_store;
+    use crate::verify::{naive_search, verify};
+    use crate::SimilarityConfig;
+
+    #[test]
+    fn keyword_first_finds_all_answers() {
+        let (store, q0) = figure1_store();
+        let store = Arc::new(store);
+        let cfg = SimilarityConfig::default();
+        let f = KeywordFirst::build(store.clone());
+        for (tr, tt) in [(0.1, 0.1), (0.25, 0.3), (0.5, 0.5)] {
+            let q = q0.with_thresholds(tr, tt).unwrap();
+            let mut stats = SearchStats::new();
+            let cands = f.candidates(&q, &mut stats);
+            let answers = naive_search(&store, &cfg, &q);
+            let mut vstats = SearchStats::new();
+            assert_eq!(verify(&store, &cfg, &q, &cands, &mut vstats), answers);
+        }
+    }
+
+    #[test]
+    fn candidates_have_exact_textual_similarity() {
+        // Keyword-first's first stage *is* the textual predicate: its
+        // candidates must equal the τT-qualifying objects exactly.
+        let (store, q) = figure1_store();
+        let store = Arc::new(store);
+        let f = KeywordFirst::build(store.clone());
+        let cfg = SimilarityConfig::default();
+        let mut stats = SearchStats::new();
+        let mut got = f.candidates(&q, &mut stats);
+        got.sort_unstable();
+        let mut expect: Vec<ObjectId> = store
+            .iter()
+            .filter(|(_, o)| cfg.textual_sim(&q, o, store.weights()) >= q.tau_textual)
+            .map(|(id, _)| id)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scans_full_lists() {
+        // No threshold bounds: every posting of every query token's list
+        // is read — this is exactly the inefficiency SEAL removes.
+        let (store, q) = figure1_store();
+        let store = Arc::new(store);
+        let f = KeywordFirst::build(store.clone());
+        let mut stats = SearchStats::new();
+        let _ = f.candidates(&q, &mut stats);
+        let full: usize = q
+            .tokens
+            .iter()
+            .map(|t| f.index.list_len(&t.0))
+            .sum();
+        assert_eq!(stats.postings_scanned, full);
+        assert_eq!(f.name(), "Keyword");
+    }
+}

@@ -1,0 +1,15 @@
+//! The paper's baseline methods (Section 2.3): **Keyword-first**,
+//! **Spatial-first**, and the **IR-tree** extension of Cong et al.
+//!
+//! All three implement [`CandidateFilter`](crate::filters::CandidateFilter)
+//! so the engine and the benchmarks drive them exactly like SEAL's
+//! filters; their candidate sets are the supersets their first stage
+//! produces, and `Sig-Verify` finishes the job.
+
+mod irtree;
+mod keyword_first;
+mod spatial_first;
+
+pub use irtree::IrTreeBaseline;
+pub use keyword_first::KeywordFirst;
+pub use spatial_first::SpatialFirst;

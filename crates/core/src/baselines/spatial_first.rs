@@ -1,0 +1,123 @@
+//! The Spatial-first baseline (Section 2.3): an R-tree range search
+//! computes the exact spatial similarity of every object intersecting
+//! the query region, keeps those with `simR ≥ τ_R`, and verifies the
+//! textual predicate afterwards.
+
+use crate::filters::CandidateFilter;
+use crate::{ObjectId, ObjectStore, Query, SearchStats};
+
+use seal_rtree::{Descend, RTree, RTreeConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Spatial-first: exact spatial filtering via R-tree, no textual
+/// pruning.
+pub struct SpatialFirst {
+    cfg: crate::SimilarityConfig,
+    tree: RTree<u32>,
+}
+
+impl SpatialFirst {
+    /// Bulk-loads the R-tree over the store's regions.
+    pub fn build(store: Arc<ObjectStore>) -> Self {
+        Self::build_with_config(store, crate::SimilarityConfig::default())
+    }
+
+    /// Builds with an explicit similarity configuration: the exact
+    /// first-stage test evaluates the configured spatial function.
+    pub fn build_with_config(store: Arc<ObjectStore>, cfg: crate::SimilarityConfig) -> Self {
+        let items: Vec<(seal_geom::Rect, u32)> = store
+            .iter()
+            .map(|(id, o)| (o.region, id.0))
+            .collect();
+        let tree = RTree::bulk_load(items, RTreeConfig::default());
+        SpatialFirst { cfg, tree }
+    }
+
+    /// The underlying R-tree (diagnostics).
+    pub fn tree(&self) -> &RTree<u32> {
+        &self.tree
+    }
+}
+
+impl CandidateFilter for SpatialFirst {
+    fn name(&self) -> &'static str {
+        "Spatial"
+    }
+
+    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+        let start = Instant::now();
+        let mut out = Vec::new();
+        let region = q.region;
+        let tau = crate::signatures::relax(q.tau_spatial);
+        let visited = self.tree.traverse(
+            |id| {
+                if self.tree.mbr(id).intersects(&region) {
+                    Descend::Yes
+                } else {
+                    Descend::No
+                }
+            },
+            |_, entries| {
+                for e in entries {
+                    stats.postings_scanned += 1;
+                    if self.cfg.spatial.eval(&e.rect, &region) >= tau {
+                        out.push(ObjectId(e.value));
+                    }
+                }
+            },
+        );
+        stats.nodes_visited += visited;
+        stats.filter_time += start.elapsed();
+        out
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.tree.stats().size_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::figure1_store;
+    use crate::verify::{naive_search, verify};
+    use crate::SimilarityConfig;
+
+    #[test]
+    fn spatial_first_finds_all_answers() {
+        let (store, q0) = figure1_store();
+        let store = Arc::new(store);
+        let cfg = SimilarityConfig::default();
+        let f = SpatialFirst::build(store.clone());
+        for (tr, tt) in [(0.1, 0.1), (0.25, 0.3), (0.5, 0.5), (0.95, 0.95)] {
+            let q = q0.with_thresholds(tr, tt).unwrap();
+            let mut stats = SearchStats::new();
+            let cands = f.candidates(&q, &mut stats);
+            let answers = naive_search(&store, &cfg, &q);
+            let mut vstats = SearchStats::new();
+            assert_eq!(verify(&store, &cfg, &q, &cands, &mut vstats), answers);
+        }
+    }
+
+    #[test]
+    fn candidates_are_exactly_spatial_matches() {
+        let (store, q) = figure1_store();
+        let store = Arc::new(store);
+        let f = SpatialFirst::build(store.clone());
+        let cfg = SimilarityConfig::default();
+        let mut stats = SearchStats::new();
+        let mut got = f.candidates(&q, &mut stats);
+        got.sort_unstable();
+        let mut expect: Vec<ObjectId> = store
+            .iter()
+            .filter(|(_, o)| cfg.spatial_sim(&q, o) >= q.tau_spatial)
+            .map(|(id, _)| id)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert!(stats.nodes_visited >= 1);
+        assert_eq!(f.name(), "Spatial");
+        assert!(f.index_bytes() > 0);
+    }
+}

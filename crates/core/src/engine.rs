@@ -1,0 +1,422 @@
+//! The `SealSig` engine (Algorithm 1): signature generation + index
+//! construction at build time, `Sig-Filter` → `Sig-Verify` at query
+//! time, behind one facade.
+
+use crate::baselines::{IrTreeBaseline, KeywordFirst, SpatialFirst};
+use crate::filters::{
+    AdaptiveFilter, CandidateFilter, GridFilter, HierarchicalFilter, HybridFilter, NaiveFilter,
+    TokenFilter, TokenFilterBasic,
+};
+use crate::signatures::hash_hybrid::BucketScheme;
+use crate::{ObjectId, ObjectStore, Query, SearchStats, SimilarityConfig};
+use std::sync::Arc;
+
+/// Which filtering method the engine builds (Table 1's index rows plus
+/// the baselines of Section 2.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FilterKind {
+    /// `Sig-Filter+` on textual signatures (`TokenInv`).
+    Token,
+    /// Basic `Sig-Filter` on textual signatures (ablation).
+    TokenBasic,
+    /// `Sig-Filter+` on grid signatures (`GridInv`) at the given
+    /// granularity (cells per side).
+    Grid {
+        /// Cells per side.
+        side: u32,
+    },
+    /// `Hybrid-Sig-Filter+` on hash-based hybrid signatures (`HashInv`).
+    HashHybrid {
+        /// Cells per side.
+        side: u32,
+        /// Hash-bucket constraint (None = full 64-bit hashing).
+        buckets: Option<u64>,
+    },
+    /// `Hybrid-Sig-Filter+` on hierarchical hybrid signatures
+    /// (`HierarchicalInv`) — the configuration the paper calls **Seal**.
+    Hierarchical {
+        /// Grid-tree depth.
+        max_level: u8,
+        /// `m_t`: selected grids per token.
+        budget: usize,
+    },
+    /// Keyword-first baseline.
+    KeywordFirst,
+    /// Spatial-first baseline.
+    SpatialFirst,
+    /// IR-tree baseline.
+    IrTree {
+        /// R-tree fan-out.
+        fanout: usize,
+    },
+    /// Cost-routed combination of Token and Grid filtering (per-query
+    /// routing by the §4.3 cost model — the engineering answer to
+    /// Figure 12's "combine both filters").
+    Adaptive {
+        /// Grid granularity for the spatial route.
+        side: u32,
+    },
+    /// No filtering (scan everything, verify everything).
+    Naive,
+}
+
+impl FilterKind {
+    /// The paper's default SEAL configuration: hierarchical hybrid
+    /// signatures with a level-10 tree (1024×1024 finest grain) and a
+    /// 16-cell per-token budget.
+    pub fn seal_default() -> Self {
+        FilterKind::Hierarchical {
+            max_level: 10,
+            budget: 16,
+        }
+    }
+}
+
+/// One answered query: the ids plus the per-step statistics.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Answer object ids (ascending by candidate discovery, then
+    /// verified; call [`SearchResult::sorted`] for id order).
+    pub answers: Vec<ObjectId>,
+    /// Filter/verify counters and timings.
+    pub stats: SearchStats,
+}
+
+impl SearchResult {
+    /// The answers sorted by id (convenient for comparisons).
+    pub fn sorted(mut self) -> Self {
+        self.answers.sort_unstable();
+        self
+    }
+}
+
+/// The spatio-textual similarity search engine.
+pub struct SealEngine {
+    store: Arc<ObjectStore>,
+    filter: Box<dyn CandidateFilter>,
+    cfg: SimilarityConfig,
+}
+
+impl SealEngine {
+    /// Builds an engine over a store with the chosen filter.
+    pub fn build(store: Arc<ObjectStore>, kind: FilterKind) -> Self {
+        Self::build_with_config(store, kind, SimilarityConfig::default())
+    }
+
+    /// Builds with an explicit similarity configuration. Every filter
+    /// derives its signature thresholds from the configured functions
+    /// (e.g. Dice's `c_R = τ·|q.R|/2`), so the candidate-superset
+    /// guarantee holds for all supported similarity pairs.
+    pub fn build_with_config(
+        store: Arc<ObjectStore>,
+        kind: FilterKind,
+        cfg: SimilarityConfig,
+    ) -> Self {
+        let filter: Box<dyn CandidateFilter> = match kind {
+            FilterKind::Token => Box::new(TokenFilter::build_with_config(store.clone(), cfg)),
+            FilterKind::TokenBasic => {
+                Box::new(TokenFilterBasic::build_with_config(store.clone(), cfg))
+            }
+            FilterKind::Grid { side } => {
+                Box::new(GridFilter::build_with_config(store.clone(), side, cfg))
+            }
+            FilterKind::HashHybrid { side, buckets } => {
+                let scheme = match buckets {
+                    Some(m) => BucketScheme::Buckets(m),
+                    None => BucketScheme::Full,
+                };
+                Box::new(HybridFilter::build_with_config(store.clone(), side, scheme, cfg))
+            }
+            FilterKind::Hierarchical { max_level, budget } => Box::new(
+                HierarchicalFilter::build_with_config(store.clone(), max_level, budget, cfg),
+            ),
+            FilterKind::KeywordFirst => {
+                Box::new(KeywordFirst::build_with_config(store.clone(), cfg))
+            }
+            FilterKind::SpatialFirst => {
+                Box::new(SpatialFirst::build_with_config(store.clone(), cfg))
+            }
+            FilterKind::IrTree { fanout } => {
+                Box::new(IrTreeBaseline::build_with_config(store.clone(), fanout, cfg))
+            }
+            FilterKind::Adaptive { side } => {
+                Box::new(AdaptiveFilter::build_with_config(store.clone(), side, cfg))
+            }
+            FilterKind::Naive => Box::new(NaiveFilter::new(store.clone())),
+        };
+        SealEngine { store, filter, cfg }
+    }
+
+    /// Answers a query: filter, then verify (Algorithm 1).
+    pub fn search(&self, q: &Query) -> SearchResult {
+        let mut stats = SearchStats::new();
+        let candidates = self.filter.candidates(q, &mut stats);
+        let answers = crate::verify::verify(&self.store, &self.cfg, q, &candidates, &mut stats);
+        SearchResult { answers, stats }
+    }
+
+    /// Answers a batch of queries in parallel across `threads` OS
+    /// threads (the LBS serving pattern: one engine, many concurrent
+    /// queries). Results come back in input order. The filters'
+    /// deduplication scratch is an internal mutex, so concurrent
+    /// searches are safe; with `threads == 1` this degenerates to a
+    /// sequential loop.
+    pub fn search_batch(&self, queries: &[Query], threads: usize) -> Vec<SearchResult> {
+        let threads = threads.clamp(1, queries.len().max(1));
+        if threads == 1 || queries.len() < 2 {
+            return queries.iter().map(|q| self.search(q)).collect();
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let mut out: Vec<Option<SearchResult>> = Vec::with_capacity(queries.len());
+        out.resize_with(queries.len(), || None);
+        let slots: Vec<&mut [Option<SearchResult>]> = out.chunks_mut(chunk).collect();
+        std::thread::scope(|scope| {
+            for (part, slot) in queries.chunks(chunk).zip(slots) {
+                scope.spawn(move || {
+                    for (q, s) in part.iter().zip(slot.iter_mut()) {
+                        *s = Some(self.search(q));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every slot filled by its worker"))
+            .collect()
+    }
+
+    /// The store the engine serves.
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.store
+    }
+
+    /// The active filter's display name.
+    pub fn filter_name(&self) -> &'static str {
+        self.filter.name()
+    }
+
+    /// Index bytes of the active filter (Table 1).
+    pub fn index_bytes(&self) -> usize {
+        self.filter.index_bytes()
+    }
+
+    /// Direct access to the filter (diagnostics, benchmarks).
+    pub fn filter(&self) -> &dyn CandidateFilter {
+        self.filter.as_ref()
+    }
+
+    /// Top-k extension (the related-work direction of §2.2 adapted to
+    /// ROI similarity): returns the `k` objects with the highest
+    /// combined score `α·simR + (1−α)·simT` among those passing *some*
+    /// qualifying threshold, found by iterative threshold deepening.
+    ///
+    /// Starting from `τ = τ_start` the engine runs a threshold search
+    /// and halves both thresholds until at least `k` answers exist (or
+    /// the floor `τ_min` is reached), then ranks the answers by score.
+    /// Because the threshold search is exact at every step, the result
+    /// equals "rank all objects with `min(simR, simT) ≥ τ_final`" — a
+    /// deterministic, reproducible top-k semantics that reuses the
+    /// signature indexes unchanged.
+    pub fn search_top_k(&self, region: seal_geom::Rect, tokens: seal_text::TokenSet, k: usize, alpha: f64) -> Vec<(ObjectId, f64)> {
+        let alpha = alpha.clamp(0.0, 1.0);
+        let mut tau = 0.5f64;
+        const TAU_MIN: f64 = 0.01;
+        let answers: Vec<ObjectId> = loop {
+            let q = Query::new(region, tokens.clone(), tau, tau)
+                .expect("tau stays within (0,1]");
+            let found = self.search(&q).answers;
+            if found.len() >= k || tau <= TAU_MIN {
+                break found;
+            }
+            tau = (tau / 2.0).max(TAU_MIN);
+        };
+        let w = self.store.weights();
+        let mut scored: Vec<(ObjectId, f64)> = answers
+            .into_iter()
+            .map(|id| {
+                let o = self.store.get(id);
+                let q = Query::new(region, tokens.clone(), 1.0, 1.0).expect("static");
+                let s = alpha * self.cfg.spatial_sim(&q, o)
+                    + (1.0 - alpha) * self.cfg.textual_sim(&q, o, w);
+                (id, s)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::figure1_store;
+    use crate::verify::naive_search;
+
+    fn all_kinds() -> Vec<FilterKind> {
+        vec![
+            FilterKind::Token,
+            FilterKind::TokenBasic,
+            FilterKind::Grid { side: 8 },
+            FilterKind::HashHybrid {
+                side: 8,
+                buckets: None,
+            },
+            FilterKind::HashHybrid {
+                side: 8,
+                buckets: Some(64),
+            },
+            FilterKind::Hierarchical {
+                max_level: 4,
+                budget: 8,
+            },
+            FilterKind::KeywordFirst,
+            FilterKind::SpatialFirst,
+            FilterKind::IrTree { fanout: 3 },
+            FilterKind::Adaptive { side: 8 },
+            FilterKind::Naive,
+        ]
+    }
+
+    #[test]
+    fn every_engine_matches_the_oracle() {
+        let (store, q0) = figure1_store();
+        let store = Arc::new(store);
+        let cfg = SimilarityConfig::default();
+        for kind in all_kinds() {
+            let engine = SealEngine::build(store.clone(), kind);
+            for (tr, tt) in [(0.1, 0.1), (0.25, 0.3), (0.6, 0.6)] {
+                let q = q0.with_thresholds(tr, tt).unwrap();
+                let got = engine.search(&q).sorted();
+                let mut expect = naive_search(&store, &cfg, &q);
+                expect.sort_unstable();
+                assert_eq!(
+                    got.answers, expect,
+                    "{kind:?} τ=({tr},{tt}) disagrees with the oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn example1_via_the_default_engine() {
+        let (store, q) = figure1_store();
+        let engine = SealEngine::build(
+            Arc::new(store),
+            FilterKind::Hierarchical {
+                max_level: 4,
+                budget: 8,
+            },
+        );
+        let result = engine.search(&q);
+        assert_eq!(result.answers, vec![ObjectId(1)], "A = {{o2}}");
+        assert!(result.stats.candidates >= 1);
+        assert_eq!(result.stats.results, 1);
+        assert_eq!(engine.filter_name(), "Seal");
+        assert!(engine.index_bytes() > 0);
+        assert_eq!(engine.store().len(), 7);
+    }
+
+    #[test]
+    fn seal_default_is_hierarchical() {
+        assert!(matches!(
+            FilterKind::seal_default(),
+            FilterKind::Hierarchical { .. }
+        ));
+    }
+
+    #[test]
+    fn dice_configured_engines_match_the_dice_oracle() {
+        use crate::SpatialSimFn;
+        use seal_text::similarity::TextualSimFn;
+        let (store, q0) = figure1_store();
+        let store = Arc::new(store);
+        let cfg = SimilarityConfig {
+            spatial: SpatialSimFn::Dice,
+            textual: TextualSimFn::Dice,
+        };
+        for kind in all_kinds() {
+            let engine = SealEngine::build_with_config(store.clone(), kind, cfg);
+            for (tr, tt) in [(0.2, 0.2), (0.4, 0.4), (0.7, 0.7)] {
+                let q = q0.with_thresholds(tr, tt).unwrap();
+                let got = engine.search(&q).sorted();
+                let mut expect = naive_search(&store, &cfg, &q);
+                expect.sort_unstable();
+                assert_eq!(
+                    got.answers, expect,
+                    "{kind:?} with Dice τ=({tr},{tt}) disagrees with the Dice oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_returns_ranked_results() {
+        let (store, q) = figure1_store();
+        let store = Arc::new(store);
+        let engine = SealEngine::build(
+            store.clone(),
+            FilterKind::Hierarchical {
+                max_level: 4,
+                budget: 8,
+            },
+        );
+        let top = engine.search_top_k(q.region, q.tokens.clone(), 3, 0.5);
+        assert!(!top.is_empty());
+        assert!(top.len() <= 3);
+        // Scores descending, o2 (the Example 1 answer) ranked first.
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(top[0].0, ObjectId(1));
+        // k larger than the store: returns everything qualifying.
+        let all = engine.search_top_k(q.region, q.tokens.clone(), 100, 0.5);
+        assert!(all.len() <= 7);
+        assert!(all.len() >= top.len());
+    }
+
+    #[test]
+    fn batch_search_matches_sequential() {
+        let (store, q0) = figure1_store();
+        let store = Arc::new(store);
+        let engine = SealEngine::build(store, FilterKind::Adaptive { side: 8 });
+        let queries: Vec<Query> = [(0.1, 0.1), (0.25, 0.3), (0.5, 0.5), (0.7, 0.2), (0.2, 0.7)]
+            .iter()
+            .map(|&(tr, tt)| q0.with_thresholds(tr, tt).unwrap())
+            .collect();
+        let sequential: Vec<Vec<ObjectId>> = queries
+            .iter()
+            .map(|q| engine.search(q).sorted().answers)
+            .collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let batch: Vec<Vec<ObjectId>> = engine
+                .search_batch(&queries, threads)
+                .into_iter()
+                .map(|r| r.sorted().answers)
+                .collect();
+            assert_eq!(batch, sequential, "threads={threads}");
+        }
+        // Empty batch.
+        assert!(engine.search_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn top_k_alpha_extremes() {
+        let (store, q) = figure1_store();
+        let store = Arc::new(store);
+        let engine = SealEngine::build(store.clone(), FilterKind::Token);
+        // α = 1: ranked purely spatially; α = 0: purely textually.
+        let spatial = engine.search_top_k(q.region, q.tokens.clone(), 7, 1.0);
+        let textual = engine.search_top_k(q.region, q.tokens.clone(), 7, 0.0);
+        let cfg = SimilarityConfig::default();
+        for (id, score) in &spatial {
+            let o = store.get(*id);
+            let qq = q.with_thresholds(1.0, 1.0).unwrap();
+            assert!((score - cfg.spatial_sim(&qq, o)).abs() < 1e-12);
+        }
+        for w in textual.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! `Hybrid-Sig-Filter+` with hierarchical hybrid signatures
+//! (Section 5.2 — the configuration the paper calls **Seal** in its
+//! method comparison).
+
+use crate::filters::{CandidateFilter, DedupScratch};
+use crate::signatures::hierarchical::HierarchicalScheme;
+use crate::signatures::textual::TextualSignature;
+use crate::{ObjectId, ObjectStore, Query, SearchStats};
+use parking_lot::Mutex;
+use seal_index::HybridIndex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The hierarchical hybrid filter: per-token HSS-selected grids, keys
+/// are exact `(token, tree-cell)` pairs, postings carry dual bounds.
+pub struct HierarchicalFilter {
+    store: Arc<ObjectStore>,
+    cfg: crate::SimilarityConfig,
+    scheme: HierarchicalScheme,
+    index: HybridIndex<u128>,
+    empty_token_objects: Vec<ObjectId>,
+    scratch: Mutex<DedupScratch>,
+}
+
+impl HierarchicalFilter {
+    /// Builds the `HierarchicalInv` index.
+    ///
+    /// * `max_level` — grid-tree depth available to `HSS-Greedy`.
+    /// * `budget` — `m_t`, maximum selected grids per token.
+    pub fn build(store: Arc<ObjectStore>, max_level: u8, budget: usize) -> Self {
+        Self::build_with_config(store, max_level, budget, crate::SimilarityConfig::default())
+    }
+
+    /// Builds with an explicit similarity configuration.
+    pub fn build_with_config(
+        store: Arc<ObjectStore>,
+        max_level: u8,
+        budget: usize,
+        cfg: crate::SimilarityConfig,
+    ) -> Self {
+        let scheme = HierarchicalScheme::build(&store, max_level, budget);
+        let mut index: HybridIndex<u128> = HybridIndex::new();
+        let mut empty = Vec::new();
+        for (id, o) in store.iter() {
+            if o.tokens.is_empty() {
+                empty.push(id);
+                continue;
+            }
+            let tsig = TextualSignature::build(&o.tokens, store.weights(), store.token_order());
+            for (telem, tbound) in tsig.elements_with_bounds() {
+                let grids = scheme
+                    .token_grids(telem.token)
+                    .expect("object's token must have grids");
+                let hsig = grids.signature(&o.region);
+                for (gelem, gbound) in hsig.elements_with_bounds() {
+                    let key = HierarchicalScheme::key(telem.token, gelem.cell);
+                    index.push(key, id.0, gbound, tbound);
+                }
+            }
+        }
+        index.finalize();
+        let scratch = DedupScratch::new(store.len());
+        HierarchicalFilter {
+            store,
+            cfg,
+            scheme,
+            index,
+            empty_token_objects: empty,
+            scratch,
+        }
+    }
+
+    /// The hierarchical scheme (per-token grids).
+    pub fn scheme(&self) -> &HierarchicalScheme {
+        &self.scheme
+    }
+
+    /// The underlying index (diagnostics).
+    pub fn index(&self) -> &HybridIndex<u128> {
+        &self.index
+    }
+}
+
+impl CandidateFilter for HierarchicalFilter {
+    fn name(&self) -> &'static str {
+        "Seal"
+    }
+
+    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+        let start = Instant::now();
+        let store = &self.store;
+        let cfg = self.cfg;
+        let mut out = Vec::new();
+        if q.tokens.is_empty() {
+            out.extend_from_slice(&self.empty_token_objects);
+            stats.filter_time += start.elapsed();
+            return out;
+        }
+        let c_t = crate::signatures::relax(cfg.textual_threshold(q, store.weights()));
+        let c_r = crate::signatures::relax(cfg.spatial_threshold(q));
+        let tsig = TextualSignature::build(&q.tokens, store.weights(), store.token_order());
+        let mut scratch = self.scratch.lock();
+        scratch.begin();
+        for telem in tsig.prefix(c_t) {
+            // Tokens absent from the corpus have no grids and no
+            // postings; skipping them loses nothing.
+            let Some(grids) = self.scheme.token_grids(telem.token) else {
+                continue;
+            };
+            // Example 5: generate the query's signature over *this
+            // token's* grids and prefix-prune it spatially.
+            let hsig = grids.signature(&q.region);
+            for gelem in hsig.prefix(c_r) {
+                let key = HierarchicalScheme::key(telem.token, gelem.cell);
+                stats.lists_probed += 1;
+                for p in self.index.qualifying(&key, c_r, c_t) {
+                    stats.postings_scanned += 1;
+                    if scratch.insert(p.object) {
+                        out.push(ObjectId(p.object));
+                    }
+                }
+            }
+        }
+        stats.filter_time += start.elapsed();
+        out
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.size_bytes()
+            + self.scheme.total_cells()
+                * (std::mem::size_of::<u128>() + std::mem::size_of::<f64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::figure1_store;
+    use crate::verify::{naive_search, verify};
+    use crate::SimilarityConfig;
+
+    #[test]
+    fn hierarchical_filter_is_complete() {
+        let (store, q0) = figure1_store();
+        let store = Arc::new(store);
+        let cfg = SimilarityConfig::default();
+        for budget in [1usize, 4, 8, 32] {
+            let f = HierarchicalFilter::build(store.clone(), 4, budget);
+            for (tr, tt) in [(0.1, 0.1), (0.25, 0.3), (0.6, 0.6)] {
+                let q = q0.with_thresholds(tr, tt).unwrap();
+                let mut stats = SearchStats::new();
+                let cands = f.candidates(&q, &mut stats);
+                let answers = naive_search(&store, &cfg, &q);
+                for a in &answers {
+                    assert!(
+                        cands.contains(a),
+                        "budget={budget} τ=({tr},{tt}): answer {a:?} missing"
+                    );
+                }
+                let mut vstats = SearchStats::new();
+                assert_eq!(verify(&store, &cfg, &q, &cands, &mut vstats), answers);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_budgets_do_not_expand_candidates_on_example() {
+        // Section 5.2's motivation: finer, better-placed grids tighten
+        // the weight upper bounds, so candidates shrink (or stay equal).
+        let (store, q) = figure1_store();
+        let store = Arc::new(store);
+        let coarse = HierarchicalFilter::build(store.clone(), 4, 1);
+        let fine = HierarchicalFilter::build(store.clone(), 4, 16);
+        let mut s1 = SearchStats::new();
+        let mut s2 = SearchStats::new();
+        let c1 = coarse.candidates(&q, &mut s1).len();
+        let c2 = fine.candidates(&q, &mut s2).len();
+        assert!(c2 <= c1, "budget 16 gave {c2} > budget 1's {c1}");
+    }
+
+    #[test]
+    fn name_and_sizes() {
+        let (store, _q) = figure1_store();
+        let f = HierarchicalFilter::build(Arc::new(store), 3, 8);
+        assert_eq!(f.name(), "Seal");
+        assert!(f.index_bytes() > 0);
+        assert!(f.scheme().total_cells() > 0);
+        assert!(f.index().posting_count() > 0);
+    }
+}

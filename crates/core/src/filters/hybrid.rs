@@ -1,0 +1,210 @@
+//! `Hybrid-Sig-Filter+` with hash-based hybrid signatures (Section 5.1,
+//! Figure 8 — the paper's **HybridFilter**).
+
+use crate::filters::{CandidateFilter, DedupScratch};
+use crate::signatures::grid::GridScheme;
+use crate::signatures::hash_hybrid::BucketScheme;
+use crate::signatures::textual::TextualSignature;
+use crate::{ObjectId, ObjectStore, Query, SearchStats};
+use parking_lot::Mutex;
+use seal_index::HybridIndex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The hash-based hybrid filter: elements are `(token, cell)` pairs
+/// hashed into buckets, postings carry *both* spatial and textual
+/// bounds, and only `Sp_T(q) × Sp_R(q)` pairs are probed.
+pub struct HybridFilter {
+    store: Arc<ObjectStore>,
+    cfg: crate::SimilarityConfig,
+    grid: GridScheme,
+    buckets: BucketScheme,
+    index: HybridIndex<u64>,
+    empty_token_objects: Vec<ObjectId>,
+    scratch: Mutex<DedupScratch>,
+}
+
+impl HybridFilter {
+    /// Builds the `HashInv` index.
+    ///
+    /// * `side` — grid granularity (cells per side).
+    /// * `buckets` — [`BucketScheme::Full`] or a bucket count (the
+    ///   paper's index-size constraint).
+    pub fn build(store: Arc<ObjectStore>, side: u32, buckets: BucketScheme) -> Self {
+        Self::build_with_config(store, side, buckets, crate::SimilarityConfig::default())
+    }
+
+    /// Builds with an explicit similarity configuration.
+    pub fn build_with_config(
+        store: Arc<ObjectStore>,
+        side: u32,
+        buckets: BucketScheme,
+        cfg: crate::SimilarityConfig,
+    ) -> Self {
+        let grid = GridScheme::build(&store, side);
+        let mut index: HybridIndex<u64> = HybridIndex::new();
+        let mut empty = Vec::new();
+        for (id, o) in store.iter() {
+            if o.tokens.is_empty() {
+                empty.push(id);
+                continue;
+            }
+            let tsig = TextualSignature::build(&o.tokens, store.weights(), store.token_order());
+            let gsig = grid.signature(&o.region);
+            // Definition 5: SH(o) = ST(o) × SR(o) hashed into buckets.
+            for (telem, tbound) in tsig.elements_with_bounds() {
+                for (gelem, gbound) in gsig.elements_with_bounds() {
+                    let key = buckets.key(telem.token, gelem.cell);
+                    index.push(key, id.0, gbound, tbound);
+                }
+            }
+        }
+        index.finalize();
+        let scratch = DedupScratch::new(store.len());
+        HybridFilter {
+            store,
+            cfg,
+            grid,
+            buckets,
+            index,
+            empty_token_objects: empty,
+            scratch,
+        }
+    }
+
+    /// The grid scheme in use.
+    pub fn grid(&self) -> &GridScheme {
+        &self.grid
+    }
+
+    /// The bucket scheme in use.
+    pub fn buckets(&self) -> BucketScheme {
+        self.buckets
+    }
+
+    /// The underlying index (diagnostics).
+    pub fn index(&self) -> &HybridIndex<u64> {
+        &self.index
+    }
+}
+
+impl CandidateFilter for HybridFilter {
+    fn name(&self) -> &'static str {
+        "HybridFilter"
+    }
+
+    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+        let start = Instant::now();
+        let store = &self.store;
+        let cfg = self.cfg;
+        let mut out = Vec::new();
+        if q.tokens.is_empty() {
+            out.extend_from_slice(&self.empty_token_objects);
+            stats.filter_time += start.elapsed();
+            return out;
+        }
+        let c_t = crate::signatures::relax(cfg.textual_threshold(q, store.weights()));
+        let c_r = crate::signatures::relax(cfg.spatial_threshold(q));
+        let tsig = TextualSignature::build(&q.tokens, store.weights(), store.token_order());
+        let gsig = self.grid.signature(&q.region);
+        let tprefix = tsig.prefix(c_t);
+        let gprefix = gsig.prefix(c_r);
+        let mut scratch = self.scratch.lock();
+        scratch.begin();
+        for telem in tprefix {
+            for gelem in gprefix {
+                let key = self.buckets.key(telem.token, gelem.cell);
+                stats.lists_probed += 1;
+                for p in self.index.qualifying(&key, c_r, c_t) {
+                    stats.postings_scanned += 1;
+                    if scratch.insert(p.object) {
+                        out.push(ObjectId(p.object));
+                    }
+                }
+            }
+        }
+        stats.filter_time += start.elapsed();
+        out
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.size_bytes() + self.grid.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::figure1_store;
+    use crate::verify::{naive_search, verify};
+    use crate::SimilarityConfig;
+
+    #[test]
+    fn hybrid_filter_is_complete() {
+        let (store, q0) = figure1_store();
+        let store = Arc::new(store);
+        let cfg = SimilarityConfig::default();
+        for buckets in [BucketScheme::Full, BucketScheme::Buckets(64), BucketScheme::Buckets(7)] {
+            let f = HybridFilter::build(store.clone(), 8, buckets);
+            for (tr, tt) in [(0.1, 0.1), (0.25, 0.3), (0.5, 0.5), (0.9, 0.9)] {
+                let q = q0.with_thresholds(tr, tt).unwrap();
+                let mut stats = SearchStats::new();
+                let cands = f.candidates(&q, &mut stats);
+                let answers = naive_search(&store, &cfg, &q);
+                for a in &answers {
+                    assert!(
+                        cands.contains(a),
+                        "{buckets:?} τ=({tr},{tt}): answer {a:?} missing"
+                    );
+                }
+                let mut vstats = SearchStats::new();
+                assert_eq!(verify(&store, &cfg, &q, &cands, &mut vstats), answers);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_prunes_at_least_as_well_as_grid_on_example() {
+        // Section 5.1: hybrid = both prunings at once, so its candidate
+        // set is contained in the grid filter's for the same granularity
+        // (with full hashing, no bucket collisions).
+        use crate::filters::GridFilter;
+        let (store, q) = figure1_store();
+        let store = Arc::new(store);
+        let hybrid = HybridFilter::build(store.clone(), 8, BucketScheme::Full);
+        let grid = GridFilter::build(store.clone(), 8);
+        let mut s1 = SearchStats::new();
+        let mut s2 = SearchStats::new();
+        let ch: std::collections::BTreeSet<ObjectId> =
+            hybrid.candidates(&q, &mut s1).into_iter().collect();
+        let cg: std::collections::BTreeSet<ObjectId> =
+            grid.candidates(&q, &mut s2).into_iter().collect();
+        assert!(ch.is_subset(&cg), "hybrid {ch:?} ⊄ grid {cg:?}");
+    }
+
+    #[test]
+    fn fewer_buckets_never_lose_answers() {
+        let (store, q) = figure1_store();
+        let store = Arc::new(store);
+        let cfg = SimilarityConfig::default();
+        let answers = naive_search(&store, &cfg, &q);
+        // Even a pathological 2-bucket hash stays a superset.
+        let f = HybridFilter::build(store.clone(), 8, BucketScheme::Buckets(2));
+        let mut stats = SearchStats::new();
+        let cands = f.candidates(&q, &mut stats);
+        for a in &answers {
+            assert!(cands.contains(a));
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let (store, _q) = figure1_store();
+        let f = HybridFilter::build(Arc::new(store), 4, BucketScheme::Buckets(32));
+        assert_eq!(f.name(), "HybridFilter");
+        assert_eq!(f.buckets(), BucketScheme::Buckets(32));
+        assert_eq!(f.grid().side(), 4);
+        assert!(f.index_bytes() > 0);
+        assert!(f.index().posting_count() > 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Candidate filters — the "filter" half of filter-and-verification.
+//!
+//! Every filter implements [`CandidateFilter`]: given a query, produce a
+//! candidate id set that is guaranteed to be a **superset** of the
+//! answer set (the signature property of Section 3.1). The engine then
+//! verifies candidates with `Sig-Verify`.
+//!
+//! | filter | paper name | index |
+//! |--------|------------|-------|
+//! | [`TokenFilter`] | `Sig-Filter+` on textual signatures ("TokenFilter", §6.2) | `TokenInv` |
+//! | [`TokenFilterBasic`] | `Sig-Filter` (no prefix/bounds) — ablation | weighted `TokenInv` |
+//! | [`GridFilter`] | `Sig-Filter+` on grid signatures ("GridFilter") | `GridInv` |
+//! | [`HybridFilter`] | `Hybrid-Sig-Filter+` (§5.1, "HybridFilter") | `HashInv` |
+//! | [`HierarchicalFilter`] | `Hybrid-Sig-Filter+` on HSS signatures (§5.2, "Seal") | `HierarchicalInv` |
+//! | [`AdaptiveFilter`] | cost-routed Token/Grid (Fig 12's conclusion) | `TokenInv` + `GridInv` |
+//! | [`NaiveFilter`] | no filtering (every object is a candidate) | — |
+
+mod adaptive;
+mod grid;
+mod hierarchical;
+mod hybrid;
+mod naive;
+mod token;
+
+pub use adaptive::{AdaptiveFilter, Route};
+pub use grid::GridFilter;
+pub use hierarchical::HierarchicalFilter;
+pub use hybrid::HybridFilter;
+pub use naive::NaiveFilter;
+pub use token::{TokenFilter, TokenFilterBasic};
+
+use crate::{ObjectId, Query, SearchStats};
+use parking_lot::Mutex;
+
+/// The filter interface: produce a candidate superset of the answers.
+pub trait CandidateFilter: Send + Sync {
+    /// Short display name (matches the paper's method names).
+    fn name(&self) -> &'static str;
+
+    /// Generates candidates for a query, updating `stats` with probe
+    /// counters and filter time.
+    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId>;
+
+    /// Approximate heap bytes of the filter's index structures
+    /// (Table 1's index-size rows).
+    fn index_bytes(&self) -> usize;
+}
+
+/// Epoch-stamped deduplication scratch shared by all filters: merging
+/// qualifying postings into a candidate set without allocating a hash
+/// set per query.
+#[derive(Debug)]
+pub(crate) struct DedupScratch {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl DedupScratch {
+    pub(crate) fn new(n_objects: usize) -> Mutex<Self> {
+        Mutex::new(DedupScratch {
+            stamps: vec![0; n_objects],
+            epoch: 0,
+        })
+    }
+
+    /// Starts a new deduplication round.
+    pub(crate) fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Returns true the first time an object is seen this round.
+    #[inline]
+    pub(crate) fn insert(&mut self, object: u32) -> bool {
+        let slot = &mut self.stamps[object as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_scratch_rounds() {
+        let scratch = DedupScratch::new(4);
+        let mut s = scratch.lock();
+        s.begin();
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(3));
+        s.begin();
+        assert!(s.insert(0), "new round forgets the old stamps");
+    }
+
+    #[test]
+    fn dedup_epoch_wrap() {
+        let scratch = DedupScratch::new(2);
+        let mut s = scratch.lock();
+        s.epoch = u32::MAX - 1;
+        s.begin();
+        assert!(s.insert(1));
+        s.begin(); // wraps
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+    }
+}

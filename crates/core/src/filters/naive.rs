@@ -1,0 +1,53 @@
+//! The no-op filter: every object is a candidate. Exists so the engine
+//! can run pure `Sig-Verify` as a baseline and so tests can price
+//! filtering against not filtering.
+
+use crate::filters::CandidateFilter;
+use crate::{ObjectId, ObjectStore, Query, SearchStats};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Trivial filter returning all object ids.
+pub struct NaiveFilter {
+    store: Arc<ObjectStore>,
+}
+
+impl NaiveFilter {
+    /// Wraps a store.
+    pub fn new(store: Arc<ObjectStore>) -> Self {
+        NaiveFilter { store }
+    }
+}
+
+impl CandidateFilter for NaiveFilter {
+    fn name(&self) -> &'static str {
+        "NaiveScan"
+    }
+
+    fn candidates(&self, _q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+        let start = Instant::now();
+        let out: Vec<ObjectId> = self.store.iter().map(|(id, _)| id).collect();
+        stats.filter_time += start.elapsed();
+        out
+    }
+
+    fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::figure1_store;
+
+    #[test]
+    fn returns_everything() {
+        let (store, q) = figure1_store();
+        let f = NaiveFilter::new(Arc::new(store));
+        let mut stats = SearchStats::new();
+        assert_eq!(f.candidates(&q, &mut stats).len(), 7);
+        assert_eq!(f.index_bytes(), 0);
+        assert_eq!(f.name(), "NaiveScan");
+    }
+}

@@ -1,0 +1,336 @@
+//! Textual filtering: `Sig-Filter+` on token signatures (the paper's
+//! **TokenFilter**) and the basic `Sig-Filter` ablation.
+
+use crate::filters::{CandidateFilter, DedupScratch};
+use crate::signatures::textual::TextualSignature;
+use crate::{ObjectId, ObjectStore, Query, SearchStats};
+use parking_lot::Mutex;
+use seal_index::InvertedIndex;
+use seal_text::TokenWeights;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// `Sig-Filter+` with textual signatures: token inverted lists with
+/// Lemma 3 threshold bounds, probed only for the query's Lemma 2
+/// prefix.
+pub struct TokenFilter {
+    store: Arc<ObjectStore>,
+    cfg: crate::SimilarityConfig,
+    index: InvertedIndex<u32>,
+    /// Objects with empty token sets: they can only match queries whose
+    /// token sets are also empty (simT = 1 by convention), and inverted
+    /// lists never enumerate them.
+    empty_token_objects: Vec<ObjectId>,
+    scratch: Mutex<DedupScratch>,
+}
+
+impl TokenFilter {
+    /// Builds the `TokenInv` index over a store (default similarity
+    /// configuration).
+    pub fn build(store: Arc<ObjectStore>) -> Self {
+        Self::build_with_config(store, crate::SimilarityConfig::default())
+    }
+
+    /// Builds with an explicit similarity configuration: the signature
+    /// thresholds `c_T` are derived from the configured textual
+    /// function, which keeps the filter a safe superset for Dice /
+    /// Cosine deployments too.
+    pub fn build_with_config(store: Arc<ObjectStore>, cfg: crate::SimilarityConfig) -> Self {
+        let mut index: InvertedIndex<u32> = InvertedIndex::new();
+        let mut empty = Vec::new();
+        for (id, o) in store.iter() {
+            if o.tokens.is_empty() {
+                empty.push(id);
+                continue;
+            }
+            let sig = TextualSignature::build(&o.tokens, store.weights(), store.token_order());
+            for (elem, bound) in sig.elements_with_bounds() {
+                index.push(elem.token.0, id.0, bound);
+            }
+        }
+        index.finalize();
+        let scratch = DedupScratch::new(store.len());
+        TokenFilter {
+            store,
+            cfg,
+            index,
+            empty_token_objects: empty,
+            scratch,
+        }
+    }
+
+    /// The underlying inverted index (diagnostics).
+    pub fn index(&self) -> &InvertedIndex<u32> {
+        &self.index
+    }
+}
+
+impl CandidateFilter for TokenFilter {
+    fn name(&self) -> &'static str {
+        "TokenFilter"
+    }
+
+    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+        let start = Instant::now();
+        let store = &self.store;
+        let cfg = self.cfg;
+        let mut out = Vec::new();
+        if q.tokens.is_empty() {
+            // Only empty-token objects can reach simT ≥ τT > 0.
+            out.extend_from_slice(&self.empty_token_objects);
+            stats.filter_time += start.elapsed();
+            return out;
+        }
+        let sig = TextualSignature::build(&q.tokens, store.weights(), store.token_order());
+        let c_t = crate::signatures::relax(cfg.textual_threshold(q, store.weights()));
+        let mut scratch = self.scratch.lock();
+        scratch.begin();
+        for elem in sig.prefix(c_t) {
+            stats.lists_probed += 1;
+            let postings = self.index.qualifying(&elem.token.0, c_t);
+            stats.postings_scanned += postings.len();
+            for p in postings {
+                if scratch.insert(p.object) {
+                    out.push(ObjectId(p.object));
+                }
+            }
+        }
+        stats.filter_time += start.elapsed();
+        out
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.size_bytes()
+    }
+}
+
+/// The basic `Sig-Filter` (Figure 3) on textual signatures: no prefix,
+/// no threshold bounds — every query token's full list is scanned and
+/// the signature similarity `Σ_{t∈q∩o} w(t)` is accumulated exactly.
+///
+/// Kept as an ablation baseline to quantify what Section 4.2's
+/// threshold-aware pruning buys.
+pub struct TokenFilterBasic {
+    store: Arc<ObjectStore>,
+    cfg: crate::SimilarityConfig,
+    index: InvertedIndex<u32>,
+    empty_token_objects: Vec<ObjectId>,
+    /// Accumulator scratch, epoch-stamped like the dedup scratch.
+    acc: Mutex<AccScratch>,
+}
+
+#[derive(Debug)]
+struct AccScratch {
+    sums: Vec<f64>,
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl TokenFilterBasic {
+    /// Builds the plain (bound-free) token index.
+    pub fn build(store: Arc<ObjectStore>) -> Self {
+        Self::build_with_config(store, crate::SimilarityConfig::default())
+    }
+
+    /// Builds with an explicit similarity configuration.
+    pub fn build_with_config(store: Arc<ObjectStore>, cfg: crate::SimilarityConfig) -> Self {
+        let mut index: InvertedIndex<u32> = InvertedIndex::new();
+        let mut empty = Vec::new();
+        for (id, o) in store.iter() {
+            if o.tokens.is_empty() {
+                empty.push(id);
+                continue;
+            }
+            for t in o.tokens.iter() {
+                // The "bound" slot stores the token weight so the filter
+                // can accumulate sim(S(q), S(o)) without a second lookup.
+                index.push(t.0, id.0, store.weights().weight(t));
+            }
+        }
+        index.finalize();
+        let n = store.len();
+        TokenFilterBasic {
+            store,
+            cfg,
+            index,
+            empty_token_objects: empty,
+            acc: Mutex::new(AccScratch {
+                sums: vec![0.0; n],
+                stamps: vec![0; n],
+                epoch: 0,
+            }),
+        }
+    }
+}
+
+impl CandidateFilter for TokenFilterBasic {
+    fn name(&self) -> &'static str {
+        "TokenFilterBasic"
+    }
+
+    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+        let start = Instant::now();
+        let mut out = Vec::new();
+        if q.tokens.is_empty() {
+            out.extend_from_slice(&self.empty_token_objects);
+            stats.filter_time += start.elapsed();
+            return out;
+        }
+        let cfg = self.cfg;
+        let c_t = crate::signatures::relax(cfg.textual_threshold(q, self.store.weights()));
+        let mut acc = self.acc.lock();
+        if acc.epoch == u32::MAX {
+            acc.stamps.fill(0);
+            acc.epoch = 0;
+        }
+        acc.epoch += 1;
+        let epoch = acc.epoch;
+        let mut touched: Vec<u32> = Vec::new();
+        for t in q.tokens.iter() {
+            stats.lists_probed += 1;
+            if let Some(list) = self.index.list(&t.0) {
+                stats.postings_scanned += list.len();
+                for p in list.postings() {
+                    let i = p.object as usize;
+                    if acc.stamps[i] != epoch {
+                        acc.stamps[i] = epoch;
+                        acc.sums[i] = 0.0;
+                        touched.push(p.object);
+                    }
+                    acc.sums[i] += p.bound; // bound slot = w(t)
+                }
+            }
+        }
+        for o in touched {
+            if acc.sums[o as usize] >= c_t {
+                out.push(ObjectId(o));
+            }
+        }
+        stats.filter_time += start.elapsed();
+        out
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::figure1_store;
+    use crate::verify::{naive_search, verify};
+    use crate::SimilarityConfig;
+
+    fn ids(v: &[u32]) -> Vec<ObjectId> {
+        v.iter().map(|&i| ObjectId(i)).collect()
+    }
+
+    #[test]
+    fn figure4_candidates() {
+        // Figure 4: textual filtering with cT = 0.57 produces candidates
+        // {o1..o5} (o6, o7 share no prefix token with q).
+        let (store, q) = figure1_store();
+        let f = TokenFilter::build(Arc::new(store));
+        let mut stats = SearchStats::new();
+        let mut got = f.candidates(&q, &mut stats);
+        got.sort_unstable();
+        assert_eq!(got, ids(&[0, 1, 2, 3, 4]));
+        assert!(stats.lists_probed <= 3, "prefix probes at most the 3 query tokens");
+    }
+
+    #[test]
+    fn candidates_are_supersets_across_thresholds() {
+        let (store, q0) = figure1_store();
+        let store = Arc::new(store);
+        let cfg = SimilarityConfig::default();
+        let f = TokenFilter::build(store.clone());
+        for tau_t in [0.1, 0.3, 0.5, 0.8, 1.0] {
+            let q = q0.with_thresholds(0.25, tau_t).unwrap();
+            let mut stats = SearchStats::new();
+            let cands = f.candidates(&q, &mut stats);
+            let answers = naive_search(&store, &cfg, &q);
+            for a in &answers {
+                assert!(cands.contains(a), "τT={tau_t}: answer {a:?} missing");
+            }
+            let mut vstats = SearchStats::new();
+            let verified = verify(&store, &cfg, &q, &cands, &mut vstats);
+            assert_eq!(verified, answers);
+        }
+    }
+
+    #[test]
+    fn basic_filter_agrees_with_plus_on_answers() {
+        let (store, q) = figure1_store();
+        let store = Arc::new(store);
+        let cfg = SimilarityConfig::default();
+        let plus = TokenFilter::build(store.clone());
+        let basic = TokenFilterBasic::build(store.clone());
+        let mut s1 = SearchStats::new();
+        let mut s2 = SearchStats::new();
+        let c_plus = plus.candidates(&q, &mut s1);
+        let c_basic = basic.candidates(&q, &mut s2);
+        let mut v1 = SearchStats::new();
+        let mut v2 = SearchStats::new();
+        assert_eq!(
+            verify(&store, &cfg, &q, &c_plus, &mut v1),
+            verify(&store, &cfg, &q, &c_basic, &mut v2),
+        );
+        // The basic filter scans full lists; the + filter cannot scan more.
+        assert!(s1.postings_scanned <= s2.postings_scanned);
+    }
+
+    #[test]
+    fn basic_filter_is_tighter_or_equal() {
+        // Accumulating the exact signature similarity prunes at least as
+        // well as prefix-membership.
+        let (store, q) = figure1_store();
+        let store = Arc::new(store);
+        let basic = TokenFilterBasic::build(store);
+        let mut stats = SearchStats::new();
+        let mut got = basic.candidates(&q, &mut stats);
+        got.sort_unstable();
+        // sim values from Figure 4: o1 1.1, o2 1.9, o3 0.8, o4 1.1,
+        // o5 1.1 — all ≥ 0.57, so the candidate set matches Figure 4.
+        assert_eq!(got, ids(&[0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn empty_query_tokens_match_empty_objects() {
+        use seal_geom::Rect;
+        use seal_text::TokenSet;
+        let objects = vec![
+            crate::RoiObject::new(
+                Rect::new(0.0, 0.0, 10.0, 10.0).unwrap(),
+                TokenSet::empty(),
+            ),
+            crate::RoiObject::new(
+                Rect::new(0.0, 0.0, 10.0, 10.0).unwrap(),
+                TokenSet::from_ids([seal_text::TokenId(0)]),
+            ),
+        ];
+        let store = Arc::new(ObjectStore::from_objects(objects, 1));
+        let f = TokenFilter::build(store.clone());
+        let q = Query::new(
+            Rect::new(0.0, 0.0, 10.0, 10.0).unwrap(),
+            TokenSet::empty(),
+            0.5,
+            0.5,
+        )
+        .unwrap();
+        let mut stats = SearchStats::new();
+        let cands = f.candidates(&q, &mut stats);
+        assert_eq!(cands, vec![ObjectId(0)]);
+        // And the oracle agrees that the empty-token object is the answer.
+        let cfg = SimilarityConfig::default();
+        assert_eq!(naive_search(&store, &cfg, &q), vec![ObjectId(0)]);
+    }
+
+    #[test]
+    fn index_bytes_nonzero() {
+        let (store, _q) = figure1_store();
+        let f = TokenFilter::build(Arc::new(store));
+        assert!(f.index_bytes() > 0);
+        assert_eq!(f.name(), "TokenFilter");
+    }
+}

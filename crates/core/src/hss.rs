@@ -1,0 +1,275 @@
+//! `HSS-Greedy` — hierarchical hybrid signature selection (Section 5.2,
+//! Figure 11).
+//!
+//! For one token `t`, the algorithm picks at most `m_t` grid-tree cells
+//! that tile the data space, greedily splitting the cell with the
+//! largest *error* (Definition 6):
+//!
+//! ```text
+//! Error(n) = Σ_{children c} (Î(n) − Î(c))²
+//! Î(g) = Σ_{o ∈ I(g)} |g ∩ o.R| / |g|
+//! ```
+//!
+//! `Î(g)` is the *expected* inverted-list length of cell `g` under the
+//! uniform-query assumption, so a cell has high error when its children
+//! would summarize the objects much more precisely than it does. The
+//! exact optimization (the HSS problem, Definition 7) is NP-hard by
+//! reduction from rectangular partitioning; the greedy walk is the
+//! paper's Algorithm 2.
+
+use seal_geom::{GridCellId, GridTree, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A cell selected for one token, with the objects (indices into the
+/// caller's region list) whose regions intersect it.
+#[derive(Debug, Clone)]
+pub struct SelectedCell {
+    /// The tree cell.
+    pub id: GridCellId,
+    /// The cell's rectangle.
+    pub rect: Rect,
+    /// Indices (into the input `regions`) of intersecting objects —
+    /// the `count(g)` statistic is `objects.len()`.
+    pub objects: Vec<u32>,
+}
+
+/// Priority-queue entry ordered by error (max-heap), with a
+/// deterministic tie-break on the packed cell id.
+struct QueueEntry {
+    error: f64,
+    cell: GridCellId,
+    rect: Rect,
+    /// Indices of regions intersecting this cell.
+    subset: Vec<u32>,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.error
+            .partial_cmp(&other.error)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.cell.pack().cmp(&self.cell.pack()))
+    }
+}
+
+/// Expected inverted-list length `Î(g)` over the given region subset.
+fn expected_len(rect: &Rect, regions: &[Rect], subset: &[u32]) -> f64 {
+    let cell_area = rect.area();
+    if cell_area <= 0.0 {
+        return 0.0;
+    }
+    subset
+        .iter()
+        .map(|&i| rect.intersection_area(&regions[i as usize]) / cell_area)
+        .sum()
+}
+
+/// Runs `HSS-Greedy` for one token.
+///
+/// * `regions` — the regions of the objects containing the token
+///   (`I(t)`).
+/// * `tree` — the grid tree over the data space.
+/// * `budget` — `m_t`, the maximum number of selected cells (≥ 1).
+///
+/// Returns the selected cells; their rectangles exactly tile the data
+/// space (a cut of the quad tree), which the hierarchical filter's
+/// completeness proof relies on.
+pub fn hss_greedy(regions: &[Rect], tree: &GridTree, budget: usize) -> Vec<SelectedCell> {
+    let budget = budget.max(1);
+    let root_rect = tree.space();
+    let all: Vec<u32> = (0..regions.len() as u32).collect();
+
+    let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
+    let root_len = expected_len(&root_rect, regions, &all);
+    let root_error = node_error(tree, GridCellId::ROOT, root_len, regions, &all);
+    queue.push(QueueEntry {
+        error: root_error,
+        cell: GridCellId::ROOT,
+        rect: root_rect,
+        subset: all,
+    });
+
+    let mut selected: Vec<SelectedCell> = Vec::new();
+    while let Some(entry) = queue.pop() {
+        let at_max_level = entry.cell.level() >= tree.max_level();
+        // Figure 11 line 10: splitting replaces 1 queued node by 4, so
+        // the post-split cell count is |Gt| + |Q| + |children| − 1.
+        let over_budget = selected.len() + queue.len() + 1 + 4 - 1 > budget;
+        if at_max_level || over_budget {
+            selected.push(SelectedCell {
+                id: entry.cell,
+                rect: entry.rect,
+                objects: entry.subset,
+            });
+            continue;
+        }
+        let children = entry.cell.children().expect("level < max_level");
+        for child in children {
+            let rect = tree.cell_rect(child).expect("child within tree");
+            let subset: Vec<u32> = entry
+                .subset
+                .iter()
+                .copied()
+                .filter(|&i| rect.intersects(&regions[i as usize]))
+                .collect();
+            let len = expected_len(&rect, regions, &subset);
+            let error = node_error(tree, child, len, regions, &subset);
+            queue.push(QueueEntry {
+                error,
+                cell: child,
+                rect,
+                subset,
+            });
+        }
+    }
+    selected
+}
+
+/// `Error(n) = Σ_children (Î(n) − Î(child))²` — approximated from the
+/// node's immediate children as in Figure 11's description.
+fn node_error(
+    tree: &GridTree,
+    cell: GridCellId,
+    own_len: f64,
+    regions: &[Rect],
+    subset: &[u32],
+) -> f64 {
+    let Some(children) = cell.children() else {
+        return 0.0;
+    };
+    if cell.level() >= tree.max_level() {
+        return 0.0;
+    }
+    children
+        .iter()
+        .map(|&c| {
+            let r = tree.cell_rect(c).expect("child within tree");
+            let child_subset: Vec<u32> = subset
+                .iter()
+                .copied()
+                .filter(|&i| r.intersects(&regions[i as usize]))
+                .collect();
+            let l = expected_len(&r, regions, &child_subset);
+            (own_len - l) * (own_len - l)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> GridTree {
+        GridTree::new(Rect::new(0.0, 0.0, 128.0, 128.0).unwrap(), 5).unwrap()
+    }
+
+    fn tiles_space(cells: &[SelectedCell], space: &Rect) -> bool {
+        let total: f64 = cells.iter().map(|c| c.rect.area()).sum();
+        if (total - space.area()).abs() > 1e-6 {
+            return false;
+        }
+        for (i, a) in cells.iter().enumerate() {
+            for b in &cells[i + 1..] {
+                if a.rect.intersection_area(&b.rect) > 1e-9 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn budget_one_returns_root() {
+        let regions = vec![Rect::new(0.0, 0.0, 10.0, 10.0).unwrap()];
+        let cells = hss_greedy(&regions, &tree(), 1);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].id, GridCellId::ROOT);
+        assert_eq!(cells[0].objects, vec![0]);
+    }
+
+    #[test]
+    fn selection_respects_budget_and_tiles() {
+        let regions: Vec<Rect> = (0..20)
+            .map(|i| {
+                let x = f64::from(i % 5) * 25.0;
+                let y = f64::from(i / 5) * 30.0;
+                Rect::new(x, y, x + 20.0, y + 25.0).unwrap()
+            })
+            .collect();
+        for budget in [1usize, 4, 8, 16, 32] {
+            let cells = hss_greedy(&regions, &tree(), budget);
+            assert!(cells.len() <= budget, "budget {budget}: got {}", cells.len());
+            assert!(tiles_space(&cells, &tree().space()), "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn clustered_regions_attract_fine_cells() {
+        // All regions inside the bottom-left level-1 quadrant: the
+        // greedy should refine there, leaving the rest coarse.
+        let regions: Vec<Rect> = (0..16)
+            .map(|i| {
+                let x = f64::from(i % 4) * 14.0;
+                let y = f64::from(i / 4) * 14.0;
+                Rect::new(x, y, x + 10.0, y + 10.0).unwrap()
+            })
+            .collect();
+        let cells = hss_greedy(&regions, &tree(), 16);
+        assert!(tiles_space(&cells, &tree().space()));
+        // The deepest selected cell must lie in the bottom-left
+        // quadrant (x,y < 64).
+        let deepest = cells.iter().max_by_key(|c| c.id.level()).unwrap();
+        assert!(deepest.id.level() >= 2, "no refinement happened");
+        assert!(deepest.rect.min().x < 64.0 && deepest.rect.min().y < 64.0);
+        // Cells far from the data keep few objects.
+        for c in &cells {
+            if c.rect.min().x >= 64.0 && c.rect.min().y >= 64.0 {
+                assert!(c.objects.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_token_is_fine() {
+        let cells = hss_greedy(&[], &tree(), 8);
+        assert!(!cells.is_empty());
+        assert!(tiles_space(&cells, &tree().space()));
+        assert!(cells.iter().all(|c| c.objects.is_empty()));
+    }
+
+    #[test]
+    fn subsets_are_exact() {
+        let regions = vec![
+            Rect::new(0.0, 0.0, 10.0, 10.0).unwrap(),
+            Rect::new(100.0, 100.0, 120.0, 120.0).unwrap(),
+        ];
+        let cells = hss_greedy(&regions, &tree(), 16);
+        for c in &cells {
+            for i in 0..regions.len() as u32 {
+                let expect = c.rect.intersects(&regions[i as usize]);
+                assert_eq!(c.objects.contains(&i), expect, "cell {:?}", c.id);
+            }
+        }
+    }
+
+    #[test]
+    fn max_level_caps_depth() {
+        let shallow = GridTree::new(Rect::new(0.0, 0.0, 64.0, 64.0).unwrap(), 2).unwrap();
+        let regions = vec![Rect::new(0.0, 0.0, 1.0, 1.0).unwrap()];
+        let cells = hss_greedy(&regions, &shallow, 1024);
+        assert!(cells.iter().all(|c| c.id.level() <= 2));
+        assert!(tiles_space(&cells, &shallow.space()));
+    }
+}

@@ -1,0 +1,326 @@
+//! Hierarchical hybrid signatures (Section 5.2).
+//!
+//! For every token `t`, `HSS-Greedy` selects at most `m_t` grid-tree
+//! cells `G_t` that tile the data space, adapting the cell sizes to the
+//! regions of the objects containing `t` (Figure 10). The hybrid
+//! signature of an object `o` for token `t` is then the cells of `G_t`
+//! intersecting `o.R`, with weights `|g ∩ o.R|`.
+//!
+//! Per-token cells are sorted by the paper's order: ascending tree
+//! level, then ascending intersect-count, then packed id.
+
+use crate::hss::{hss_greedy, SelectedCell};
+use crate::signatures::{prefix_len, suffix_sums};
+use crate::ObjectStore;
+use seal_geom::{GridCellId, GridTree, Rect};
+use seal_text::TokenId;
+use std::collections::{HashMap, HashSet};
+
+/// One token's selected hierarchical grids with their global order.
+#[derive(Debug, Clone)]
+pub struct TokenGrids {
+    /// Cells in the token's global order.
+    cells: Vec<SelectedCell>,
+    /// Packed id → position in `cells` (for signature ordering).
+    rank: HashMap<u64, usize>,
+    /// Packed ids of strict ancestors of selected cells, so signature
+    /// generation can descend the quad tree and visit only branches
+    /// intersecting the region — `O(hits · depth)` instead of scanning
+    /// every selected cell (matters for small query regions against
+    /// large per-token budgets).
+    ancestors: HashSet<u64>,
+    /// The data space (root cell rectangle).
+    space: Rect,
+}
+
+impl TokenGrids {
+    fn new(cells: Vec<SelectedCell>, space: Rect) -> Self {
+        let mut rank = HashMap::with_capacity(cells.len());
+        let mut ancestors = HashSet::new();
+        for (i, c) in cells.iter().enumerate() {
+            rank.insert(c.id.pack(), i);
+            let mut cur = c.id;
+            while let Some(p) = cur.parent() {
+                // Ancestor chains overlap heavily; stop at first seen.
+                if !ancestors.insert(p.pack()) {
+                    break;
+                }
+                cur = p;
+            }
+        }
+        TokenGrids {
+            cells,
+            rank,
+            ancestors,
+            space,
+        }
+    }
+
+    /// The ordered cells.
+    #[inline]
+    pub fn cells(&self) -> &[SelectedCell] {
+        &self.cells
+    }
+
+    /// The spatial signature of a region over this token's grids:
+    /// intersecting cells with weights `|g ∩ R|`, in the token's global
+    /// order, plus the suffix bounds. Found by quad-tree descent from
+    /// the root, pruning branches disjoint from the region.
+    pub fn signature(&self, region: &Rect) -> HierSignature {
+        let mut hits: Vec<(usize, GridCellId, Rect)> = Vec::new();
+        let mut stack: Vec<(GridCellId, Rect)> = vec![(GridCellId::ROOT, self.space)];
+        while let Some((id, rect)) = stack.pop() {
+            if !rect.intersects(region) {
+                continue;
+            }
+            let packed = id.pack();
+            if let Some(&pos) = self.rank.get(&packed) {
+                hits.push((pos, id, rect));
+            } else if self.ancestors.contains(&packed) {
+                if let Some(children) = id.children() {
+                    for child in children {
+                        stack.push((child, child_rect(&rect, child)));
+                    }
+                }
+            }
+            // Neither selected nor an ancestor: dead branch (cannot
+            // happen for cells inside the space, since the selected
+            // cells tile it — defensive skip).
+        }
+        hits.sort_unstable_by_key(|(pos, _, _)| *pos);
+        let elements: Vec<HierElement> = hits
+            .into_iter()
+            .map(|(_, id, rect)| HierElement {
+                cell: id,
+                weight: rect.intersection_area(region),
+            })
+            .collect();
+        let suffix = suffix_sums(&elements.iter().map(|e| e.weight).collect::<Vec<f64>>());
+        HierSignature { elements, suffix }
+    }
+}
+
+/// The rectangle of `child` given its parent's rectangle (quadrant
+/// split; exact halves, matching `GridTree::cell_rect` up to the FP
+/// identity of repeated halving).
+fn child_rect(parent: &Rect, child: GridCellId) -> Rect {
+    let midx = (parent.min().x + parent.max().x) / 2.0;
+    let midy = (parent.min().y + parent.max().y) / 2.0;
+    let left = child.ix().is_multiple_of(2);
+    let bottom = child.iy().is_multiple_of(2);
+    let (x0, x1) = if left {
+        (parent.min().x, midx)
+    } else {
+        (midx, parent.max().x)
+    };
+    let (y0, y1) = if bottom {
+        (parent.min().y, midy)
+    } else {
+        (midy, parent.max().y)
+    };
+    Rect::new(x0, y0, x1, y1).expect("quadrant rect is valid")
+}
+
+/// A cell of a token's hierarchical signature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierElement {
+    /// The tree cell.
+    pub cell: GridCellId,
+    /// `|g ∩ R|`.
+    pub weight: f64,
+}
+
+/// A per-token spatial signature with Lemma 2/3 support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierSignature {
+    elements: Vec<HierElement>,
+    suffix: Vec<f64>,
+}
+
+impl HierSignature {
+    /// All elements in the token's global order.
+    #[inline]
+    pub fn elements(&self) -> &[HierElement] {
+        &self.elements
+    }
+
+    /// The Lemma 3 bound at position `i`.
+    #[inline]
+    pub fn bound(&self, i: usize) -> f64 {
+        self.suffix[i]
+    }
+
+    /// The Lemma 2 prefix for threshold `c`.
+    pub fn prefix(&self, c: f64) -> &[HierElement] {
+        &self.elements[..prefix_len(&self.suffix, c)]
+    }
+
+    /// Iterates `(element, bound)` pairs.
+    pub fn elements_with_bounds(&self) -> impl Iterator<Item = (HierElement, f64)> + '_ {
+        self.elements
+            .iter()
+            .copied()
+            .zip(self.suffix.iter().copied())
+    }
+}
+
+/// The corpus-level hierarchical scheme: per-token grids.
+#[derive(Debug, Clone)]
+pub struct HierarchicalScheme {
+    tree: GridTree,
+    per_token: HashMap<TokenId, TokenGrids>,
+    budget: usize,
+}
+
+impl HierarchicalScheme {
+    /// Builds per-token grids for every token in the store.
+    ///
+    /// * `max_level` — depth of the grid tree (the finest granularity
+    ///   `HSS-Greedy` may select).
+    /// * `budget` — `m_t`, identical for every token here; Figure 15's
+    ///   index-size sweep varies it.
+    pub fn build(store: &ObjectStore, max_level: u8, budget: usize) -> Self {
+        let tree = GridTree::new(store.space(), max_level).expect("valid store space");
+        // Group object regions by token.
+        let mut by_token: HashMap<TokenId, Vec<Rect>> = HashMap::new();
+        for o in store.objects() {
+            for t in o.tokens.iter() {
+                by_token.entry(t).or_default().push(o.region);
+            }
+        }
+        let mut per_token = HashMap::with_capacity(by_token.len());
+        for (t, regions) in by_token {
+            // "Judiciously select": a token occurring in k objects gains
+            // nothing from more than ~k grids (its inverted lists hold k
+            // postings total), so rare tokens keep coarse tilings. This
+            // is the index-size constraint of Section 5.2 applied
+            // per-token, and it is what keeps HierarchicalInv smaller
+            // than HashInv in Table 1.
+            let budget_t = budget.min(regions.len()).max(1);
+            let mut cells = hss_greedy(&regions, &tree, budget_t);
+            // Global order within the token: level asc, count asc, id.
+            cells.sort_by(|a, b| {
+                a.id.level()
+                    .cmp(&b.id.level())
+                    .then(a.objects.len().cmp(&b.objects.len()))
+                    .then(a.id.pack().cmp(&b.id.pack()))
+            });
+            per_token.insert(t, TokenGrids::new(cells, store.space()));
+        }
+        HierarchicalScheme {
+            tree,
+            per_token,
+            budget,
+        }
+    }
+
+    /// The grid tree.
+    #[inline]
+    pub fn tree(&self) -> &GridTree {
+        &self.tree
+    }
+
+    /// The per-token budget `m_t`.
+    #[inline]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The grids selected for a token (None if the token occurs in no
+    /// object — probing it can produce no candidates).
+    pub fn token_grids(&self, t: TokenId) -> Option<&TokenGrids> {
+        self.per_token.get(&t)
+    }
+
+    /// Total selected cells across tokens (index-size accounting).
+    pub fn total_cells(&self) -> usize {
+        self.per_token.values().map(|g| g.cells.len()).sum()
+    }
+
+    /// Packs a `(token, cell)` pair into the hybrid-index key space.
+    #[inline]
+    pub fn key(t: TokenId, cell: GridCellId) -> u128 {
+        (u128::from(t.0) << 64) | u128::from(cell.pack())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::figure1_store;
+
+    #[test]
+    fn every_token_gets_a_tiling() {
+        let (store, _q) = figure1_store();
+        let scheme = HierarchicalScheme::build(&store, 4, 8);
+        for t in 0..5u32 {
+            let grids = scheme.token_grids(TokenId(t)).expect("token occurs");
+            let total: f64 = grids.cells().iter().map(|c| c.rect.area()).sum();
+            assert!(
+                (total - store.space().area()).abs() < 1e-6,
+                "token {t} does not tile the space"
+            );
+            assert!(grids.cells().len() <= 8);
+        }
+        assert!(scheme.token_grids(TokenId(99)).is_none());
+    }
+
+    #[test]
+    fn signature_weights_sum_to_clipped_region() {
+        let (store, q) = figure1_store();
+        let scheme = HierarchicalScheme::build(&store, 4, 8);
+        let grids = scheme.token_grids(TokenId(0)).unwrap();
+        let sig = grids.signature(&q.region);
+        let total: f64 = sig.elements().iter().map(|e| e.weight).sum();
+        let clipped = q.region.intersection_area(&store.space());
+        assert!((total - clipped).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_is_level_then_count() {
+        let (store, _q) = figure1_store();
+        let scheme = HierarchicalScheme::build(&store, 4, 16);
+        for t in 0..5u32 {
+            let cells = scheme.token_grids(TokenId(t)).unwrap().cells();
+            for w in cells.windows(2) {
+                let (a, b) = (&w[0], &w[1]);
+                assert!(
+                    a.id.level() < b.id.level()
+                        || (a.id.level() == b.id.level()
+                            && a.objects.len() <= b.objects.len()),
+                    "order violated for token {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_lemma_holds() {
+        let (store, q) = figure1_store();
+        let scheme = HierarchicalScheme::build(&store, 4, 8);
+        let grids = scheme.token_grids(TokenId(1)).unwrap();
+        let sig = grids.signature(&q.region);
+        let c = 0.25 * q.region.area();
+        let p = sig.prefix(c);
+        let dropped: f64 = sig.elements()[p.len()..].iter().map(|e| e.weight).sum();
+        assert!(dropped < c);
+    }
+
+    #[test]
+    fn keys_are_injective_across_tokens_and_cells() {
+        let a = HierarchicalScheme::key(TokenId(1), GridCellId::new(1, 0, 0).unwrap());
+        let b = HierarchicalScheme::key(TokenId(1), GridCellId::new(1, 1, 0).unwrap());
+        let c = HierarchicalScheme::key(TokenId(2), GridCellId::new(1, 0, 0).unwrap());
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn total_cells_respects_budget() {
+        let (store, _q) = figure1_store();
+        let scheme = HierarchicalScheme::build(&store, 4, 4);
+        assert!(scheme.total_cells() <= 5 * 4);
+        assert_eq!(scheme.budget(), 4);
+    }
+}

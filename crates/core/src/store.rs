@@ -1,0 +1,325 @@
+//! The object collection: regions, tokens, corpus weights, global order.
+
+use crate::{ObjectId, RoiObject};
+use seal_geom::Rect;
+use seal_text::{Dictionary, GlobalTokenOrder, IdfWeights, TokenSet, TokenWeights};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a store (the "Data statistics" rows of
+/// Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreStats {
+    /// Number of objects `|O|`.
+    pub objects: usize,
+    /// Average region area.
+    pub avg_region_area: f64,
+    /// Area of the entire space `R` (MBR of all regions).
+    pub space_area: f64,
+    /// Average number of tokens per object.
+    pub avg_token_count: f64,
+    /// Number of distinct tokens.
+    pub vocab_size: usize,
+    /// Approximate heap bytes of the raw data (regions + token ids) —
+    /// Table 1's "Data size" row.
+    pub data_bytes: usize,
+}
+
+/// The immutable object collection every index is built over.
+///
+/// Owns the objects plus the two corpus-level artifacts the paper's
+/// filters need:
+///
+/// * [`IdfWeights`] — `w(t) = ln(|O| / count(t,O))` (Section 2.1);
+/// * [`GlobalTokenOrder`] — tokens by descending idf, the global
+///   signature-element order for textual prefix filtering (Section 4.2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectStore {
+    objects: Vec<RoiObject>,
+    space: Rect,
+    weights: IdfWeights,
+    token_order: GlobalTokenOrder,
+    vocab_size: usize,
+    dictionary: Option<Dictionary>,
+}
+
+impl ObjectStore {
+    /// Builds a store from objects whose token ids come from a space of
+    /// `vocab_size` distinct tokens.
+    pub fn from_objects(objects: Vec<RoiObject>, vocab_size: usize) -> Self {
+        let space = compute_space(&objects);
+        let weights = IdfWeights::from_corpus(vocab_size, objects.iter().map(|o| o.tokens.ids()));
+        let token_order = GlobalTokenOrder::by_descending_weight(vocab_size, &weights);
+        ObjectStore {
+            objects,
+            space,
+            weights,
+            token_order,
+            vocab_size,
+            dictionary: None,
+        }
+    }
+
+    /// Builds a store from `(region, tokens-as-strings)` pairs, interning
+    /// the strings (the examples use this entry point).
+    pub fn from_labeled<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = (Rect, Vec<S>)>,
+        S: AsRef<str>,
+    {
+        let mut dict = Dictionary::new();
+        let objects: Vec<RoiObject> = items
+            .into_iter()
+            .map(|(region, tokens)| {
+                let ids = tokens.iter().map(|t| dict.intern(t.as_ref()));
+                RoiObject::new(region, TokenSet::from_ids(ids))
+            })
+            .collect();
+        let vocab = dict.len();
+        let mut store = ObjectStore::from_objects(objects, vocab);
+        store.dictionary = Some(dict);
+        store
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if the store holds no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The object for an id.
+    ///
+    /// # Panics
+    /// If the id is out of range (ids come from this store's indexes,
+    /// so an out-of-range id is a logic error).
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> &RoiObject {
+        &self.objects[id.index()]
+    }
+
+    /// All objects in id order.
+    #[inline]
+    pub fn objects(&self) -> &[RoiObject] {
+        &self.objects
+    }
+
+    /// Iterates `(id, object)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &RoiObject)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjectId(i as u32), o))
+    }
+
+    /// The entire space `R` (MBR of all regions, padded to positive
+    /// extent so grids are well-defined).
+    #[inline]
+    pub fn space(&self) -> Rect {
+        self.space
+    }
+
+    /// The corpus idf weights.
+    #[inline]
+    pub fn weights(&self) -> &IdfWeights {
+        &self.weights
+    }
+
+    /// The global token order (descending idf).
+    #[inline]
+    pub fn token_order(&self) -> &GlobalTokenOrder {
+        &self.token_order
+    }
+
+    /// Number of distinct tokens the store was built with.
+    #[inline]
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// The dictionary, when the store was built from strings.
+    pub fn dictionary(&self) -> Option<&Dictionary> {
+        self.dictionary.as_ref()
+    }
+
+    /// Summary statistics (Table 1's data rows).
+    pub fn stats(&self) -> StoreStats {
+        let n = self.objects.len();
+        let area_sum: f64 = self.objects.iter().map(|o| o.region.area()).sum();
+        let token_sum: usize = self.objects.iter().map(|o| o.tokens.len()).sum();
+        let data_bytes = n * std::mem::size_of::<Rect>()
+            + token_sum * std::mem::size_of::<seal_text::TokenId>();
+        StoreStats {
+            objects: n,
+            avg_region_area: if n == 0 { 0.0 } else { area_sum / n as f64 },
+            space_area: self.space.area(),
+            avg_token_count: if n == 0 { 0.0 } else { token_sum as f64 / n as f64 },
+            vocab_size: self.vocab_size,
+            data_bytes,
+        }
+    }
+
+    /// Total token weight of an object's set (used by signature bounds).
+    #[inline]
+    pub fn object_token_weight(&self, id: ObjectId) -> f64 {
+        self.weights.set_weight(&self.get(id).tokens)
+    }
+}
+
+/// MBR of all regions, padded to a non-degenerate rectangle so grid
+/// partitions are always well-defined.
+fn compute_space(objects: &[RoiObject]) -> Rect {
+    let mbr = Rect::mbr_of(objects.iter().map(|o| &o.region))
+        .unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0).expect("static rect"));
+    let pad_x = if mbr.width() <= 0.0 { 0.5 } else { 0.0 };
+    let pad_y = if mbr.height() <= 0.0 { 0.5 } else { 0.0 };
+    if pad_x > 0.0 || pad_y > 0.0 {
+        Rect::new(
+            mbr.min().x - pad_x,
+            mbr.min().y - pad_y,
+            mbr.max().x + pad_x,
+            mbr.max().y + pad_y,
+        )
+        .expect("padded space is valid")
+    } else {
+        mbr
+    }
+}
+
+/// Builds the store of the paper's running example (Figure 1): seven
+/// objects `o1..o7` over a 120×120 space with tokens `t1..t5`.
+///
+/// Region coordinates are reconstructed from the figure's drawing; the
+/// *published* quantities (token sets, idf weights within rounding, the
+/// answer set of Example 1) are asserted in this crate's tests.
+pub fn figure1_store() -> (ObjectStore, crate::Query) {
+    use seal_text::TokenId;
+    let t = |ids: &[u32]| TokenSet::from_ids(ids.iter().map(|&i| TokenId(i)));
+    // Tokens: t1=0 (mocha), t2=1 (coffee), t3=2 (starbucks),
+    //         t4=3 (ice), t5=4 (tea).
+    let objects = vec![
+        // o1: tall region on the upper left, tokens {t1,t2}.
+        RoiObject::new(Rect::new(10.0, 60.0, 40.0, 120.0).unwrap(), t(&[0, 1])),
+        // o2: large central region, tokens {t1,t2,t3}.
+        RoiObject::new(Rect::new(15.0, 15.0, 85.0, 40.0).unwrap(), t(&[0, 1, 2])),
+        // o3: right-side region, tokens {t3,t4,t5}.
+        RoiObject::new(Rect::new(95.0, 50.0, 120.0, 90.0).unwrap(), t(&[2, 3, 4])),
+        // o4: top-right region, tokens {t2,t3,t5}.
+        RoiObject::new(Rect::new(85.0, 95.0, 115.0, 120.0).unwrap(), t(&[1, 2, 4])),
+        // o5: small region left-center, tokens {t1,t2,t5}.
+        RoiObject::new(Rect::new(45.0, 50.0, 60.0, 70.0).unwrap(), t(&[0, 1, 4])),
+        // o6: bottom-right region, tokens {t2,t4}.
+        RoiObject::new(Rect::new(90.0, 0.0, 120.0, 20.0).unwrap(), t(&[1, 3])),
+        // o7: bottom-left region, tokens {t5}.
+        RoiObject::new(Rect::new(0.0, 0.0, 25.0, 10.0).unwrap(), t(&[4])),
+    ];
+    let store = ObjectStore::from_objects(objects, 5);
+    // Query overlapping o2 strongly and o1 weakly, asking for
+    // {t1,t2,t3} with τR=0.25, τT=0.3 (Example 1).
+    let q = crate::Query::with_token_ids(
+        Rect::new(20.0, 10.0, 70.0, 45.0).unwrap(),
+        [TokenId(0), TokenId(1), TokenId(2)],
+        0.25,
+        0.3,
+    )
+    .expect("valid thresholds");
+    (store, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seal_text::TokenId;
+
+    #[test]
+    fn from_objects_computes_space_and_weights() {
+        let (store, _q) = figure1_store();
+        assert_eq!(store.len(), 7);
+        assert!(store.space().area() > 0.0);
+        // t4 (=TokenId 3) appears in 2 of 7 objects: w = ln(7/2) ≈ 1.25
+        // (the paper's published 1.3 after rounding).
+        let w = store.weights().weight(TokenId(3));
+        assert!((w - (7.0f64 / 2.0).ln()).abs() < 1e-12);
+        // t2 (=TokenId 1) appears in 5 of 7: w = ln(7/5) ≈ 0.34 (paper: 0.3).
+        let w = store.weights().weight(TokenId(1));
+        assert!((w - (7.0f64 / 5.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idf_ranks_match_paper() {
+        // The paper's idf ordering: t4 > t1 = t3 > t5 > t2.
+        let (store, _q) = figure1_store();
+        let w = store.weights();
+        let weight = |i: u32| w.weight(TokenId(i));
+        assert!(weight(3) > weight(0));
+        assert!((weight(0) - weight(2)).abs() < 1e-12);
+        assert!(weight(2) > weight(4));
+        assert!(weight(4) > weight(1));
+    }
+
+    #[test]
+    fn from_labeled_interns_strings() {
+        let store = ObjectStore::from_labeled(vec![
+            (
+                Rect::new(0.0, 0.0, 1.0, 1.0).unwrap(),
+                vec!["coffee", "mocha"],
+            ),
+            (
+                Rect::new(1.0, 1.0, 2.0, 2.0).unwrap(),
+                vec!["coffee", "tea"],
+            ),
+        ]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.vocab_size(), 3);
+        let dict = store.dictionary().unwrap();
+        let coffee = dict.get("coffee").unwrap();
+        // "coffee" in both objects: weight ln(2/2) = 0.
+        assert_eq!(store.weights().weight(coffee), 0.0);
+        let tea = dict.get("tea").unwrap();
+        assert!((store.weights().weight(tea) - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_store_is_safe() {
+        let store = ObjectStore::from_objects(Vec::new(), 0);
+        assert!(store.is_empty());
+        assert!(store.space().area() > 0.0, "space padded to positive area");
+        let s = store.stats();
+        assert_eq!(s.objects, 0);
+        assert_eq!(s.avg_region_area, 0.0);
+    }
+
+    #[test]
+    fn degenerate_only_store_pads_space() {
+        let p = Rect::new(5.0, 5.0, 5.0, 5.0).unwrap();
+        let store = ObjectStore::from_objects(
+            vec![RoiObject::new(p, TokenSet::from_ids([TokenId(0)]))],
+            1,
+        );
+        assert!(store.space().area() > 0.0);
+        assert!(store.space().contains_rect(&p));
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let (store, _q) = figure1_store();
+        let s = store.stats();
+        assert_eq!(s.objects, 7);
+        assert_eq!(s.vocab_size, 5);
+        // Token counts: 2+3+3+3+3+2+1 = 17 → avg 17/7.
+        assert!((s.avg_token_count - 17.0 / 7.0).abs() < 1e-12);
+        assert!(s.data_bytes > 0);
+        assert!(s.space_area >= s.avg_region_area);
+    }
+
+    #[test]
+    fn iter_yields_dense_ids() {
+        let (store, _q) = figure1_store();
+        let ids: Vec<u32> = store.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, (0..7).collect::<Vec<_>>());
+    }
+}

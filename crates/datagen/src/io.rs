@@ -1,0 +1,221 @@
+//! Plain-text dataset import/export.
+//!
+//! A release-quality reproduction should let users bring their own ROI
+//! data. The format is one object per line, tab-separated:
+//!
+//! ```text
+//! min_x <TAB> min_y <TAB> max_x <TAB> max_y <TAB> token,token,token
+//! ```
+//!
+//! Tokens are comma-separated free text (no tabs/newlines); numeric
+//! fields are `f64`. Lines starting with `#` and blank lines are
+//! skipped. This is the interchange format the `seal-cli` tool reads
+//! and writes.
+
+use crate::{Dataset, RawObject};
+use seal_geom::Rect;
+use seal_text::TokenId;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors raised while parsing the TSV format.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (wrong field count, bad number, inverted rect).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads a TSV dataset, interning token strings to dense ids. Returns
+/// the dataset plus the `id → string` table (index = token id).
+pub fn read_tsv<R: BufRead>(reader: R) -> Result<(Dataset, Vec<String>), IoError> {
+    let mut by_name: HashMap<String, TokenId> = HashMap::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut objects = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        // Skip decisions use the fully-trimmed view, but field splitting
+        // must keep trailing tabs (an empty token field is legal).
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let content = line.trim_end_matches(['\r', '\n']);
+        let fields: Vec<&str> = content.split('\t').collect();
+        if fields.len() != 5 {
+            return Err(IoError::Parse {
+                line: lineno,
+                reason: format!("expected 5 tab-separated fields, got {}", fields.len()),
+            });
+        }
+        let mut nums = [0.0f64; 4];
+        for (k, f) in fields[..4].iter().enumerate() {
+            nums[k] = f.trim().parse().map_err(|e| IoError::Parse {
+                line: lineno,
+                reason: format!("bad number {f:?}: {e}"),
+            })?;
+        }
+        let region = Rect::new(nums[0], nums[1], nums[2], nums[3]).map_err(|e| {
+            IoError::Parse {
+                line: lineno,
+                reason: format!("bad rectangle: {e}"),
+            }
+        })?;
+        let tokens: Vec<TokenId> = fields[4]
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                *by_name.entry(t.to_string()).or_insert_with(|| {
+                    let id = TokenId(names.len() as u32);
+                    names.push(t.to_string());
+                    id
+                })
+            })
+            .collect();
+        objects.push(RawObject { region, tokens });
+    }
+    let vocab_size = names.len();
+    Ok((
+        Dataset {
+            objects,
+            vocab_size,
+            name: "imported",
+        },
+        names,
+    ))
+}
+
+/// Writes a dataset in the TSV format, mapping token ids to strings via
+/// `names` (ids without a name are written as `t<id>`).
+pub fn write_tsv<W: Write>(
+    writer: &mut W,
+    dataset: &Dataset,
+    names: &[String],
+) -> std::io::Result<()> {
+    for o in &dataset.objects {
+        let toks: Vec<String> = o
+            .tokens
+            .iter()
+            .map(|t| {
+                names
+                    .get(t.0 as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("t{}", t.0))
+            })
+            .collect();
+        writeln!(
+            writer,
+            "{}\t{}\t{}\t{}\t{}",
+            o.region.min().x,
+            o.region.min().y,
+            o.region.max().x,
+            o.region.max().y,
+            toks.join(",")
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "\
+# comment line
+0\t0\t40\t40\tcoffee,mocha
+
+10\t10\t50\t50\tcoffee,starbucks
+";
+
+    #[test]
+    fn read_parses_objects_and_interns_tokens() {
+        let (d, names) = read_tsv(Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(d.objects.len(), 2);
+        assert_eq!(d.vocab_size, 3);
+        assert_eq!(names, vec!["coffee", "mocha", "starbucks"]);
+        assert_eq!(d.objects[0].region.area(), 1600.0);
+        assert_eq!(d.objects[0].tokens, vec![TokenId(0), TokenId(1)]);
+        assert_eq!(d.objects[1].tokens, vec![TokenId(0), TokenId(2)]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (d, names) = read_tsv(Cursor::new(SAMPLE)).unwrap();
+        let mut buf = Vec::new();
+        write_tsv(&mut buf, &d, &names).unwrap();
+        let (d2, names2) = read_tsv(Cursor::new(buf)).unwrap();
+        assert_eq!(d.objects, d2.objects);
+        assert_eq!(names, names2);
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let err = read_tsv(Cursor::new("1\t2\t3\t4")).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+        assert!(err.to_string().contains("5 tab-separated"));
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        let err = read_tsv(Cursor::new("a\t0\t1\t1\tx")).unwrap_err();
+        assert!(err.to_string().contains("bad number"));
+    }
+
+    #[test]
+    fn rejects_inverted_rect() {
+        let err = read_tsv(Cursor::new("5\t0\t1\t1\tx")).unwrap_err();
+        assert!(err.to_string().contains("bad rectangle"));
+    }
+
+    #[test]
+    fn empty_tokens_are_allowed() {
+        let (d, _) = read_tsv(Cursor::new("0\t0\t1\t1\t\n")).unwrap();
+        assert_eq!(d.objects.len(), 1);
+        assert!(d.objects[0].tokens.is_empty());
+    }
+
+    #[test]
+    fn generated_dataset_roundtrips() {
+        let d = crate::twitter_like(&crate::TwitterParams {
+            count: 100,
+            seed: 4,
+            ..crate::TwitterParams::default()
+        });
+        let names: Vec<String> = (0..d.vocab_size).map(|i| format!("tok{i}")).collect();
+        let mut buf = Vec::new();
+        write_tsv(&mut buf, &d, &names).unwrap();
+        let (d2, _) = read_tsv(Cursor::new(buf)).unwrap();
+        assert_eq!(d.objects.len(), d2.objects.len());
+        for (a, b) in d.objects.iter().zip(d2.objects.iter()) {
+            assert!((a.region.area() - b.region.area()).abs() < 1e-9);
+            assert_eq!(a.tokens.len(), b.tokens.len());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The USA-like dataset generator (the paper's synthetic dataset:
+//! USA POIs extended with random extents, DBLP records as token sets).
+//!
+//! Properties reproduced from Section 6.1: ~1M regions (scaled), mean
+//! region area ≈ 5.4 km² (much smaller and less skewed than Twitter's),
+//! entire space ≈ 473 million km², average 12.5 tokens per object.
+//! POI centres mix dense metropolitan clusters with a uniform rural
+//! background.
+
+use crate::{Dataset, RawObject, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seal_geom::Rect;
+use seal_text::TokenId;
+
+/// Tuning knobs for the USA-like generator.
+#[derive(Debug, Clone)]
+pub struct UsaParams {
+    /// Number of objects.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Side of the square data space in km (473M km² → ≈21,749 km).
+    pub space_km: f64,
+    /// Number of metro clusters. `0` (the default) auto-scales with
+    /// `count` so per-metro density matches the paper's 1M-object
+    /// dataset (~20,000 POIs per metro).
+    pub metros: usize,
+    /// Fraction of POIs in metros (the rest are uniform background).
+    pub metro_fraction: f64,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Mean tokens per object (paper: 12.5).
+    pub mean_tokens: f64,
+}
+
+impl Default for UsaParams {
+    fn default() -> Self {
+        UsaParams {
+            count: 100_000,
+            seed: 0x5EA1_2012 ^ 2,
+            space_km: 21_749.0,
+            metros: 0,
+            metro_fraction: 0.8,
+            vocab: 30_000,
+            mean_tokens: 12.5,
+        }
+    }
+}
+
+impl UsaParams {
+    /// The effective metro count (resolves the auto-scale default).
+    pub fn effective_metros(&self) -> usize {
+        if self.metros > 0 {
+            self.metros
+        } else {
+            (self.count / 20_000).clamp(5, 100)
+        }
+    }
+}
+
+/// Generates the USA-like dataset.
+pub fn usa_like(params: &UsaParams) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let side = params.space_km;
+    let metros: Vec<(f64, f64, f64)> = (0..params.effective_metros().max(1))
+        .map(|_| {
+            (
+                rng.gen::<f64>() * side,
+                rng.gen::<f64>() * side,
+                5.0 + rng.gen::<f64>() * 40.0,
+            )
+        })
+        .collect();
+    let metro_pick = Zipf::new(metros.len(), 0.8);
+    let token_zipf = Zipf::new(params.vocab.max(1), 0.8);
+    // Mean extent e such that E[w]·E[h] = (e/2)² ≈ 5.4 ⇒ e ≈ 4.65 km.
+    let max_extent = (5.4f64).sqrt() * 2.0;
+
+    let mut objects = Vec::with_capacity(params.count);
+    for _ in 0..params.count {
+        let (cx, cy) = if rng.gen::<f64>() < params.metro_fraction {
+            let (mx, my, sigma) = metros[metro_pick.sample(&mut rng)];
+            let (g1, g2) = gaussian_pair(&mut rng);
+            (
+                (mx + g1 * sigma).clamp(0.0, side),
+                (my + g2 * sigma).clamp(0.0, side),
+            )
+        } else {
+            (rng.gen::<f64>() * side, rng.gen::<f64>() * side)
+        };
+        // "extended the POIs with random widths and heights".
+        let w = rng.gen::<f64>() * max_extent;
+        let h = rng.gen::<f64>() * max_extent;
+        let x0 = (cx - w / 2.0).clamp(0.0, side - w);
+        let y0 = (cy - h / 2.0).clamp(0.0, side - h);
+        let region = Rect::new(x0, y0, x0 + w, y0 + h).expect("generated rect is valid");
+
+        let n_tokens = sample_count(&mut rng, params.mean_tokens);
+        let tokens = (0..n_tokens)
+            .map(|_| TokenId(token_zipf.sample(&mut rng) as u32))
+            .collect();
+        objects.push(RawObject { region, tokens });
+    }
+    Dataset {
+        objects,
+        vocab_size: params.vocab,
+        name: "usa-like",
+    }
+}
+
+fn gaussian_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let th = 2.0 * std::f64::consts::PI * u2;
+    (r * th.cos(), r * th.sin())
+}
+
+fn sample_count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    let lo = (mean * 0.4).max(1.0);
+    let hi = mean * 1.6;
+    (lo + rng.gen::<f64>() * (hi - lo)).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> UsaParams {
+        UsaParams {
+            count: 5_000,
+            seed: 11,
+            ..UsaParams::default()
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(usa_like(&small()).objects, usa_like(&small()).objects);
+    }
+
+    #[test]
+    fn mean_area_is_near_paper() {
+        let d = usa_like(&UsaParams {
+            count: 30_000,
+            seed: 5,
+            ..UsaParams::default()
+        });
+        let mean = d.avg_region_area();
+        assert!((3.0..8.0).contains(&mean), "mean area {mean} (paper ≈ 5.4)");
+    }
+
+    #[test]
+    fn regions_smaller_than_twitter() {
+        let usa = usa_like(&small());
+        let tw = crate::twitter_like(&crate::TwitterParams {
+            count: 5_000,
+            seed: 11,
+            ..crate::TwitterParams::default()
+        });
+        assert!(usa.avg_region_area() < tw.avg_region_area());
+    }
+
+    #[test]
+    fn token_counts_near_mean() {
+        let d = usa_like(&small());
+        let avg = d.avg_token_count();
+        assert!((10.0..16.0).contains(&avg), "avg tokens {avg}");
+    }
+
+    #[test]
+    fn regions_inside_space() {
+        let p = small();
+        let d = usa_like(&p);
+        let space = Rect::new(0.0, 0.0, p.space_km, p.space_km).unwrap();
+        for o in &d.objects {
+            assert!(space.contains_rect(&o.region));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! 2-D points.
+
+use crate::{GeomError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A point in the planar data space.
+///
+/// SEAL's data space is the MBR of all object regions (Section 4.1); we
+/// keep coordinates as `f64` "map units" (the paper uses metres-scale
+/// units, e.g. the 120×120 running example of Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point, validating that both coordinates are finite.
+    ///
+    /// # Errors
+    /// Returns [`GeomError::NonFiniteCoordinate`] on NaN or infinity.
+    pub fn new(x: f64, y: f64) -> Result<Self> {
+        for v in [x, y] {
+            if !v.is_finite() {
+                return Err(GeomError::NonFiniteCoordinate { value: v });
+            }
+        }
+        Ok(Point { x, y })
+    }
+
+    /// Creates a point without validation. Useful in hot paths where the
+    /// inputs were already validated (e.g. grid cell corners derived from
+    /// a validated [`crate::Rect`]).
+    #[inline]
+    pub const fn raw(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Point) -> Point {
+        Point::raw(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Point) -> Point {
+        Point::raw(self.x.max(other.x), self.y.max(other.y))
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::raw(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_nan_and_infinity() {
+        assert!(Point::new(f64::NAN, 0.0).is_err());
+        assert!(Point::new(0.0, f64::INFINITY).is_err());
+        assert!(Point::new(0.0, f64::NEG_INFINITY).is_err());
+        assert!(Point::new(1.5, -2.5).is_ok());
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::raw(0.0, 0.0);
+        let b = Point::raw(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::raw(1.0, 9.0);
+        let b = Point::raw(5.0, 2.0);
+        assert_eq!(a.min(&b), Point::raw(1.0, 2.0));
+        assert_eq!(a.max(&b), Point::raw(5.0, 9.0));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (2.0, 3.0).into();
+        assert_eq!(p, Point::raw(2.0, 3.0));
+    }
+}

@@ -1,0 +1,154 @@
+//! Keyed hybrid index over [`DualPostingList`]s (Section 5).
+
+use crate::{DualPosting, DualPostingList, ObjId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// The hybrid inverted index of Sections 5.1/5.2: hash-based hybrid
+/// signature element `(t, g)` → dual-bounded posting list.
+///
+/// Keys are packed `(token, grid-cell)` pairs; `seal-core` packs them as
+/// `u128 = (token as u128) << 64 | cell`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HybridIndex<K: Eq + Hash> {
+    lists: HashMap<K, DualPostingList>,
+    posting_count: usize,
+}
+
+impl<K: Eq + Hash + Copy> Default for HybridIndex<K> {
+    fn default() -> Self {
+        HybridIndex {
+            lists: HashMap::new(),
+            posting_count: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy> HybridIndex<K> {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a posting for `key` with the two bounds of Section 5.1.
+    pub fn push(&mut self, key: K, object: ObjId, spatial_bound: f64, textual_bound: f64) {
+        self.lists
+            .entry(key)
+            .or_default()
+            .push(object, spatial_bound, textual_bound);
+        self.posting_count += 1;
+    }
+
+    /// Finalizes all lists. Must be called before querying.
+    pub fn finalize(&mut self) {
+        for list in self.lists.values_mut() {
+            list.finalize();
+        }
+    }
+
+    /// The full list for a key, if any.
+    pub fn list(&self, key: &K) -> Option<&DualPostingList> {
+        self.lists.get(key)
+    }
+
+    /// Iterates the postings qualifying under both thresholds,
+    /// `I_{c_R, c_T}(key)`.
+    pub fn qualifying<'a>(
+        &'a self,
+        key: &K,
+        c_spatial: f64,
+        c_textual: f64,
+    ) -> Box<dyn Iterator<Item = &'a DualPosting> + 'a> {
+        match self.lists.get(key) {
+            Some(l) => Box::new(l.qualifying(c_spatial, c_textual)),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Number of distinct keys (hash buckets actually populated).
+    pub fn key_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of postings.
+    pub fn posting_count(&self) -> usize {
+        self.posting_count
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        let posting_bytes: usize = self.lists.values().map(|l| l.size_bytes()).sum();
+        let key_bytes = self.lists.len()
+            * (std::mem::size_of::<K>() + std::mem::size_of::<DualPostingList>());
+        posting_bytes + key_bytes
+    }
+
+    /// Iterates `(key, list)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &DualPostingList)> {
+        self.lists.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(token: u64, cell: u64) -> u128 {
+        (u128::from(token) << 64) | u128::from(cell)
+    }
+
+    #[test]
+    fn figure9_example() {
+        // Figure 9's inverted lists (token t1 = 1, grids by number):
+        // (t1,g10): o1 2400/1.1, o2 1525/1.9
+        // (t1,g11): o5 1100/1.7, o1 1075/1.9
+        // (t1,g14): o1 900/1.7,  o2 550/1.9
+        let mut idx: HybridIndex<u128> = HybridIndex::new();
+        idx.push(key(1, 10), 0, 2400.0, 1.1);
+        idx.push(key(1, 10), 1, 1525.0, 1.9);
+        idx.push(key(1, 11), 4, 1100.0, 1.7);
+        idx.push(key(1, 11), 0, 1075.0, 1.9);
+        idx.push(key(1, 14), 0, 900.0, 1.7);
+        idx.push(key(1, 14), 1, 550.0, 1.9);
+        idx.finalize();
+
+        // cR = 600, cT = 0.57: the (t1,g14) list returns only o1, as the
+        // paper notes ("the inverted list of element (t1, g14) only
+        // returns o1").
+        let got: Vec<ObjId> = idx
+            .qualifying(&key(1, 14), 600.0, 0.57)
+            .map(|p| p.object)
+            .collect();
+        assert_eq!(got, vec![0]);
+
+        // (t1,g10): o1's textual bound 1.1 ≥ 0.57 and o2 1.9 ≥ 0.57 —
+        // both qualify spatially too.
+        let got: Vec<ObjId> = idx
+            .qualifying(&key(1, 10), 600.0, 0.57)
+            .map(|p| p.object)
+            .collect();
+        assert_eq!(got, vec![0, 1]);
+
+        assert_eq!(idx.key_count(), 3);
+        assert_eq!(idx.posting_count(), 6);
+        assert_eq!(idx.qualifying(&key(9, 9), 0.0, 0.0).count(), 0);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let mut idx: HybridIndex<u128> = HybridIndex::new();
+        let base = idx.size_bytes();
+        idx.push(key(1, 1), 0, 1.0, 1.0);
+        assert!(idx.size_bytes() > base);
+    }
+
+    #[test]
+    fn iteration() {
+        let mut idx: HybridIndex<u128> = HybridIndex::new();
+        idx.push(key(1, 2), 0, 1.0, 1.0);
+        idx.push(key(3, 4), 1, 1.0, 1.0);
+        idx.finalize();
+        assert_eq!(idx.iter().count(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Keyed inverted index over [`BoundedPostingList`]s.
+
+use crate::{BoundedPostingList, ObjId, Posting};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An inverted index: signature element → threshold-bounded posting
+/// list. Keys are `u64`-like packed signature elements (token ids, grid
+/// cell ids, or hashed hybrid elements).
+///
+/// The paper keeps inverted lists on disk with an in-memory offset map;
+/// we keep everything in memory but report exact byte sizes via
+/// [`size_bytes`](InvertedIndex::size_bytes) so Table 1's relative index
+/// sizes can be reproduced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvertedIndex<K: Eq + Hash> {
+    lists: HashMap<K, BoundedPostingList>,
+    posting_count: usize,
+}
+
+impl<K: Eq + Hash + Copy> Default for InvertedIndex<K> {
+    fn default() -> Self {
+        InvertedIndex {
+            lists: HashMap::new(),
+            posting_count: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy> InvertedIndex<K> {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a posting for `key`.
+    pub fn push(&mut self, key: K, object: ObjId, bound: f64) {
+        self.lists.entry(key).or_default().push(object, bound);
+        self.posting_count += 1;
+    }
+
+    /// Finalizes all lists (sorts by descending bound). Must be called
+    /// after the last [`push`](Self::push) and before querying.
+    pub fn finalize(&mut self) {
+        for list in self.lists.values_mut() {
+            list.finalize();
+        }
+    }
+
+    /// The full list for a key, if any.
+    pub fn list(&self, key: &K) -> Option<&BoundedPostingList> {
+        self.lists.get(key)
+    }
+
+    /// The qualifying postings `I_c(key)` (empty slice if the key is
+    /// absent).
+    pub fn qualifying(&self, key: &K, c: f64) -> &[Posting] {
+        self.lists
+            .get(key)
+            .map(|l| l.qualifying(c))
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of postings across all lists.
+    pub fn posting_count(&self) -> usize {
+        self.posting_count
+    }
+
+    /// Length of the list for `key` (0 if absent) — the `|I(g)|` used by
+    /// the cost model of Section 4.3.
+    pub fn list_len(&self, key: &K) -> usize {
+        self.lists.get(key).map(|l| l.len()).unwrap_or(0)
+    }
+
+    /// Approximate heap size in bytes: postings plus per-key map
+    /// overhead.
+    pub fn size_bytes(&self) -> usize {
+        let posting_bytes: usize = self.lists.values().map(|l| l.size_bytes()).sum();
+        let key_bytes = self.lists.len()
+            * (std::mem::size_of::<K>() + std::mem::size_of::<BoundedPostingList>());
+        posting_bytes + key_bytes
+    }
+
+    /// Iterates `(key, list)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &BoundedPostingList)> {
+        self.lists.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_probe() {
+        // Figure 4's textual inverted index (keys are token ids).
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        // t4 -> {o3, o6}
+        idx.push(4, 2, 1.3);
+        idx.push(4, 5, 1.3);
+        // t1 -> {o1, o2, o5}
+        idx.push(1, 0, 1.9);
+        idx.push(1, 1, 1.9);
+        idx.push(1, 4, 1.7);
+        idx.finalize();
+        assert_eq!(idx.key_count(), 2);
+        assert_eq!(idx.posting_count(), 5);
+        assert_eq!(idx.list_len(&4), 2);
+        assert_eq!(idx.list_len(&99), 0);
+        let q = idx.qualifying(&1, 1.8);
+        let ids: Vec<ObjId> = q.iter().map(|p| p.object).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert!(idx.qualifying(&99, 0.0).is_empty());
+    }
+
+    #[test]
+    fn size_bytes_grows_with_postings() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        let empty = idx.size_bytes();
+        idx.push(1, 0, 1.0);
+        idx.push(1, 1, 1.0);
+        idx.push(2, 0, 1.0);
+        assert!(idx.size_bytes() > empty);
+        assert_eq!(idx.posting_count(), 3);
+    }
+
+    #[test]
+    fn iter_covers_all_keys() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(10, 0, 1.0);
+        idx.push(20, 1, 2.0);
+        idx.finalize();
+        let mut keys: Vec<u64> = idx.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![10, 20]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # seal-index — threshold-bounded inverted indexes for SEAL
+//!
+//! SEAL's filtering algorithms (Sections 3–5 of the paper) all run on
+//! inverted indexes whose posting lists are *augmented with threshold
+//! bounds* (Lemma 3): each posting `(o, c_s(o))` stores the maximum
+//! signature-similarity threshold for which element `s` still lies in
+//! `o`'s signature prefix. Lists are sorted in **descending bound
+//! order**, so, given a query threshold `c`, the qualifying postings
+//! `I_c(s) = {o ∈ I(s) | c_s(o) ≥ c}` are exactly a list prefix that a
+//! binary search finds in `O(log n)` — the "Inverted Index with
+//! Threshold Bounds" of Section 4.2.
+//!
+//! The crate provides:
+//!
+//! * [`Posting`] / [`BoundedPostingList`] — single-bound lists for the
+//!   textual filter (`TokenInv`) and the grid filter (`GridInv`).
+//! * [`DualPosting`] / [`DualPostingList`] — the hybrid lists of
+//!   Section 5.1 (`HashInv`, `HierarchicalInv`) where each posting
+//!   carries both a spatial and a textual bound and is pruned if
+//!   *either* falls below its threshold.
+//! * [`InvertedIndex`] / [`HybridIndex`] — keyed collections of the
+//!   above with byte-level size accounting (Table 1 reports index
+//!   sizes) and binary serialization.
+//!
+//! Object identifiers are bare `u32`s here ([`ObjId`]); the `seal-core`
+//! crate wraps them in its typed `ObjectId`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compress;
+mod hybrid;
+mod inverted;
+mod list;
+mod posting;
+mod serialize;
+
+pub use compress::{CompressError, CompressedInvertedIndex, CompressedPostingList};
+pub use hybrid::HybridIndex;
+pub use inverted::InvertedIndex;
+pub use list::{BoundedPostingList, DualPostingList};
+pub use posting::{DualPosting, Posting};
+pub use serialize::{IndexCodecError, IndexKey};
+
+/// A dense object identifier (row number in the object store).
+pub type ObjId = u32;

@@ -1,0 +1,284 @@
+//! Compact binary serialization of the inverted indexes.
+//!
+//! The paper's indexes are disk-resident; this codec provides the byte
+//! layout a disk deployment would use (and lets the benchmarks persist
+//! built indexes between runs). Layout, little-endian:
+//!
+//! ```text
+//! magic:u32  version:u8  kind:u8  key_count:u64
+//! repeat key_count times:
+//!   key:u128  len:u64
+//!   repeat len times:
+//!     object:u32  bound(s): f64 [f64]
+//! ```
+
+use crate::{HybridIndex, InvertedIndex, ObjId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::hash::Hash;
+
+const MAGIC: u32 = 0x5EA1_1D8E;
+const VERSION: u8 = 1;
+const KIND_SINGLE: u8 = 1;
+const KIND_DUAL: u8 = 2;
+
+/// Errors produced when decoding serialized indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexCodecError {
+    /// The magic number did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Wrong index kind (single-bound vs dual-bound).
+    BadKind(u8),
+    /// The buffer ended before the declared contents.
+    Truncated,
+}
+
+impl fmt::Display for IndexCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexCodecError::BadMagic => write!(f, "bad magic number"),
+            IndexCodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            IndexCodecError::BadKind(k) => write!(f, "unexpected index kind {k}"),
+            IndexCodecError::Truncated => write!(f, "buffer truncated"),
+        }
+    }
+}
+
+impl std::error::Error for IndexCodecError {}
+
+/// Keys that can round-trip through the codec's `u128` slot.
+pub trait IndexKey: Eq + Hash + Copy {
+    /// Widens the key to 128 bits.
+    fn to_u128(self) -> u128;
+    /// Narrows a 128-bit value back to the key type.
+    fn from_u128(v: u128) -> Self;
+}
+
+impl IndexKey for u32 {
+    fn to_u128(self) -> u128 {
+        u128::from(self)
+    }
+    fn from_u128(v: u128) -> Self {
+        v as u32
+    }
+}
+
+impl IndexKey for u64 {
+    fn to_u128(self) -> u128 {
+        u128::from(self)
+    }
+    fn from_u128(v: u128) -> Self {
+        v as u64
+    }
+}
+
+impl IndexKey for u128 {
+    fn to_u128(self) -> u128 {
+        self
+    }
+    fn from_u128(v: u128) -> Self {
+        v
+    }
+}
+
+fn check_remaining(buf: &impl Buf, need: usize) -> Result<(), IndexCodecError> {
+    if buf.remaining() < need {
+        Err(IndexCodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+impl<K: IndexKey> InvertedIndex<K> {
+    /// Serializes the index to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.posting_count() * 12);
+        buf.put_u32_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(KIND_SINGLE);
+        buf.put_u64_le(self.key_count() as u64);
+        for (key, list) in self.iter() {
+            buf.put_u128_le(key.to_u128());
+            buf.put_u64_le(list.len() as u64);
+            for p in list.postings() {
+                buf.put_u32_le(p.object);
+                buf.put_f64_le(p.bound);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes an index from bytes; the result is finalized and ready to
+    /// query.
+    pub fn from_bytes(mut buf: impl Buf) -> Result<Self, IndexCodecError> {
+        check_remaining(&buf, 4 + 1 + 1 + 8)?;
+        if buf.get_u32_le() != MAGIC {
+            return Err(IndexCodecError::BadMagic);
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(IndexCodecError::BadVersion(version));
+        }
+        let kind = buf.get_u8();
+        if kind != KIND_SINGLE {
+            return Err(IndexCodecError::BadKind(kind));
+        }
+        let key_count = buf.get_u64_le();
+        let mut idx = InvertedIndex::new();
+        for _ in 0..key_count {
+            check_remaining(&buf, 16 + 8)?;
+            let key = K::from_u128(buf.get_u128_le());
+            let len = buf.get_u64_le() as usize;
+            check_remaining(&buf, len * 12)?;
+            for _ in 0..len {
+                let object: ObjId = buf.get_u32_le();
+                let bound = buf.get_f64_le();
+                idx.push(key, object, bound);
+            }
+        }
+        idx.finalize();
+        Ok(idx)
+    }
+}
+
+impl<K: IndexKey> HybridIndex<K> {
+    /// Serializes the hybrid index to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.posting_count() * 20);
+        buf.put_u32_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(KIND_DUAL);
+        buf.put_u64_le(self.key_count() as u64);
+        for (key, list) in self.iter() {
+            buf.put_u128_le(key.to_u128());
+            buf.put_u64_le(list.len() as u64);
+            for p in list.postings() {
+                buf.put_u32_le(p.object);
+                buf.put_f64_le(p.spatial_bound);
+                buf.put_f64_le(p.textual_bound);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a hybrid index from bytes (finalized, ready to query).
+    pub fn from_bytes(mut buf: impl Buf) -> Result<Self, IndexCodecError> {
+        check_remaining(&buf, 4 + 1 + 1 + 8)?;
+        if buf.get_u32_le() != MAGIC {
+            return Err(IndexCodecError::BadMagic);
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(IndexCodecError::BadVersion(version));
+        }
+        let kind = buf.get_u8();
+        if kind != KIND_DUAL {
+            return Err(IndexCodecError::BadKind(kind));
+        }
+        let key_count = buf.get_u64_le();
+        let mut idx = HybridIndex::new();
+        for _ in 0..key_count {
+            check_remaining(&buf, 16 + 8)?;
+            let key = K::from_u128(buf.get_u128_le());
+            let len = buf.get_u64_le() as usize;
+            check_remaining(&buf, len * 20)?;
+            for _ in 0..len {
+                let object: ObjId = buf.get_u32_le();
+                let sb = buf.get_f64_le();
+                let tb = buf.get_f64_le();
+                idx.push(key, object, sb, tb);
+            }
+        }
+        idx.finalize();
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_roundtrip() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(7, 0, 3.5);
+        idx.push(7, 1, 1.25);
+        idx.push(42, 2, 9.0);
+        idx.finalize();
+        let bytes = idx.to_bytes();
+        let back: InvertedIndex<u64> = InvertedIndex::from_bytes(bytes).unwrap();
+        assert_eq!(back.key_count(), 2);
+        assert_eq!(back.posting_count(), 3);
+        assert_eq!(back.qualifying(&7, 2.0).len(), 1);
+        assert_eq!(back.qualifying(&7, 0.0).len(), 2);
+        assert_eq!(back.qualifying(&42, 9.0)[0].object, 2);
+    }
+
+    #[test]
+    fn dual_roundtrip() {
+        let mut idx: HybridIndex<u128> = HybridIndex::new();
+        idx.push(1u128 << 70, 0, 900.0, 1.7);
+        idx.push(1u128 << 70, 1, 550.0, 1.9);
+        idx.finalize();
+        let back: HybridIndex<u128> = HybridIndex::from_bytes(idx.to_bytes()).unwrap();
+        let got: Vec<u32> = back
+            .qualifying(&(1u128 << 70), 600.0, 0.5)
+            .map(|p| p.object)
+            .collect();
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let garbage = Bytes::from_static(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14]);
+        assert_eq!(
+            InvertedIndex::<u64>::from_bytes(garbage).unwrap_err(),
+            IndexCodecError::BadMagic
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_kind() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(1, 0, 1.0);
+        idx.finalize();
+        let bytes = idx.to_bytes();
+        assert_eq!(
+            HybridIndex::<u64>::from_bytes(bytes).unwrap_err(),
+            IndexCodecError::BadKind(KIND_SINGLE)
+        );
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        for i in 0..10 {
+            idx.push(1, i, f64::from(i));
+        }
+        idx.finalize();
+        let bytes = idx.to_bytes();
+        let cut = bytes.slice(..bytes.len() - 5);
+        assert_eq!(
+            InvertedIndex::<u64>::from_bytes(cut).unwrap_err(),
+            IndexCodecError::Truncated
+        );
+    }
+
+    #[test]
+    fn empty_index_roundtrip() {
+        let mut idx: InvertedIndex<u32> = InvertedIndex::new();
+        idx.finalize();
+        let back: InvertedIndex<u32> = InvertedIndex::from_bytes(idx.to_bytes()).unwrap();
+        assert_eq!(back.key_count(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(IndexCodecError::BadMagic.to_string().contains("magic"));
+        assert!(IndexCodecError::Truncated.to_string().contains("truncated"));
+        assert!(IndexCodecError::BadVersion(9).to_string().contains('9'));
+        assert!(IndexCodecError::BadKind(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,359 @@
+//! Guttman insertion with quadratic split.
+
+use crate::node::{LeafEntry, NodeId, NodeKind, RTree};
+use seal_geom::Rect;
+
+enum InsertOutcome {
+    /// No structural change below; ancestors only need MBR refresh.
+    Fit,
+    /// The child split; the new sibling must be added to the parent.
+    Split(NodeId),
+}
+
+impl<T> RTree<T> {
+    /// Inserts an entry, splitting nodes on overflow (quadratic split).
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        self.len += 1;
+        let Some(root) = self.root else {
+            let id = self.alloc(rect, NodeKind::Leaf(vec![LeafEntry { rect, value }]));
+            self.root = Some(id);
+            self.height = 1;
+            return;
+        };
+        match self.insert_rec(root, rect, value) {
+            InsertOutcome::Fit => {
+                self.recompute_mbr(root);
+            }
+            InsertOutcome::Split(sibling) => {
+                // Grow a new root above the old one.
+                let old_root = root;
+                self.recompute_mbr(old_root);
+                let mbr = self.mbr(old_root).mbr_with(&self.mbr(sibling));
+                let new_root = self.alloc(mbr, NodeKind::Internal(vec![old_root, sibling]));
+                self.root = Some(new_root);
+                self.height += 1;
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, node: NodeId, rect: Rect, value: T) -> InsertOutcome {
+        match &self.nodes[node.index()].kind {
+            NodeKind::Leaf(_) => {
+                if let NodeKind::Leaf(entries) = &mut self.nodes[node.index()].kind {
+                    entries.push(LeafEntry { rect, value });
+                }
+                if self.leaf_len(node) > self.config.max_entries {
+                    let sibling = self.split_leaf(node);
+                    InsertOutcome::Split(sibling)
+                } else {
+                    self.recompute_mbr(node);
+                    InsertOutcome::Fit
+                }
+            }
+            NodeKind::Internal(children) => {
+                let chosen = self.choose_subtree(children, &rect);
+                match self.insert_rec(chosen, rect, value) {
+                    InsertOutcome::Fit => {
+                        self.recompute_mbr(node);
+                        InsertOutcome::Fit
+                    }
+                    InsertOutcome::Split(new_child) => {
+                        if let NodeKind::Internal(children) = &mut self.nodes[node.index()].kind {
+                            children.push(new_child);
+                        }
+                        if self.internal_len(node) > self.config.max_entries {
+                            let sibling = self.split_internal(node);
+                            InsertOutcome::Split(sibling)
+                        } else {
+                            self.recompute_mbr(node);
+                            InsertOutcome::Fit
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn leaf_len(&self, id: NodeId) -> usize {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Leaf(e) => e.len(),
+            NodeKind::Internal(_) => unreachable!("leaf_len on internal node"),
+        }
+    }
+
+    fn internal_len(&self, id: NodeId) -> usize {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Internal(c) => c.len(),
+            NodeKind::Leaf(_) => unreachable!("internal_len on leaf node"),
+        }
+    }
+
+    /// Guttman's ChooseLeaf criterion: least area enlargement, ties by
+    /// smallest area.
+    fn choose_subtree(&self, children: &[NodeId], rect: &Rect) -> NodeId {
+        let mut best = children[0];
+        let mut best_enlargement = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for &c in children {
+            let mbr = self.mbr(c);
+            let enlargement = mbr.enlargement(rect);
+            let area = mbr.area();
+            if enlargement < best_enlargement
+                || (enlargement == best_enlargement && area < best_area)
+            {
+                best = c;
+                best_enlargement = enlargement;
+                best_area = area;
+            }
+        }
+        best
+    }
+
+    fn split_leaf(&mut self, node: NodeId) -> NodeId {
+        let entries = match &mut self.nodes[node.index()].kind {
+            NodeKind::Leaf(e) => std::mem::take(e),
+            NodeKind::Internal(_) => unreachable!(),
+        };
+        let rects: Vec<Rect> = entries.iter().map(|e| e.rect).collect();
+        let (left_idx, right_idx) = quadratic_split(&rects, self.config.min_entries);
+        let mut left = Vec::with_capacity(left_idx.len());
+        let mut right = Vec::with_capacity(right_idx.len());
+        let mut take = entries.into_iter().map(Some).collect::<Vec<_>>();
+        for i in left_idx {
+            left.push(take[i].take().expect("entry taken twice"));
+        }
+        for i in right_idx {
+            right.push(take[i].take().expect("entry taken twice"));
+        }
+        self.nodes[node.index()].kind = NodeKind::Leaf(left);
+        self.recompute_mbr(node);
+        let mbr = Rect::mbr_of(right.iter().map(|e| &e.rect)).expect("non-empty split side");
+        self.alloc(mbr, NodeKind::Leaf(right))
+    }
+
+    fn split_internal(&mut self, node: NodeId) -> NodeId {
+        let children = match &mut self.nodes[node.index()].kind {
+            NodeKind::Internal(c) => std::mem::take(c),
+            NodeKind::Leaf(_) => unreachable!(),
+        };
+        let rects: Vec<Rect> = children.iter().map(|c| self.mbr(*c)).collect();
+        let (left_idx, right_idx) = quadratic_split(&rects, self.config.min_entries);
+        let left: Vec<NodeId> = left_idx.iter().map(|&i| children[i]).collect();
+        let right: Vec<NodeId> = right_idx.iter().map(|&i| children[i]).collect();
+        self.nodes[node.index()].kind = NodeKind::Internal(left);
+        self.recompute_mbr(node);
+        let mbr = Rect::mbr_of(right.iter().map(|&c| &self.nodes[c.index()].mbr))
+            .expect("non-empty split side");
+        self.alloc(mbr, NodeKind::Internal(right))
+    }
+}
+
+/// Guttman's quadratic split over a set of rectangles; returns the index
+/// partition `(left, right)`, each side holding at least `min_entries`.
+fn quadratic_split(rects: &[Rect], min_entries: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = rects.len();
+    debug_assert!(n >= 2);
+
+    // PickSeeds: the pair wasting the most area if grouped together.
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste =
+                rects[i].mbr_with(&rects[j]).area() - rects[i].area() - rects[j].area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let mut left = vec![seed_a];
+    let mut right = vec![seed_b];
+    let mut left_mbr = rects[seed_a];
+    let mut right_mbr = rects[seed_b];
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+
+    while let Some(pos) = pick_next(&remaining, rects, &left_mbr, &right_mbr) {
+        let idx = remaining.swap_remove(pos);
+        // Force-assign when a side needs every remaining entry (this one
+        // included) to reach the minimum fill.
+        let must_fill_left = left.len() + remaining.len() < min_entries;
+        let must_fill_right = right.len() + remaining.len() < min_entries;
+        let to_left = if must_fill_left {
+            true
+        } else if must_fill_right {
+            false
+        } else {
+            let grow_l = left_mbr.enlargement(&rects[idx]);
+            let grow_r = right_mbr.enlargement(&rects[idx]);
+            if grow_l != grow_r {
+                grow_l < grow_r
+            } else if left_mbr.area() != right_mbr.area() {
+                left_mbr.area() < right_mbr.area()
+            } else {
+                left.len() <= right.len()
+            }
+        };
+        if to_left {
+            left.push(idx);
+            left_mbr = left_mbr.mbr_with(&rects[idx]);
+        } else {
+            right.push(idx);
+            right_mbr = right_mbr.mbr_with(&rects[idx]);
+        }
+    }
+    (left, right)
+}
+
+/// PickNext: the entry with the greatest preference difference.
+fn pick_next(
+    remaining: &[usize],
+    rects: &[Rect],
+    left_mbr: &Rect,
+    right_mbr: &Rect,
+) -> Option<usize> {
+    if remaining.is_empty() {
+        return None;
+    }
+    let mut best_pos = 0;
+    let mut best_diff = f64::NEG_INFINITY;
+    for (pos, &idx) in remaining.iter().enumerate() {
+        let diff =
+            (left_mbr.enlargement(&rects[idx]) - right_mbr.enlargement(&rects[idx])).abs();
+        if diff > best_diff {
+            best_diff = diff;
+            best_pos = pos;
+        }
+    }
+    Some(best_pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::RTreeConfig;
+
+    fn random_rects(n: usize, seed: u64) -> Vec<Rect> {
+        // Deterministic LCG to avoid a rand dependency in unit tests.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / f64::from(u32::MAX)
+        };
+        (0..n)
+            .map(|_| {
+                let x = next() * 1000.0;
+                let y = next() * 1000.0;
+                let w = next() * 20.0;
+                let h = next() * 20.0;
+                Rect::new(x, y, x + w, y + h).unwrap()
+            })
+            .collect()
+    }
+
+    fn check_invariants(t: &RTree<usize>) {
+        let Some(root) = t.root() else { return };
+        fn walk(t: &RTree<usize>, id: NodeId, depth: usize, leaf_depths: &mut Vec<usize>) {
+            let mbr = t.mbr(id);
+            match t.kind(id) {
+                NodeKind::Leaf(entries) => {
+                    assert!(!entries.is_empty(), "empty leaf");
+                    assert!(entries.len() <= t.config().max_entries, "leaf overflow");
+                    for e in entries {
+                        assert!(mbr.contains_rect(&e.rect), "leaf MBR violation");
+                    }
+                    leaf_depths.push(depth);
+                }
+                NodeKind::Internal(children) => {
+                    assert!(!children.is_empty(), "empty internal node");
+                    assert!(children.len() <= t.config().max_entries);
+                    for &c in children {
+                        assert!(mbr.contains_rect(&t.mbr(c)), "internal MBR violation");
+                        walk(t, c, depth + 1, leaf_depths);
+                    }
+                }
+            }
+        }
+        let mut depths = Vec::new();
+        walk(t, root, 1, &mut depths);
+        let first = depths[0];
+        assert!(
+            depths.iter().all(|&d| d == first),
+            "tree is not height-balanced"
+        );
+        assert_eq!(first, t.height(), "height bookkeeping wrong");
+    }
+
+    #[test]
+    fn insert_one() {
+        let mut t = RTree::new(RTreeConfig::with_fanout(4));
+        t.insert(Rect::new(0.0, 0.0, 1.0, 1.0).unwrap(), 0usize);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        check_invariants(&t);
+    }
+
+    #[test]
+    fn insert_many_small_fanout() {
+        let mut t = RTree::new(RTreeConfig::with_fanout(3));
+        for (i, r) in random_rects(200, 42).into_iter().enumerate() {
+            t.insert(r, i);
+            if i % 17 == 0 {
+                check_invariants(&t);
+            }
+        }
+        assert_eq!(t.len(), 200);
+        check_invariants(&t);
+        assert!(t.height() >= 4, "200 entries at fanout 3 must be deep");
+    }
+
+    #[test]
+    fn insert_many_default_fanout() {
+        let mut t = RTree::new(RTreeConfig::default());
+        for (i, r) in random_rects(3000, 7).into_iter().enumerate() {
+            t.insert(r, i);
+        }
+        assert_eq!(t.len(), 3000);
+        check_invariants(&t);
+    }
+
+    #[test]
+    fn all_inserted_entries_findable() {
+        let rects = random_rects(500, 99);
+        let mut t = RTree::new(RTreeConfig::with_fanout(8));
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i);
+        }
+        for (i, r) in rects.iter().enumerate() {
+            let hits = t.search_intersecting(r);
+            assert!(
+                hits.iter().any(|e| e.value == i),
+                "entry {i} not found by its own rect"
+            );
+        }
+    }
+
+    #[test]
+    fn quadratic_split_respects_min_fill() {
+        let rects = random_rects(10, 5);
+        let (l, r) = quadratic_split(&rects, 4);
+        assert!(l.len() >= 4 && r.len() >= 4);
+        assert_eq!(l.len() + r.len(), 10);
+        let mut all: Vec<usize> = l.iter().chain(r.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_rects_are_fine() {
+        let mut t = RTree::new(RTreeConfig::with_fanout(4));
+        let r = Rect::new(5.0, 5.0, 6.0, 6.0).unwrap();
+        for i in 0..50usize {
+            t.insert(r, i);
+        }
+        assert_eq!(t.len(), 50);
+        check_invariants(&t);
+        assert_eq!(t.search_intersecting(&r).len(), 50);
+    }
+}

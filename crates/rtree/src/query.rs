@@ -1,0 +1,193 @@
+//! Overlap queries and the open traversal API.
+
+use crate::node::{LeafEntry, NodeId, NodeKind, RTree};
+use seal_geom::Rect;
+
+/// What a traversal visitor decides at each internal node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Descend {
+    /// Visit this node's children.
+    Yes,
+    /// Prune the whole subtree.
+    No,
+}
+
+impl<T> RTree<T> {
+    /// All leaf entries whose rectangles intersect `probe` (closed
+    /// intersection — boundary touch counts, matching
+    /// [`Rect::intersects`]).
+    pub fn search_intersecting(&self, probe: &Rect) -> Vec<&LeafEntry<T>> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else {
+            return out;
+        };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !self.mbr(id).intersects(probe) {
+                continue;
+            }
+            match self.kind(id) {
+                NodeKind::Leaf(entries) => {
+                    out.extend(entries.iter().filter(|e| e.rect.intersects(probe)));
+                }
+                NodeKind::Internal(children) => stack.extend(children.iter().copied()),
+            }
+        }
+        out
+    }
+
+    /// All leaf entries with positive-area overlap with `probe`.
+    pub fn search_overlapping(&self, probe: &Rect) -> Vec<&LeafEntry<T>> {
+        self.search_intersecting(probe)
+            .into_iter()
+            .filter(|e| e.rect.overlaps_positively(probe))
+            .collect()
+    }
+
+    /// Generic pruned traversal: `descend` is consulted at every
+    /// internal node (given its id) and `on_leaf` receives every reached
+    /// leaf node id. The IR-tree baseline uses this to apply its node
+    /// bounds: it descends only if the node passes both the spatial
+    /// overlap bound and the textual overlap bound (Section 2.3).
+    ///
+    /// Returns the number of nodes visited (root counts; pruned subtrees
+    /// do not), which the benchmarks report as IR-tree node accesses.
+    pub fn traverse(
+        &self,
+        mut descend: impl FnMut(NodeId) -> Descend,
+        mut on_leaf: impl FnMut(NodeId, &[LeafEntry<T>]),
+    ) -> usize {
+        let Some(root) = self.root else {
+            return 0;
+        };
+        let mut visited = 0usize;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            match self.kind(id) {
+                NodeKind::Leaf(entries) => {
+                    if descend(id) == Descend::Yes {
+                        on_leaf(id, entries);
+                    }
+                }
+                NodeKind::Internal(children) => {
+                    if descend(id) == Descend::Yes {
+                        stack.extend(children.iter().copied());
+                    }
+                }
+            }
+        }
+        visited
+    }
+
+    /// Iterates every leaf node id with its entries (index construction
+    /// for the IR-tree's per-node inverted files).
+    pub fn for_each_leaf(&self, mut f: impl FnMut(NodeId, &[LeafEntry<T>])) {
+        self.traverse(|_| Descend::Yes, |id, entries| f(id, entries));
+    }
+
+    /// Iterates every node id top-down.
+    pub fn for_each_node(&self, mut f: impl FnMut(NodeId)) {
+        self.traverse(
+            |id| {
+                f(id);
+                Descend::Yes
+            },
+            |_, _| {},
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::RTreeConfig;
+
+    fn build(n: usize) -> RTree<usize> {
+        let items: Vec<(Rect, usize)> = (0..n)
+            .map(|i| {
+                let x = (i % 30) as f64 * 10.0;
+                let y = (i / 30) as f64 * 10.0;
+                (Rect::new(x, y, x + 8.0, y + 8.0).unwrap(), i)
+            })
+            .collect();
+        RTree::bulk_load(items, RTreeConfig::with_fanout(8))
+    }
+
+    #[test]
+    fn search_matches_linear_scan() {
+        let t = build(300);
+        let probe = Rect::new(35.0, 15.0, 95.0, 55.0).unwrap();
+        let mut got: Vec<usize> = t
+            .search_intersecting(&probe)
+            .iter()
+            .map(|e| e.value)
+            .collect();
+        got.sort_unstable();
+        let mut expect: Vec<usize> = (0..300)
+            .filter(|i| {
+                let x = (i % 30) as f64 * 10.0;
+                let y = (i / 30) as f64 * 10.0;
+                Rect::new(x, y, x + 8.0, y + 8.0).unwrap().intersects(&probe)
+            })
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn overlapping_excludes_boundary_touch() {
+        let t = build(10);
+        // Probe touching entry 0's right edge (x=8) exactly.
+        let probe = Rect::new(8.0, 0.0, 9.0, 8.0).unwrap();
+        let touch: Vec<usize> = t
+            .search_intersecting(&probe)
+            .iter()
+            .map(|e| e.value)
+            .collect();
+        assert!(touch.contains(&0));
+        let positive: Vec<usize> = t
+            .search_overlapping(&probe)
+            .iter()
+            .map(|e| e.value)
+            .collect();
+        assert!(!positive.contains(&0));
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: RTree<usize> = RTree::new(RTreeConfig::default());
+        let probe = Rect::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        assert!(t.search_intersecting(&probe).is_empty());
+        assert_eq!(t.traverse(|_| Descend::Yes, |_, _| {}), 0);
+    }
+
+    #[test]
+    fn traverse_prunes() {
+        let t = build(300);
+        // Never descend: only the root is visited.
+        let visited = t.traverse(|_| Descend::No, |_, _| panic!("leaf reached"));
+        assert_eq!(visited, 1);
+        // Always descend: all nodes visited.
+        let mut leaves = 0;
+        let visited = t.traverse(|_| Descend::Yes, |_, _| leaves += 1);
+        assert_eq!(visited, t.node_count());
+        assert!(leaves > 0);
+    }
+
+    #[test]
+    fn for_each_leaf_covers_all_entries() {
+        let t = build(100);
+        let mut count = 0;
+        t.for_each_leaf(|_, entries| count += entries.len());
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn for_each_node_counts() {
+        let t = build(100);
+        let mut nodes = 0;
+        t.for_each_node(|_| nodes += 1);
+        assert_eq!(nodes, t.node_count());
+    }
+}

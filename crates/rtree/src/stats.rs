@@ -1,0 +1,83 @@
+//! Size and shape statistics (Table 1 reports IR-tree index sizes).
+
+use crate::node::{NodeKind, RTree};
+use seal_geom::Rect;
+
+/// Summary statistics of a built R-tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RTreeStats {
+    /// Number of data entries.
+    pub entries: usize,
+    /// Number of nodes (leaf + internal).
+    pub nodes: usize,
+    /// Number of leaf nodes.
+    pub leaves: usize,
+    /// Tree height.
+    pub height: usize,
+    /// Approximate heap bytes of the spatial structure alone (the
+    /// IR-tree baseline adds its per-node inverted files on top).
+    pub size_bytes: usize,
+}
+
+impl<T> RTree<T> {
+    /// Computes summary statistics.
+    pub fn stats(&self) -> RTreeStats {
+        let mut leaves = 0usize;
+        let mut size = 0usize;
+        let node_overhead = std::mem::size_of::<Rect>() + std::mem::size_of::<usize>();
+        for i in 0..self.node_count() {
+            let id = crate::node::NodeId(i as u32);
+            size += node_overhead;
+            match self.kind(id) {
+                NodeKind::Leaf(entries) => {
+                    leaves += 1;
+                    size += entries.len()
+                        * (std::mem::size_of::<Rect>() + std::mem::size_of::<T>());
+                }
+                NodeKind::Internal(children) => {
+                    size += children.len() * std::mem::size_of::<crate::node::NodeId>();
+                }
+            }
+        }
+        RTreeStats {
+            entries: self.len(),
+            nodes: self.node_count(),
+            leaves,
+            height: self.height(),
+            size_bytes: size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::RTreeConfig;
+
+    #[test]
+    fn stats_of_bulk_loaded_tree() {
+        let items: Vec<(Rect, u32)> = (0..256)
+            .map(|i| {
+                let x = f64::from(i % 16) * 4.0;
+                let y = f64::from(i / 16) * 4.0;
+                (Rect::new(x, y, x + 3.0, y + 3.0).unwrap(), i)
+            })
+            .collect();
+        let t = RTree::bulk_load(items, RTreeConfig::with_fanout(16));
+        let s = t.stats();
+        assert_eq!(s.entries, 256);
+        assert_eq!(s.leaves, 16, "256 entries at fanout 16 pack 16 leaves");
+        assert_eq!(s.height, 2);
+        assert!(s.size_bytes > 256 * std::mem::size_of::<Rect>());
+        assert_eq!(s.nodes, t.node_count());
+    }
+
+    #[test]
+    fn stats_of_empty_tree() {
+        let t: RTree<u32> = RTree::new(RTreeConfig::default());
+        let s = t.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.size_bytes, 0);
+    }
+}

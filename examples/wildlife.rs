@@ -1,0 +1,90 @@
+//! Wildlife monitoring (the paper's third motivating application,
+//! Section 1): species are ROIs — habitat MBRs plus descriptive feature
+//! tags — and a zoologist asks for species with certain features
+//! inhabiting a specific region.
+//!
+//! Run with: `cargo run --example wildlife`
+
+use seal_core::{FilterKind, ObjectStore, Query, SealEngine};
+use seal_geom::Rect;
+use std::sync::Arc;
+
+fn main() {
+    // Habitats in a 1000×1000 km study area (coordinates in km).
+    // Tags are free-form feature vocabularies, as in the paper's
+    // "mammal, omnivore" example.
+    let store = ObjectStore::from_labeled(vec![
+        (
+            rect(100.0, 600.0, 400.0, 900.0), // a Yellowstone-like park
+            vec!["grizzly", "bear", "mammal", "omnivore"],
+        ),
+        (
+            rect(150.0, 650.0, 450.0, 950.0),
+            vec!["elk", "mammal", "herbivore"],
+        ),
+        (
+            rect(120.0, 580.0, 380.0, 880.0),
+            vec!["wolf", "mammal", "carnivore", "pack"],
+        ),
+        (
+            rect(600.0, 100.0, 900.0, 350.0),
+            vec!["alligator", "reptile", "carnivore", "wetland"],
+        ),
+        (
+            rect(640.0, 120.0, 920.0, 380.0),
+            vec!["heron", "bird", "carnivore", "wetland"],
+        ),
+        (
+            rect(50.0, 50.0, 250.0, 250.0),
+            vec!["tortoise", "reptile", "herbivore", "desert"],
+        ),
+    ]);
+    let store = Arc::new(store);
+    let dict = store.dictionary().expect("labeled store");
+
+    let engine = SealEngine::build(
+        store.clone(),
+        FilterKind::Hierarchical {
+            max_level: 6,
+            budget: 8,
+        },
+    );
+
+    // "Which mammals live around the northern park?"
+    let q = Query::with_token_ids(
+        rect(80.0, 550.0, 420.0, 920.0),
+        ["mammal"].iter().filter_map(|t| dict.get(t)),
+        0.3,
+        0.1,
+    )
+    .expect("valid thresholds");
+
+    let result = engine.search(&q).sorted();
+    println!("mammals overlapping the northern park:");
+    for id in &result.answers {
+        let o = store.get(*id);
+        let tags: Vec<&str> = o.tokens.iter().filter_map(|t| dict.name(t)).collect();
+        println!("  {:?} {:?}", id, tags);
+        assert!(tags.contains(&"mammal"));
+    }
+    assert_eq!(result.answers.len(), 3, "grizzly, elk and wolf habitats");
+
+    // "Any wetland carnivores in the south-east?"
+    // Both wetland species carry two extra high-idf tokens (species
+    // name + class), so the weighted Jaccard against {carnivore,
+    // wetland} sits near 0.35 — ask for 0.3.
+    let q2 = Query::with_token_ids(
+        rect(580.0, 80.0, 950.0, 400.0),
+        ["carnivore", "wetland"].iter().filter_map(|t| dict.get(t)),
+        0.4,
+        0.3,
+    )
+    .expect("valid thresholds");
+    let r2 = engine.search(&q2).sorted();
+    println!("wetland carnivores in the south-east: {} species", r2.answers.len());
+    assert_eq!(r2.answers.len(), 2, "alligator and heron");
+}
+
+fn rect(a: f64, b: f64, c: f64, d: f64) -> Rect {
+    Rect::new(a, b, c, d).expect("valid rectangle")
+}

@@ -1,0 +1,86 @@
+//! Integration: inverted indexes built by the filters survive the
+//! binary codec and keep answering identically (the disk-resident
+//! deployment path of Section 6.1).
+
+use seal_core::signatures::grid::GridScheme;
+use seal_core::signatures::textual::TextualSignature;
+use seal_index::{HybridIndex, InvertedIndex};
+use std::sync::Arc;
+
+#[path = "util/mod.rs"]
+mod util;
+use util::twitter_fixture;
+
+#[test]
+fn token_index_roundtrips_through_bytes() {
+    let (store, _) = twitter_fixture(800, 1);
+    let store = Arc::new(store);
+    let mut idx: InvertedIndex<u32> = InvertedIndex::new();
+    for (id, o) in store.iter() {
+        let sig = TextualSignature::build(&o.tokens, store.weights(), store.token_order());
+        for (e, b) in sig.elements_with_bounds() {
+            idx.push(e.token.0, id.0, b);
+        }
+    }
+    idx.finalize();
+    let bytes = idx.to_bytes();
+    let back: InvertedIndex<u32> = InvertedIndex::from_bytes(bytes).unwrap();
+    assert_eq!(back.key_count(), idx.key_count());
+    assert_eq!(back.posting_count(), idx.posting_count());
+    // Spot-check qualifying sets for a sample of keys and thresholds.
+    let mut checked = 0;
+    for (key, list) in idx.iter() {
+        if checked >= 50 {
+            break;
+        }
+        for c in [0.0, 0.5, 2.0, 10.0] {
+            let a: Vec<u32> = list.qualifying(c).iter().map(|p| p.object).collect();
+            let b: Vec<u32> = back.qualifying(key, c).iter().map(|p| p.object).collect();
+            assert_eq!(a, b, "key {key} threshold {c}");
+        }
+        checked += 1;
+    }
+}
+
+#[test]
+fn grid_index_roundtrips_through_bytes() {
+    let (store, _) = twitter_fixture(800, 1);
+    let store = Arc::new(store);
+    let scheme = GridScheme::build(&store, 64);
+    let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+    for (id, o) in store.iter() {
+        for (e, b) in scheme.signature(&o.region).elements_with_bounds() {
+            idx.push(e.cell, id.0, b);
+        }
+    }
+    idx.finalize();
+    let back: InvertedIndex<u64> = InvertedIndex::from_bytes(idx.to_bytes()).unwrap();
+    assert_eq!(back.posting_count(), idx.posting_count());
+}
+
+#[test]
+fn hybrid_index_roundtrips_through_bytes() {
+    let (store, _) = twitter_fixture(400, 1);
+    let store = Arc::new(store);
+    let scheme = GridScheme::build(&store, 32);
+    let mut idx: HybridIndex<u128> = HybridIndex::new();
+    for (id, o) in store.iter() {
+        let tsig = TextualSignature::build(&o.tokens, store.weights(), store.token_order());
+        let gsig = scheme.signature(&o.region);
+        for (t, tb) in tsig.elements_with_bounds() {
+            for (g, gb) in gsig.elements_with_bounds() {
+                let key = (u128::from(t.token.0) << 64) | u128::from(g.cell);
+                idx.push(key, id.0, gb, tb);
+            }
+        }
+    }
+    idx.finalize();
+    let back: HybridIndex<u128> = HybridIndex::from_bytes(idx.to_bytes()).unwrap();
+    assert_eq!(back.posting_count(), idx.posting_count());
+    assert_eq!(back.key_count(), idx.key_count());
+    for (key, list) in idx.iter().take(25) {
+        let a: Vec<u32> = list.qualifying(10.0, 0.5).map(|p| p.object).collect();
+        let b: Vec<u32> = back.qualifying(key, 10.0, 0.5).map(|p| p.object).collect();
+        assert_eq!(a, b);
+    }
+}
