@@ -1,0 +1,44 @@
+//! Batch-serving throughput: `search_batch`'s work-stealing loop at
+//! 1/2/4/8 threads over a datagen store. This is the contention
+//! benchmark for the zero-lock query path — before the
+//! `QueryContext` refactor every thread serialized on the filters'
+//! scratch mutex, so added threads bought nothing.
+//!
+//! `cargo bench --bench batch`. For the recorded JSON baseline see
+//! `src/bin/bench_batch.rs` (writes `BENCH_batch.json`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use seal_bench::data::{build_store, dataset, with_thresholds, workload, BenchConfig, Which};
+use seal_core::{FilterKind, SealEngine};
+use seal_datagen::QuerySpec;
+
+fn bench_batch_threads(c: &mut Criterion) {
+    let cfg = BenchConfig {
+        objects: 10_000,
+        queries: 64,
+        seed: 11,
+    };
+    let d = dataset(Which::Twitter, &cfg);
+    let store = build_store(&d);
+    let raw = workload(&d, QuerySpec::SmallRegion, &cfg);
+    let qs = with_thresholds(&raw, 0.4, 0.4);
+    let engine = SealEngine::build(store, FilterKind::seal_default());
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let results = engine.search_batch(&qs, t);
+                black_box(results.iter().map(|r| r.answers.len()).sum::<usize>())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_threads
+}
+criterion_main!(benches);

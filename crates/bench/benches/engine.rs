@@ -70,7 +70,7 @@ fn bench_builds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_methods, bench_builds

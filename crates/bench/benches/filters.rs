@@ -53,7 +53,10 @@ fn bench_filter_shootout(c: &mut Criterion) {
     let qs = with_thresholds(&raw, 0.4, 0.4);
     let engines = vec![
         ("token", SealEngine::build(store.clone(), FilterKind::Token)),
-        ("grid512", SealEngine::build(store.clone(), FilterKind::Grid { side: 512 })),
+        (
+            "grid512",
+            SealEngine::build(store.clone(), FilterKind::Grid { side: 512 }),
+        ),
         (
             "hash512",
             SealEngine::build(
@@ -88,7 +91,7 @@ fn bench_filter_shootout(c: &mut Criterion) {
     }
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_prefix_ablation, bench_filter_shootout

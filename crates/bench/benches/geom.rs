@@ -44,7 +44,7 @@ fn bench_gridtree(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_rect_ops, bench_grid_overlaps, bench_gridtree

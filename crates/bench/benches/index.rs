@@ -1,6 +1,6 @@
-//! Ablation: threshold-bounded posting lists (Lemma 3's descending sort
-//! + binary-search cut) versus a naive linear scan of unsorted lists.
-//! This is design decision #1 of DESIGN.md §5.
+//! Ablation: threshold-bounded posting lists (Lemma 3's descending
+//! sort + binary-search cut) versus a naive linear scan of unsorted
+//! lists. This is design decision #1 of DESIGN.md §5.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -50,7 +50,11 @@ fn bench_serialization(c: &mut Criterion) {
     let mut idx: InvertedIndex<u64> = InvertedIndex::new();
     let mut rng = StdRng::seed_from_u64(7);
     for _ in 0..50_000 {
-        idx.push(rng.gen_range(0..2_000), rng.gen_range(0..100_000), rng.gen());
+        idx.push(
+            rng.gen_range(0..2_000),
+            rng.gen_range(0..100_000),
+            rng.gen(),
+        );
     }
     idx.finalize();
     c.bench_function("index/serialize_50k", |bench| {
@@ -65,7 +69,7 @@ fn bench_serialization(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_qualifying, bench_serialization

@@ -56,7 +56,7 @@ fn bench_query(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_bulk_load, bench_insert, bench_query

@@ -1,0 +1,69 @@
+//! Records the batch-serving throughput baseline to `BENCH_batch.json`:
+//! queries/sec for `search_batch` at 1/2/4/8 threads (SEAL default
+//! filter over a Twitter-like store), plus the measured speedups.
+//!
+//! ```text
+//! cargo run --release -p seal-bench --bin bench_batch -- \
+//!     [--objects N] [--queries N] [--seed N] [--out PATH]
+//! ```
+//!
+//! The scaling numbers are only meaningful on multi-core hardware: the
+//! JSON records `available_parallelism` alongside the throughputs so a
+//! 1-core CI container's flat curve is not mistaken for contention.
+
+use seal_bench::data::{build_store, dataset, with_thresholds, workload, BenchConfig, Which};
+use seal_bench::harness::batch_qps;
+use seal_core::{FilterKind, SealEngine};
+use seal_datagen::QuerySpec;
+use std::io::Write;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_batch.json".to_string());
+
+    let d = dataset(Which::Twitter, &cfg);
+    let store = build_store(&d);
+    let raw = workload(&d, QuerySpec::LargeRegion, &cfg);
+    let qs = with_thresholds(&raw, 0.2, 0.2);
+    let engine = SealEngine::build(store, FilterKind::seal_default());
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = [1usize, 2, 4, 8];
+    let mut qps = Vec::new();
+    for &t in &threads {
+        let v = batch_qps(&engine, &qs, t, 3);
+        println!("threads={t:<2} {v:>10.1} q/s");
+        qps.push(v);
+    }
+    let base = qps[0].max(1e-9);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"search_batch throughput (queries/sec)\",\n");
+    json.push_str(&format!("  \"filter\": \"{}\",\n", engine.filter_name()));
+    json.push_str(&format!("  \"objects\": {},\n", engine.store().len()));
+    json.push_str(&format!("  \"queries\": {},\n", qs.len()));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str("  \"threads\": [1, 2, 4, 8],\n");
+    json.push_str(&format!(
+        "  \"qps\": [{:.1}, {:.1}, {:.1}, {:.1}],\n",
+        qps[0], qps[1], qps[2], qps[3]
+    ));
+    json.push_str(&format!(
+        "  \"speedup_vs_1_thread\": [{:.2}, {:.2}, {:.2}, {:.2}]\n",
+        qps[0] / base,
+        qps[1] / base,
+        qps[2] / base,
+        qps[3] / base
+    ));
+    json.push_str("}\n");
+
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {out_path}");
+}

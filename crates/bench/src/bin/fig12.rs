@@ -24,7 +24,12 @@ fn main() {
         SealEngine::build(store.clone(), FilterKind::Grid { side: 512 }),
         SealEngine::build(store.clone(), FilterKind::Grid { side: 1024 }),
     ];
-    let names = ["TokenFilter", "GridFilter(256)", "GridFilter(512)", "GridFilter(1024)"];
+    let names = [
+        "TokenFilter",
+        "GridFilter(256)",
+        "GridFilter(512)",
+        "GridFilter(1024)",
+    ];
     let widths = [8, 14, 16, 16, 17];
 
     for (panel, spec) in [

@@ -63,7 +63,10 @@ fn main() {
         // 6..=13 are granularities 64..=8192).
         println!("\n   cost-model estimate (π1=1, π2=10), levels 6..13:");
         let costs = level_costs(&store, &qs, 13, CostModel::default());
-        print_header(&["granularity", "filterCost", "verifyCost", "total", ""], &widths);
+        print_header(
+            &["granularity", "filterCost", "verifyCost", "total", ""],
+            &widths,
+        );
         for c in costs.iter().filter(|c| c.level >= 6) {
             print_row(
                 &[

@@ -23,9 +23,12 @@ fn main() {
     let store = build_store(&d);
 
     // Four matched budget steps: hash bucket counts and HSS budgets.
-    let steps: [(u64, usize); 4] =
-        [(1 << 14, 8), (1 << 16, 32), (1 << 18, 128), (1 << 20, 512)];
-    eprintln!("building {} engine pairs over {} objects…", steps.len(), store.len());
+    let steps: [(u64, usize); 4] = [(1 << 14, 8), (1 << 16, 32), (1 << 18, 128), (1 << 20, 512)];
+    eprintln!(
+        "building {} engine pairs over {} objects…",
+        steps.len(),
+        store.len()
+    );
     let engines: Vec<(SealEngine, SealEngine)> = steps
         .iter()
         .map(|&(buckets, budget)| {

@@ -34,14 +34,20 @@ fn main() {
         let mut row = vec![format!("{n}")];
         for tau_r in [0.1, 0.3, 0.5] {
             let qs = with_thresholds(&raw, tau_r, DEFAULT_TAU);
-            row.push(format!("{:.1}", 1e3 * mean_query_ms(&qs, |q| engine.search(q))));
+            row.push(format!(
+                "{:.1}",
+                1e3 * mean_query_ms(&qs, |q| engine.search(q))
+            ));
         }
         rows_spatial.push(row);
 
         let mut row = vec![format!("{n}")];
         for tau_t in [0.1, 0.3, 0.5] {
             let qs = with_thresholds(&raw, DEFAULT_TAU, tau_t);
-            row.push(format!("{:.1}", 1e3 * mean_query_ms(&qs, |q| engine.search(q))));
+            row.push(format!(
+                "{:.1}",
+                1e3 * mean_query_ms(&qs, |q| engine.search(q))
+            ));
         }
         rows_textual.push(row);
     }

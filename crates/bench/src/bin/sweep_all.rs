@@ -10,7 +10,9 @@ fn main() {
     let pass_through: Vec<String> = std::env::args().skip(1).collect();
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");
-    for bin in ["table1", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18"] {
+    for bin in [
+        "table1", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+    ] {
         println!("\n========== {bin} ==========");
         let status = Command::new(dir.join(bin))
             .args(&pass_through)

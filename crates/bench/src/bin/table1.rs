@@ -9,7 +9,10 @@ use seal_core::{FilterKind, SealEngine};
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("# Table 1: data statistics and index sizes ({} objects/dataset)\n", cfg.objects);
+    println!(
+        "# Table 1: data statistics and index sizes ({} objects/dataset)\n",
+        cfg.objects
+    );
 
     let widths = [26, 16, 16];
     print_header(&["", "Twitter-like", "USA-like"], &widths);
@@ -22,7 +25,11 @@ fn main() {
         let stats = store.stats();
         if rows.is_empty() {
             rows.push(["Object number".into(), String::new(), String::new()]);
-            rows.push(["Avg region area (km^2)".into(), String::new(), String::new()]);
+            rows.push([
+                "Avg region area (km^2)".into(),
+                String::new(),
+                String::new(),
+            ]);
             rows.push(["Entire space (M km^2)".into(), String::new(), String::new()]);
             rows.push(["Avg token number".into(), String::new(), String::new()]);
             rows.push(["Data size (MB)".into(), String::new(), String::new()]);
@@ -69,7 +76,5 @@ fn main() {
     for (tw, usa) in engines[0].iter().zip(engines[1].iter()) {
         print_row(&[tw.0.clone(), mb(tw.1), mb(usa.1)], &widths);
     }
-    println!(
-        "\npaper shape to check: IR-tree >> HashInv > HierarchicalInv > TokenInv > GridInv"
-    );
+    println!("\npaper shape to check: IR-tree >> HashInv > HierarchicalInv > TokenInv > GridInv");
 }

@@ -45,9 +45,17 @@ pub fn run_method_comparison(
 
     for (panel, spec, sweep_spatial) in [
         ("a: large-region, sweep tau_R", QuerySpec::LargeRegion, true),
-        ("b: large-region, sweep tau_T", QuerySpec::LargeRegion, false),
+        (
+            "b: large-region, sweep tau_T",
+            QuerySpec::LargeRegion,
+            false,
+        ),
         ("c: small-region, sweep tau_R", QuerySpec::SmallRegion, true),
-        ("d: small-region, sweep tau_T", QuerySpec::SmallRegion, false),
+        (
+            "d: small-region, sweep tau_T",
+            QuerySpec::SmallRegion,
+            false,
+        ),
     ] {
         let raw = workload(dataset, spec, cfg);
         println!("\n## {figure}({panel})  [{}]  [ms/query]", dataset.name);

@@ -28,6 +28,27 @@ pub fn mean_query_ms<Q, T>(queries: &[Q], mut f: impl FnMut(&Q) -> T) -> f64 {
     start.elapsed().as_secs_f64() * 1e3 / (PASSES * queries.len()) as f64
 }
 
+/// Measures batch-serving throughput: one warm-up pass, then `passes`
+/// measured runs of `SealEngine::search_batch` over the workload at
+/// the given thread count. Returns queries per second (mean across
+/// passes).
+pub fn batch_qps(
+    engine: &seal_core::SealEngine,
+    queries: &[seal_core::Query],
+    threads: usize,
+    passes: usize,
+) -> f64 {
+    if queries.is_empty() || passes == 0 {
+        return 0.0;
+    }
+    std::hint::black_box(engine.search_batch(queries, threads));
+    let start = Instant::now();
+    for _ in 0..passes {
+        std::hint::black_box(engine.search_batch(queries, threads));
+    }
+    (passes * queries.len()) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
 /// Prints a fixed-width table row.
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let mut line = String::new();

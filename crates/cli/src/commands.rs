@@ -2,7 +2,10 @@
 
 use crate::args::{parse_region, Args};
 use seal_core::{FilterKind, ObjectStore, Query, RoiObject, SealEngine};
-use seal_datagen::{io as dio, twitter_like, usa_like, Dataset, TwitterParams, UsaParams};
+use seal_datagen::{
+    generate_queries, io as dio, twitter_like, usa_like, Dataset, QueryParams, QuerySpec,
+    TwitterParams, UsaParams,
+};
 use seal_text::{TokenId, TokenSet};
 use std::error::Error;
 use std::fs::File;
@@ -23,6 +26,9 @@ commands:
   query     --data FILE --region x0,y0,x1,y1 --tokens a,b,c
             [--tau-r F] [--tau-t F] [--filter ...] [--top-k N]
             run one spatio-textual similarity query
+  batch     --data FILE [--queries N] [--threads N] [--filter ...]
+            [--tau-r F] [--tau-t F] [--spec large|small] [--seed N]
+            generate a query workload and serve it in parallel
   help      show this message";
 
 /// Entry point used by `main` (and by the tests, with captured output).
@@ -37,6 +43,7 @@ pub fn run(argv: &[String]) -> Result<(), Box<dyn Error>> {
         "stats" => cmd_stats(&args),
         "index" => cmd_index(&args),
         "query" => cmd_query(&args),
+        "batch" => cmd_batch(&args),
         other => Err(format!("unknown command {other:?}").into()),
     }
 }
@@ -156,8 +163,8 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn Error>> {
     }
 
     let engine = SealEngine::build(store.clone(), kind);
-    if let Some(k) = args.optional("top-k") {
-        let k: usize = k.parse().map_err(|e| format!("bad --top-k: {e}"))?;
+    if args.optional("top-k").is_some() {
+        let k: usize = args.parsed("top-k")?;
         let top = engine.search_top_k(region, TokenSet::from_ids(ids), k, 0.5);
         println!("top-{k} by combined score:");
         for (id, score) in top {
@@ -184,11 +191,66 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn Error>> {
             .iter()
             .filter_map(|t| names.get(t.0 as usize).map(String::as_str))
             .collect();
-        println!("  object {:>8}  area {:.3}  tokens {}", id.0, o.region.area(), toks.join(","));
+        println!(
+            "  object {:>8}  area {:.3}  tokens {}",
+            id.0,
+            o.region.area(),
+            toks.join(",")
+        );
     }
     if result.answers.len() > 20 {
         println!("  … and {} more", result.answers.len() - 20);
     }
+    Ok(())
+}
+
+/// Parallel batch serving: generate a workload anchored on the dataset
+/// and drive it through `search_batch`'s work-stealing loop.
+fn cmd_batch(args: &Args) -> Result<(), Box<dyn Error>> {
+    let path = args.required("data")?;
+    let reader = BufReader::new(File::open(path)?);
+    let (dataset, _names) = dio::read_tsv(reader)?;
+    let store = store_from(&dataset);
+    let kind = filter_kind(args.optional("filter").unwrap_or("seal"))?;
+    let count: usize = args.parsed_or("queries", 200)?;
+    let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: usize = args.parsed_or("threads", default_threads)?;
+    let tau_r: f64 = args.parsed_or("tau-r", 0.4)?;
+    let tau_t: f64 = args.parsed_or("tau-t", 0.4)?;
+    let seed: u64 = args.parsed_or("seed", 2012)?;
+    let spec = match args.optional("spec").unwrap_or("large") {
+        "large" => QuerySpec::LargeRegion,
+        "small" => QuerySpec::SmallRegion,
+        other => return Err(format!("unknown query spec {other:?}").into()),
+    };
+
+    let raw = generate_queries(&dataset, &QueryParams { spec, count, seed });
+    let queries: Vec<Query> = raw
+        .iter()
+        .map(|r| {
+            Query::with_token_ids(r.region, r.tokens.iter().copied(), tau_r, tau_t)
+                .map_err(|e| format!("invalid thresholds: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let t0 = std::time::Instant::now();
+    let engine = SealEngine::build(store, kind);
+    let build_s = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let results = engine.search_batch(&queries, threads);
+    let wall = t1.elapsed().as_secs_f64();
+    let answers: usize = results.iter().map(|r| r.answers.len()).sum();
+    println!(
+        "served {} queries on {} threads with {}: {:.1} q/s ({:.3}s wall, {} answers, built in {:.3}s)",
+        queries.len(),
+        threads,
+        engine.filter_name(),
+        queries.len() as f64 / wall.max(1e-9),
+        wall,
+        answers,
+        build_s,
+    );
     Ok(())
 }
 
@@ -226,6 +288,11 @@ mod tests {
             "query --data {data_s} --region 0,0,40000,40000 --tokens tok0 --top-k 5"
         )))
         .unwrap();
+        run(&argv(&format!(
+            "batch --data {data_s} --queries 20 --threads 4 --filter adaptive \
+             --tau-r 0.2 --tau-t 0.2 --spec small"
+        )))
+        .unwrap();
         std::fs::remove_file(&data).ok();
     }
 
@@ -233,15 +300,19 @@ mod tests {
     fn helpful_errors() {
         assert!(run(&argv("bogus")).is_err());
         assert!(run(&argv("generate --kind nope --out /tmp/x")).is_err());
-        assert!(run(&argv("query --data /nonexistent-file.tsv --region 0,0,1,1 --tokens a"))
-            .is_err());
+        assert!(run(&argv(
+            "query --data /nonexistent-file.tsv --region 0,0,1,1 --tokens a"
+        ))
+        .is_err());
         run(&argv("help")).unwrap();
         run(&[]).unwrap();
     }
 
     #[test]
     fn filter_kinds_resolve() {
-        for f in ["seal", "token", "grid", "hash", "adaptive", "irtree", "keyword", "spatial"] {
+        for f in [
+            "seal", "token", "grid", "hash", "adaptive", "irtree", "keyword", "spatial",
+        ] {
             assert!(filter_kind(f).is_ok(), "{f}");
         }
         assert!(filter_kind("nope").is_err());

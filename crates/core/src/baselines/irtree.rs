@@ -11,7 +11,7 @@
 //! prunes poorly — high internal nodes have huge MBRs and near-complete
 //! vocabularies — and costs `H×` token storage (Table 1's 2.37 GB).
 
-use crate::filters::CandidateFilter;
+use crate::filters::{CandidateFilter, QueryContext};
 use crate::{ObjectId, ObjectStore, Query, SearchStats};
 use seal_rtree::{Descend, NodeId, NodeKind, RTree, RTreeConfig};
 use seal_text::{TokenId, TokenSet, TokenWeights};
@@ -55,16 +55,21 @@ impl IrTreeBaseline {
         fanout: usize,
         cfg: crate::SimilarityConfig,
     ) -> Self {
-        let items: Vec<(seal_geom::Rect, u32)> = store
-            .iter()
-            .map(|(id, o)| (o.region, id.0))
-            .collect();
+        let items: Vec<(seal_geom::Rect, u32)> =
+            store.iter().map(|(id, o)| (o.region, id.0)).collect();
         let tree = RTree::bulk_load(items, RTreeConfig::with_fanout(fanout));
         let mut node_tokens: HashMap<NodeId, TokenSet> = HashMap::new();
         let mut stored = 0usize;
         let mut postings = 0usize;
         if let Some(root) = tree.root() {
-            build_token_unions(&tree, &store, root, &mut node_tokens, &mut stored, &mut postings);
+            build_token_unions(
+                &tree,
+                &store,
+                root,
+                &mut node_tokens,
+                &mut stored,
+                &mut postings,
+            );
         }
         IrTreeBaseline {
             store,
@@ -134,14 +139,15 @@ impl CandidateFilter for IrTreeBaseline {
         "IR-Tree"
     }
 
-    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+    fn candidates_into(&self, q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats) {
         let start = Instant::now();
         let cfg = self.cfg;
         let c_r = crate::signatures::relax(cfg.spatial_threshold(q));
         let c_t = crate::signatures::relax(cfg.textual_threshold(q, self.store.weights()));
         let weights = self.store.weights();
         let region = q.region;
-        let mut out = Vec::new();
+        ctx.candidates.clear();
+        let out = &mut ctx.candidates;
         let visited = self.tree.traverse(
             |id| {
                 // Spatial bound: the node's MBR must be able to supply
@@ -173,7 +179,6 @@ impl CandidateFilter for IrTreeBaseline {
         );
         stats.nodes_visited += visited;
         stats.filter_time += start.elapsed();
-        out
     }
 
     fn index_bytes(&self) -> usize {
@@ -221,7 +226,10 @@ mod tests {
         let f = IrTreeBaseline::build_with_fanout(store.clone(), 3);
         let object_tokens: usize = store.objects().iter().map(|o| o.tokens.len()).sum();
         assert!(f.stored_tokens() <= object_tokens * f.tree().height());
-        assert!(f.stored_tokens() >= object_tokens.min(5), "unions are non-trivial");
+        assert!(
+            f.stored_tokens() >= object_tokens.min(5),
+            "unions are non-trivial"
+        );
     }
 
     #[test]

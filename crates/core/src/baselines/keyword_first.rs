@@ -3,9 +3,8 @@
 //! sharing a token with the query, keep those with `simT ≥ τ_T`, verify
 //! the spatial predicate afterwards.
 
-use crate::filters::CandidateFilter;
+use crate::filters::{CandidateFilter, QueryContext};
 use crate::{ObjectId, ObjectStore, Query, SearchStats};
-use parking_lot::Mutex;
 use seal_index::InvertedIndex;
 use seal_text::TokenWeights;
 use std::sync::Arc;
@@ -19,14 +18,6 @@ pub struct KeywordFirst {
     /// Σ_{t ∈ o.T} w(t) per object, for the Jaccard denominator.
     object_weights: Vec<f64>,
     empty_token_objects: Vec<ObjectId>,
-    acc: Mutex<Acc>,
-}
-
-#[derive(Debug)]
-struct Acc {
-    sums: Vec<f64>,
-    stamps: Vec<u32>,
-    epoch: u32,
 }
 
 impl KeywordFirst {
@@ -52,18 +43,12 @@ impl KeywordFirst {
             }
         }
         index.finalize();
-        let n = store.len();
         KeywordFirst {
             store,
             cfg,
             index,
             object_weights,
             empty_token_objects: empty,
-            acc: Mutex::new(Acc {
-                sums: vec![0.0; n],
-                stamps: vec![0; n],
-                epoch: 0,
-            }),
         }
     }
 }
@@ -73,48 +58,35 @@ impl CandidateFilter for KeywordFirst {
         "Keyword"
     }
 
-    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+    fn candidates_into(&self, q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats) {
         let start = Instant::now();
-        let mut out = Vec::new();
+        ctx.candidates.clear();
         if q.tokens.is_empty() {
-            out.extend_from_slice(&self.empty_token_objects);
+            ctx.candidates.extend_from_slice(&self.empty_token_objects);
             stats.filter_time += start.elapsed();
-            return out;
+            return;
         }
         let w_q = self.store.weights().set_weight(&q.tokens);
-        let mut acc = self.acc.lock();
-        if acc.epoch == u32::MAX {
-            acc.stamps.fill(0);
-            acc.epoch = 0;
-        }
-        acc.epoch += 1;
-        let epoch = acc.epoch;
-        let mut touched: Vec<u32> = Vec::new();
+        ctx.acc.begin(self.store.len());
+        ctx.touched.clear();
         for t in q.tokens.iter() {
             stats.lists_probed += 1;
-            if let Some(list) = self.index.list(&t.0) {
-                stats.postings_scanned += list.len();
-                for p in list.postings() {
-                    let i = p.object as usize;
-                    if acc.stamps[i] != epoch {
-                        acc.stamps[i] = epoch;
-                        acc.sums[i] = 0.0;
-                        touched.push(p.object);
-                    }
-                    acc.sums[i] += p.bound; // = w(t)
+            if let Some(postings) = self.index.list(&t.0) {
+                stats.postings_scanned += postings.len();
+                for p in postings {
+                    ctx.acc.add(p.object, p.bound, &mut ctx.touched); // = w(t)
                 }
             }
         }
-        for o in touched {
-            let inter = acc.sums[o as usize];
+        for &o in &ctx.touched {
+            let inter = ctx.acc.sum(o);
             let w_o = self.object_weights[o as usize];
             let sim = textual_sim_from_components(self.cfg.textual, inter, w_q, w_o);
             if sim >= crate::signatures::relax(q.tau_textual) {
-                out.push(ObjectId(o));
+                ctx.candidates.push(ObjectId(o));
             }
         }
         stats.filter_time += start.elapsed();
-        out
     }
 
     fn index_bytes(&self) -> usize {
@@ -193,11 +165,7 @@ mod tests {
         let f = KeywordFirst::build(store.clone());
         let mut stats = SearchStats::new();
         let _ = f.candidates(&q, &mut stats);
-        let full: usize = q
-            .tokens
-            .iter()
-            .map(|t| f.index.list_len(&t.0))
-            .sum();
+        let full: usize = q.tokens.iter().map(|t| f.index.list_len(&t.0)).sum();
         assert_eq!(stats.postings_scanned, full);
         assert_eq!(f.name(), "Keyword");
     }

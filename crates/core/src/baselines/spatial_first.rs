@@ -3,7 +3,7 @@
 //! the query region, keeps those with `simR ≥ τ_R`, and verifies the
 //! textual predicate afterwards.
 
-use crate::filters::CandidateFilter;
+use crate::filters::{CandidateFilter, QueryContext};
 use crate::{ObjectId, ObjectStore, Query, SearchStats};
 
 use seal_rtree::{Descend, RTree, RTreeConfig};
@@ -26,10 +26,8 @@ impl SpatialFirst {
     /// Builds with an explicit similarity configuration: the exact
     /// first-stage test evaluates the configured spatial function.
     pub fn build_with_config(store: Arc<ObjectStore>, cfg: crate::SimilarityConfig) -> Self {
-        let items: Vec<(seal_geom::Rect, u32)> = store
-            .iter()
-            .map(|(id, o)| (o.region, id.0))
-            .collect();
+        let items: Vec<(seal_geom::Rect, u32)> =
+            store.iter().map(|(id, o)| (o.region, id.0)).collect();
         let tree = RTree::bulk_load(items, RTreeConfig::default());
         SpatialFirst { cfg, tree }
     }
@@ -45,9 +43,10 @@ impl CandidateFilter for SpatialFirst {
         "Spatial"
     }
 
-    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+    fn candidates_into(&self, q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats) {
         let start = Instant::now();
-        let mut out = Vec::new();
+        ctx.candidates.clear();
+        let out = &mut ctx.candidates;
         let region = q.region;
         let tau = crate::signatures::relax(q.tau_spatial);
         let visited = self.tree.traverse(
@@ -69,7 +68,6 @@ impl CandidateFilter for SpatialFirst {
         );
         stats.nodes_visited += visited;
         stats.filter_time += start.elapsed();
-        out
     }
 
     fn index_bytes(&self) -> usize {

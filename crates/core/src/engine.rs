@@ -5,11 +5,12 @@
 use crate::baselines::{IrTreeBaseline, KeywordFirst, SpatialFirst};
 use crate::filters::{
     AdaptiveFilter, CandidateFilter, GridFilter, HierarchicalFilter, HybridFilter, NaiveFilter,
-    TokenFilter, TokenFilterBasic,
+    QueryContext, TokenFilter, TokenFilterBasic,
 };
 use crate::signatures::hash_hybrid::BucketScheme;
 use crate::{ObjectId, ObjectStore, Query, SearchStats, SimilarityConfig};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Which filtering method the engine builds (Table 1's index rows plus
 /// the baselines of Section 2.3).
@@ -125,7 +126,12 @@ impl SealEngine {
                     Some(m) => BucketScheme::Buckets(m),
                     None => BucketScheme::Full,
                 };
-                Box::new(HybridFilter::build_with_config(store.clone(), side, scheme, cfg))
+                Box::new(HybridFilter::build_with_config(
+                    store.clone(),
+                    side,
+                    scheme,
+                    cfg,
+                ))
             }
             FilterKind::Hierarchical { max_level, budget } => Box::new(
                 HierarchicalFilter::build_with_config(store.clone(), max_level, budget, cfg),
@@ -136,9 +142,11 @@ impl SealEngine {
             FilterKind::SpatialFirst => {
                 Box::new(SpatialFirst::build_with_config(store.clone(), cfg))
             }
-            FilterKind::IrTree { fanout } => {
-                Box::new(IrTreeBaseline::build_with_config(store.clone(), fanout, cfg))
-            }
+            FilterKind::IrTree { fanout } => Box::new(IrTreeBaseline::build_with_config(
+                store.clone(),
+                fanout,
+                cfg,
+            )),
             FilterKind::Adaptive { side } => {
                 Box::new(AdaptiveFilter::build_with_config(store.clone(), side, cfg))
             }
@@ -148,39 +156,75 @@ impl SealEngine {
     }
 
     /// Answers a query: filter, then verify (Algorithm 1).
+    ///
+    /// Convenience path over a **thread-local** [`QueryContext`]:
+    /// repeated calls on one thread reuse the same scratch (shared
+    /// across engines on that thread; buffers size to the largest
+    /// store), so single-query callers get the warm, allocation-free
+    /// filter step without managing a context. Explicit serving loops
+    /// should still prefer [`search_with_ctx`](Self::search_with_ctx)
+    /// with one context per worker.
     pub fn search(&self, q: &Query) -> SearchResult {
+        thread_local! {
+            static CTX: std::cell::RefCell<QueryContext> =
+                std::cell::RefCell::new(QueryContext::new());
+        }
+        CTX.with(|c| self.search_with_ctx(q, &mut c.borrow_mut()))
+    }
+
+    /// Answers a query using caller-owned scratch. After the context
+    /// has warmed to the store size, the filter step performs no heap
+    /// allocations; only the returned answer vector is allocated.
+    pub fn search_with_ctx(&self, q: &Query, ctx: &mut QueryContext) -> SearchResult {
         let mut stats = SearchStats::new();
-        let candidates = self.filter.candidates(q, &mut stats);
-        let answers = crate::verify::verify(&self.store, &self.cfg, q, &candidates, &mut stats);
+        self.filter.candidates_into(q, ctx, &mut stats);
+        let answers =
+            crate::verify::verify(&self.store, &self.cfg, q, ctx.candidates(), &mut stats);
         SearchResult { answers, stats }
     }
 
     /// Answers a batch of queries in parallel across `threads` OS
     /// threads (the LBS serving pattern: one engine, many concurrent
-    /// queries). Results come back in input order. The filters'
-    /// deduplication scratch is an internal mutex, so concurrent
-    /// searches are safe; with `threads == 1` this degenerates to a
-    /// sequential loop.
+    /// queries). Results come back in input order.
+    ///
+    /// Workers pull query indexes from a shared atomic counter (work
+    /// stealing), so skewed per-query costs cannot idle a thread the
+    /// way static chunking can. Each worker owns one [`QueryContext`];
+    /// the filters themselves hold no locks, so the whole read path is
+    /// contention-free. With `threads == 1` this degenerates to a
+    /// sequential loop over a single reused context.
     pub fn search_batch(&self, queries: &[Query], threads: usize) -> Vec<SearchResult> {
         let threads = threads.clamp(1, queries.len().max(1));
         if threads == 1 || queries.len() < 2 {
-            return queries.iter().map(|q| self.search(q)).collect();
+            let mut ctx = QueryContext::with_capacity(self.store.len());
+            return queries
+                .iter()
+                .map(|q| self.search_with_ctx(q, &mut ctx))
+                .collect();
         }
-        let chunk = queries.len().div_ceil(threads);
-        let mut out: Vec<Option<SearchResult>> = Vec::with_capacity(queries.len());
-        out.resize_with(queries.len(), || None);
-        let slots: Vec<&mut [Option<SearchResult>]> = out.chunks_mut(chunk).collect();
+        let slots: Vec<OnceLock<SearchResult>> =
+            (0..queries.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for (part, slot) in queries.chunks(chunk).zip(slots) {
-                scope.spawn(move || {
-                    for (q, s) in part.iter().zip(slot.iter_mut()) {
-                        *s = Some(self.search(q));
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut ctx = QueryContext::with_capacity(self.store.len());
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(q) = queries.get(i) else { break };
+                        // Each index is claimed by exactly one worker,
+                        // so the set cannot fail.
+                        let _ = slots[i].set(self.search_with_ctx(q, &mut ctx));
                     }
                 });
             }
         });
-        out.into_iter()
-            .map(|r| r.expect("every slot filled by its worker"))
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("every query slot filled by the work loop")
+            })
             .collect()
     }
 
@@ -216,27 +260,38 @@ impl SealEngine {
     /// equals "rank all objects with `min(simR, simT) ≥ τ_final`" — a
     /// deterministic, reproducible top-k semantics that reuses the
     /// signature indexes unchanged.
-    pub fn search_top_k(&self, region: seal_geom::Rect, tokens: seal_text::TokenSet, k: usize, alpha: f64) -> Vec<(ObjectId, f64)> {
+    pub fn search_top_k(
+        &self,
+        region: seal_geom::Rect,
+        tokens: seal_text::TokenSet,
+        k: usize,
+        alpha: f64,
+    ) -> Vec<(ObjectId, f64)> {
         let alpha = alpha.clamp(0.0, 1.0);
         let mut tau = 0.5f64;
         const TAU_MIN: f64 = 0.01;
+        // One warm context for the whole deepening loop (up to ~7
+        // threshold levels re-probe the same store).
+        let mut ctx = QueryContext::with_capacity(self.store.len());
         let answers: Vec<ObjectId> = loop {
-            let q = Query::new(region, tokens.clone(), tau, tau)
-                .expect("tau stays within (0,1]");
-            let found = self.search(&q).answers;
+            let q = Query::new(region, tokens.clone(), tau, tau).expect("tau stays within (0,1]");
+            let found = self.search_with_ctx(&q, &mut ctx).answers;
             if found.len() >= k || tau <= TAU_MIN {
                 break found;
             }
             tau = (tau / 2.0).max(TAU_MIN);
         };
         let w = self.store.weights();
+        // One scoring query for the whole ranking pass: `Query::new`
+        // clones the token set, which used to happen once per scored
+        // candidate.
+        let scoring_q = Query::new(region, tokens, 1.0, 1.0).expect("static thresholds are valid");
         let mut scored: Vec<(ObjectId, f64)> = answers
             .into_iter()
             .map(|id| {
                 let o = self.store.get(id);
-                let q = Query::new(region, tokens.clone(), 1.0, 1.0).expect("static");
-                let s = alpha * self.cfg.spatial_sim(&q, o)
-                    + (1.0 - alpha) * self.cfg.textual_sim(&q, o, w);
+                let s = alpha * self.cfg.spatial_sim(&scoring_q, o)
+                    + (1.0 - alpha) * self.cfg.textual_sim(&scoring_q, o, w);
                 (id, s)
             })
             .collect();

@@ -19,10 +19,10 @@
 //! worse than the *sum* of a fixed choice's postings across a workload
 //! and stays oracle-correct.
 
-use crate::filters::{CandidateFilter, GridFilter, TokenFilter};
+use crate::filters::{CandidateFilter, GridFilter, QueryContext, TokenFilter};
 use crate::signatures::grid::GridScheme;
 use crate::signatures::textual::TextualSignature;
-use crate::{ObjectId, ObjectStore, Query, SearchStats};
+use crate::{ObjectStore, Query, SearchStats};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -108,16 +108,15 @@ impl CandidateFilter for AdaptiveFilter {
         "Adaptive"
     }
 
-    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+    fn candidates_into(&self, q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats) {
         let start = Instant::now();
         let (_, _, route) = self.plan(q);
         let planning = start.elapsed();
-        let out = match route {
-            Route::Token => self.token.candidates(q, stats),
-            Route::Grid => self.grid.candidates(q, stats),
-        };
+        match route {
+            Route::Token => self.token.candidates_into(q, ctx, stats),
+            Route::Grid => self.grid.candidates_into(q, ctx, stats),
+        }
         stats.filter_time += planning;
-        out
     }
 
     fn index_bytes(&self) -> usize {

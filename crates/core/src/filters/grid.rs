@@ -1,10 +1,9 @@
 //! Spatial filtering: `Sig-Filter+` on grid signatures (the paper's
 //! **GridFilter**, Section 4.2, Example 3).
 
-use crate::filters::{CandidateFilter, DedupScratch};
+use crate::filters::{CandidateFilter, QueryContext};
 use crate::signatures::grid::GridScheme;
 use crate::{ObjectId, ObjectStore, Query, SearchStats};
-use parking_lot::Mutex;
 use seal_index::InvertedIndex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -16,7 +15,7 @@ pub struct GridFilter {
     cfg: crate::SimilarityConfig,
     scheme: GridScheme,
     index: InvertedIndex<u64>,
-    scratch: Mutex<DedupScratch>,
+    n_objects: usize,
 }
 
 impl GridFilter {
@@ -42,12 +41,11 @@ impl GridFilter {
             }
         }
         index.finalize();
-        let scratch = DedupScratch::new(store.len());
         GridFilter {
             cfg,
             scheme,
             index,
-            scratch,
+            n_objects: store.len(),
         }
     }
 
@@ -67,26 +65,24 @@ impl CandidateFilter for GridFilter {
         "GridFilter"
     }
 
-    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+    fn candidates_into(&self, q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats) {
         let start = Instant::now();
         let cfg = self.cfg;
         let c_r = crate::signatures::relax(cfg.spatial_threshold(q));
         let sig = self.scheme.signature(&q.region);
-        let mut out = Vec::new();
-        let mut scratch = self.scratch.lock();
-        scratch.begin();
+        ctx.candidates.clear();
+        ctx.dedup.begin(self.n_objects);
         for elem in sig.prefix(c_r) {
             stats.lists_probed += 1;
             let postings = self.index.qualifying(&elem.cell, c_r);
             stats.postings_scanned += postings.len();
             for p in postings {
-                if scratch.insert(p.object) {
-                    out.push(ObjectId(p.object));
+                if ctx.dedup.insert(p.object) {
+                    ctx.candidates.push(ObjectId(p.object));
                 }
             }
         }
         stats.filter_time += start.elapsed();
-        out
     }
 
     fn index_bytes(&self) -> usize {
@@ -161,7 +157,10 @@ mod tests {
         let answers = naive_search(&store, &cfg, &q);
         assert!(answers.is_empty());
         // At fine granularity no object shares a prefix cell.
-        assert!(cands.len() <= 1, "expected near-empty candidates, got {cands:?}");
+        assert!(
+            cands.len() <= 1,
+            "expected near-empty candidates, got {cands:?}"
+        );
     }
 
     #[test]

@@ -2,11 +2,10 @@
 //! (Section 5.2 — the configuration the paper calls **Seal** in its
 //! method comparison).
 
-use crate::filters::{CandidateFilter, DedupScratch};
+use crate::filters::{CandidateFilter, QueryContext};
 use crate::signatures::hierarchical::HierarchicalScheme;
 use crate::signatures::textual::TextualSignature;
 use crate::{ObjectId, ObjectStore, Query, SearchStats};
-use parking_lot::Mutex;
 use seal_index::HybridIndex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -19,7 +18,6 @@ pub struct HierarchicalFilter {
     scheme: HierarchicalScheme,
     index: HybridIndex<u128>,
     empty_token_objects: Vec<ObjectId>,
-    scratch: Mutex<DedupScratch>,
 }
 
 impl HierarchicalFilter {
@@ -59,14 +57,12 @@ impl HierarchicalFilter {
             }
         }
         index.finalize();
-        let scratch = DedupScratch::new(store.len());
         HierarchicalFilter {
             store,
             cfg,
             scheme,
             index,
             empty_token_objects: empty,
-            scratch,
         }
     }
 
@@ -86,21 +82,20 @@ impl CandidateFilter for HierarchicalFilter {
         "Seal"
     }
 
-    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+    fn candidates_into(&self, q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats) {
         let start = Instant::now();
         let store = &self.store;
         let cfg = self.cfg;
-        let mut out = Vec::new();
+        ctx.candidates.clear();
         if q.tokens.is_empty() {
-            out.extend_from_slice(&self.empty_token_objects);
+            ctx.candidates.extend_from_slice(&self.empty_token_objects);
             stats.filter_time += start.elapsed();
-            return out;
+            return;
         }
         let c_t = crate::signatures::relax(cfg.textual_threshold(q, store.weights()));
         let c_r = crate::signatures::relax(cfg.spatial_threshold(q));
         let tsig = TextualSignature::build(&q.tokens, store.weights(), store.token_order());
-        let mut scratch = self.scratch.lock();
-        scratch.begin();
+        ctx.dedup.begin(store.len());
         for telem in tsig.prefix(c_t) {
             // Tokens absent from the corpus have no grids and no
             // postings; skipping them loses nothing.
@@ -115,20 +110,18 @@ impl CandidateFilter for HierarchicalFilter {
                 stats.lists_probed += 1;
                 for p in self.index.qualifying(&key, c_r, c_t) {
                     stats.postings_scanned += 1;
-                    if scratch.insert(p.object) {
-                        out.push(ObjectId(p.object));
+                    if ctx.dedup.insert(p.object) {
+                        ctx.candidates.push(ObjectId(p.object));
                     }
                 }
             }
         }
         stats.filter_time += start.elapsed();
-        out
     }
 
     fn index_bytes(&self) -> usize {
         self.index.size_bytes()
-            + self.scheme.total_cells()
-                * (std::mem::size_of::<u128>() + std::mem::size_of::<f64>())
+            + self.scheme.total_cells() * (std::mem::size_of::<u128>() + std::mem::size_of::<f64>())
     }
 }
 

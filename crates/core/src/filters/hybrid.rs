@@ -1,12 +1,11 @@
 //! `Hybrid-Sig-Filter+` with hash-based hybrid signatures (Section 5.1,
 //! Figure 8 — the paper's **HybridFilter**).
 
-use crate::filters::{CandidateFilter, DedupScratch};
+use crate::filters::{CandidateFilter, QueryContext};
 use crate::signatures::grid::GridScheme;
 use crate::signatures::hash_hybrid::BucketScheme;
 use crate::signatures::textual::TextualSignature;
 use crate::{ObjectId, ObjectStore, Query, SearchStats};
-use parking_lot::Mutex;
 use seal_index::HybridIndex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -21,7 +20,6 @@ pub struct HybridFilter {
     buckets: BucketScheme,
     index: HybridIndex<u64>,
     empty_token_objects: Vec<ObjectId>,
-    scratch: Mutex<DedupScratch>,
 }
 
 impl HybridFilter {
@@ -60,7 +58,6 @@ impl HybridFilter {
             }
         }
         index.finalize();
-        let scratch = DedupScratch::new(store.len());
         HybridFilter {
             store,
             cfg,
@@ -68,7 +65,6 @@ impl HybridFilter {
             buckets,
             index,
             empty_token_objects: empty,
-            scratch,
         }
     }
 
@@ -93,15 +89,15 @@ impl CandidateFilter for HybridFilter {
         "HybridFilter"
     }
 
-    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+    fn candidates_into(&self, q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats) {
         let start = Instant::now();
         let store = &self.store;
         let cfg = self.cfg;
-        let mut out = Vec::new();
+        ctx.candidates.clear();
         if q.tokens.is_empty() {
-            out.extend_from_slice(&self.empty_token_objects);
+            ctx.candidates.extend_from_slice(&self.empty_token_objects);
             stats.filter_time += start.elapsed();
-            return out;
+            return;
         }
         let c_t = crate::signatures::relax(cfg.textual_threshold(q, store.weights()));
         let c_r = crate::signatures::relax(cfg.spatial_threshold(q));
@@ -109,22 +105,20 @@ impl CandidateFilter for HybridFilter {
         let gsig = self.grid.signature(&q.region);
         let tprefix = tsig.prefix(c_t);
         let gprefix = gsig.prefix(c_r);
-        let mut scratch = self.scratch.lock();
-        scratch.begin();
+        ctx.dedup.begin(store.len());
         for telem in tprefix {
             for gelem in gprefix {
                 let key = self.buckets.key(telem.token, gelem.cell);
                 stats.lists_probed += 1;
                 for p in self.index.qualifying(&key, c_r, c_t) {
                     stats.postings_scanned += 1;
-                    if scratch.insert(p.object) {
-                        out.push(ObjectId(p.object));
+                    if ctx.dedup.insert(p.object) {
+                        ctx.candidates.push(ObjectId(p.object));
                     }
                 }
             }
         }
         stats.filter_time += start.elapsed();
-        out
     }
 
     fn index_bytes(&self) -> usize {
@@ -144,7 +138,11 @@ mod tests {
         let (store, q0) = figure1_store();
         let store = Arc::new(store);
         let cfg = SimilarityConfig::default();
-        for buckets in [BucketScheme::Full, BucketScheme::Buckets(64), BucketScheme::Buckets(7)] {
+        for buckets in [
+            BucketScheme::Full,
+            BucketScheme::Buckets(64),
+            BucketScheme::Buckets(7),
+        ] {
             let f = HybridFilter::build(store.clone(), 8, buckets);
             for (tr, tt) in [(0.1, 0.1), (0.25, 0.3), (0.5, 0.5), (0.9, 0.9)] {
                 let q = q0.with_thresholds(tr, tt).unwrap();

@@ -14,6 +14,18 @@
 //! | [`HierarchicalFilter`] | `Hybrid-Sig-Filter+` on HSS signatures (§5.2, "Seal") | `HierarchicalInv` |
 //! | [`AdaptiveFilter`] | cost-routed Token/Grid (Fig 12's conclusion) | `TokenInv` + `GridInv` |
 //! | [`NaiveFilter`] | no filtering (every object is a candidate) | — |
+//!
+//! # Concurrency model
+//!
+//! Filters are **stateless at query time**: every byte of per-query
+//! scratch (dedup stamps, accumulator arrays, candidate buffers) lives
+//! in a caller-owned [`QueryContext`], so `&self` probes never contend
+//! on a lock. A serving loop keeps one context per worker thread and
+//! calls [`CandidateFilter::candidates_into`]; after the first query
+//! warms the buffers, a probe performs **zero heap allocations**. The
+//! plain [`CandidateFilter::candidates`] convenience method allocates a
+//! fresh context per call — fine for tests and examples, wasteful in a
+//! hot loop.
 
 mod adaptive;
 mod grid;
@@ -30,41 +42,110 @@ pub use naive::NaiveFilter;
 pub use token::{TokenFilter, TokenFilterBasic};
 
 use crate::{ObjectId, Query, SearchStats};
-use parking_lot::Mutex;
 
 /// The filter interface: produce a candidate superset of the answers.
 pub trait CandidateFilter: Send + Sync {
     /// Short display name (matches the paper's method names).
     fn name(&self) -> &'static str;
 
-    /// Generates candidates for a query, updating `stats` with probe
-    /// counters and filter time.
-    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId>;
+    /// Generates candidates for a query into `ctx.candidates`
+    /// (cleared first), updating `stats` with probe counters and
+    /// filter time. All scratch comes from `ctx`; the filter itself is
+    /// immutable, so any number of threads may call this concurrently
+    /// with their own contexts.
+    fn candidates_into(&self, q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats);
+
+    /// Convenience wrapper: generates candidates with a throwaway
+    /// [`QueryContext`]. Allocates per call — prefer
+    /// [`candidates_into`](Self::candidates_into) with a reused
+    /// context in serving loops.
+    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+        let mut ctx = QueryContext::new();
+        self.candidates_into(q, &mut ctx, stats);
+        std::mem::take(&mut ctx.candidates)
+    }
 
     /// Approximate heap bytes of the filter's index structures
     /// (Table 1's index-size rows).
     fn index_bytes(&self) -> usize;
 }
 
-/// Epoch-stamped deduplication scratch shared by all filters: merging
-/// qualifying postings into a candidate set without allocating a hash
-/// set per query.
-#[derive(Debug)]
+/// Caller-owned per-query scratch: everything a filter needs beyond
+/// its immutable indexes.
+///
+/// Buffers grow to the store size on first use and are then reused, so
+/// a warm context makes a query allocation-free. Contexts are cheap to
+/// create empty ([`QueryContext::new`]) and independent of any
+/// particular filter or store — one context can serve queries against
+/// several engines (buffers size to the largest).
+///
+/// The intended pattern is **one context per worker thread**:
+/// `SealEngine::search_batch` does this internally, and
+/// `SealEngine::search_with_ctx` exposes it to callers running their
+/// own serving loops.
+#[derive(Debug, Default)]
+pub struct QueryContext {
+    /// Epoch-stamped dedup scratch (candidate set membership).
+    pub(crate) dedup: DedupScratch,
+    /// Epoch-stamped weighted accumulator (basic/keyword filters).
+    pub(crate) acc: AccScratch,
+    /// The candidate output buffer of the last
+    /// [`CandidateFilter::candidates_into`] call.
+    pub(crate) candidates: Vec<ObjectId>,
+    /// Object ids touched by the accumulator this query.
+    pub(crate) touched: Vec<u32>,
+}
+
+impl QueryContext {
+    /// An empty context; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context with scratch pre-sized for a store of `n_objects`
+    /// (avoids the one-time growth on the first query).
+    pub fn with_capacity(n_objects: usize) -> Self {
+        let mut ctx = Self::new();
+        ctx.dedup.ensure(n_objects);
+        ctx.acc.ensure(n_objects);
+        ctx
+    }
+
+    /// The candidates produced by the most recent filter call.
+    pub fn candidates(&self) -> &[ObjectId] {
+        &self.candidates
+    }
+
+    /// Mutable access to the candidate output buffer, for
+    /// [`CandidateFilter`] implementations outside this crate: clear
+    /// it at entry, push candidate ids as you find them. (The built-in
+    /// filters additionally use crate-private dedup/accumulator
+    /// scratch; external filters manage their own.)
+    pub fn candidates_mut(&mut self) -> &mut Vec<ObjectId> {
+        &mut self.candidates
+    }
+}
+
+/// Epoch-stamped deduplication scratch: merging qualifying postings
+/// into a candidate set without allocating a hash set per query and
+/// without clearing an array per query.
+#[derive(Debug, Default)]
 pub(crate) struct DedupScratch {
     stamps: Vec<u32>,
     epoch: u32,
 }
 
 impl DedupScratch {
-    pub(crate) fn new(n_objects: usize) -> Mutex<Self> {
-        Mutex::new(DedupScratch {
-            stamps: vec![0; n_objects],
-            epoch: 0,
-        })
+    /// Grows the stamp array to cover object ids `< n` (keeps epochs).
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
     }
 
-    /// Starts a new deduplication round.
-    pub(crate) fn begin(&mut self) {
+    /// Starts a new deduplication round for a store of `n` objects.
+    pub(crate) fn begin(&mut self, n: usize) {
+        self.ensure(n);
         if self.epoch == u32::MAX {
             self.stamps.fill(0);
             self.epoch = 0;
@@ -85,31 +166,122 @@ impl DedupScratch {
     }
 }
 
+/// Epoch-stamped weighted accumulator: per-object running sums for the
+/// filters that compute exact signature similarities (`Sig-Filter`
+/// without bounds, Keyword-first).
+#[derive(Debug, Default)]
+pub(crate) struct AccScratch {
+    sums: Vec<f64>,
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl AccScratch {
+    /// Grows the arrays to cover object ids `< n` (keeps epochs).
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+            self.sums.resize(n, 0.0);
+        }
+    }
+
+    /// Starts a new accumulation round for a store of `n` objects.
+    pub(crate) fn begin(&mut self, n: usize) {
+        self.ensure(n);
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Adds `w` to the object's sum, recording first touches in
+    /// `touched`. Returns nothing; read back via [`sum`](Self::sum).
+    #[inline]
+    pub(crate) fn add(&mut self, object: u32, w: f64, touched: &mut Vec<u32>) {
+        let i = object as usize;
+        if self.stamps[i] != self.epoch {
+            self.stamps[i] = self.epoch;
+            self.sums[i] = 0.0;
+            touched.push(object);
+        }
+        self.sums[i] += w;
+    }
+
+    /// The accumulated sum for an object this round (0 if untouched).
+    #[inline]
+    pub(crate) fn sum(&self, object: u32) -> f64 {
+        if self.stamps[object as usize] == self.epoch {
+            self.sums[object as usize]
+        } else {
+            0.0
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn dedup_scratch_rounds() {
-        let scratch = DedupScratch::new(4);
-        let mut s = scratch.lock();
-        s.begin();
+        let mut s = DedupScratch::default();
+        s.begin(4);
         assert!(s.insert(0));
         assert!(!s.insert(0));
         assert!(s.insert(3));
-        s.begin();
+        s.begin(4);
         assert!(s.insert(0), "new round forgets the old stamps");
     }
 
     #[test]
     fn dedup_epoch_wrap() {
-        let scratch = DedupScratch::new(2);
-        let mut s = scratch.lock();
-        s.epoch = u32::MAX - 1;
-        s.begin();
+        let mut s = DedupScratch {
+            epoch: u32::MAX - 1,
+            ..Default::default()
+        };
+        s.begin(2);
         assert!(s.insert(1));
-        s.begin(); // wraps
+        s.begin(2); // wraps
         assert!(s.insert(1));
         assert!(!s.insert(1));
+    }
+
+    #[test]
+    fn dedup_grows_across_stores() {
+        let mut s = DedupScratch::default();
+        s.begin(2);
+        assert!(s.insert(1));
+        // A bigger store later: ids beyond the old length work.
+        s.begin(10);
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+
+    #[test]
+    fn acc_scratch_sums_and_touches() {
+        let mut acc = AccScratch::default();
+        let mut touched = Vec::new();
+        acc.begin(4);
+        acc.add(2, 1.5, &mut touched);
+        acc.add(2, 0.5, &mut touched);
+        acc.add(0, 1.0, &mut touched);
+        assert_eq!(touched, vec![2, 0], "first touches only");
+        assert_eq!(acc.sum(2), 2.0);
+        assert_eq!(acc.sum(0), 1.0);
+        assert_eq!(acc.sum(3), 0.0, "untouched reads as zero");
+        acc.begin(4);
+        assert_eq!(acc.sum(2), 0.0, "new round resets");
+    }
+
+    #[test]
+    fn context_reuse_is_clean() {
+        let mut ctx = QueryContext::with_capacity(8);
+        ctx.candidates.push(crate::ObjectId(5));
+        ctx.touched.push(3);
+        // Filters clear these at entry; simulate that contract.
+        ctx.candidates.clear();
+        ctx.touched.clear();
+        assert!(ctx.candidates().is_empty());
     }
 }

@@ -2,8 +2,8 @@
 //! can run pure `Sig-Verify` as a baseline and so tests can price
 //! filtering against not filtering.
 
-use crate::filters::CandidateFilter;
-use crate::{ObjectId, ObjectStore, Query, SearchStats};
+use crate::filters::{CandidateFilter, QueryContext};
+use crate::{ObjectStore, Query, SearchStats};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -24,11 +24,11 @@ impl CandidateFilter for NaiveFilter {
         "NaiveScan"
     }
 
-    fn candidates(&self, _q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+    fn candidates_into(&self, _q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats) {
         let start = Instant::now();
-        let out: Vec<ObjectId> = self.store.iter().map(|(id, _)| id).collect();
+        ctx.candidates.clear();
+        ctx.candidates.extend(self.store.iter().map(|(id, _)| id));
         stats.filter_time += start.elapsed();
-        out
     }
 
     fn index_bytes(&self) -> usize {

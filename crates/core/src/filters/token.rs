@@ -1,10 +1,9 @@
 //! Textual filtering: `Sig-Filter+` on token signatures (the paper's
 //! **TokenFilter**) and the basic `Sig-Filter` ablation.
 
-use crate::filters::{CandidateFilter, DedupScratch};
+use crate::filters::{CandidateFilter, QueryContext};
 use crate::signatures::textual::TextualSignature;
 use crate::{ObjectId, ObjectStore, Query, SearchStats};
-use parking_lot::Mutex;
 use seal_index::InvertedIndex;
 use seal_text::TokenWeights;
 use std::sync::Arc;
@@ -21,7 +20,6 @@ pub struct TokenFilter {
     /// token sets are also empty (simT = 1 by convention), and inverted
     /// lists never enumerate them.
     empty_token_objects: Vec<ObjectId>,
-    scratch: Mutex<DedupScratch>,
 }
 
 impl TokenFilter {
@@ -49,13 +47,11 @@ impl TokenFilter {
             }
         }
         index.finalize();
-        let scratch = DedupScratch::new(store.len());
         TokenFilter {
             store,
             cfg,
             index,
             empty_token_objects: empty,
-            scratch,
         }
     }
 
@@ -70,33 +66,31 @@ impl CandidateFilter for TokenFilter {
         "TokenFilter"
     }
 
-    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+    fn candidates_into(&self, q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats) {
         let start = Instant::now();
         let store = &self.store;
         let cfg = self.cfg;
-        let mut out = Vec::new();
+        ctx.candidates.clear();
         if q.tokens.is_empty() {
             // Only empty-token objects can reach simT ≥ τT > 0.
-            out.extend_from_slice(&self.empty_token_objects);
+            ctx.candidates.extend_from_slice(&self.empty_token_objects);
             stats.filter_time += start.elapsed();
-            return out;
+            return;
         }
         let sig = TextualSignature::build(&q.tokens, store.weights(), store.token_order());
         let c_t = crate::signatures::relax(cfg.textual_threshold(q, store.weights()));
-        let mut scratch = self.scratch.lock();
-        scratch.begin();
+        ctx.dedup.begin(store.len());
         for elem in sig.prefix(c_t) {
             stats.lists_probed += 1;
             let postings = self.index.qualifying(&elem.token.0, c_t);
             stats.postings_scanned += postings.len();
             for p in postings {
-                if scratch.insert(p.object) {
-                    out.push(ObjectId(p.object));
+                if ctx.dedup.insert(p.object) {
+                    ctx.candidates.push(ObjectId(p.object));
                 }
             }
         }
         stats.filter_time += start.elapsed();
-        out
     }
 
     fn index_bytes(&self) -> usize {
@@ -115,15 +109,6 @@ pub struct TokenFilterBasic {
     cfg: crate::SimilarityConfig,
     index: InvertedIndex<u32>,
     empty_token_objects: Vec<ObjectId>,
-    /// Accumulator scratch, epoch-stamped like the dedup scratch.
-    acc: Mutex<AccScratch>,
-}
-
-#[derive(Debug)]
-struct AccScratch {
-    sums: Vec<f64>,
-    stamps: Vec<u32>,
-    epoch: u32,
 }
 
 impl TokenFilterBasic {
@@ -148,17 +133,11 @@ impl TokenFilterBasic {
             }
         }
         index.finalize();
-        let n = store.len();
         TokenFilterBasic {
             store,
             cfg,
             index,
             empty_token_objects: empty,
-            acc: Mutex::new(AccScratch {
-                sums: vec![0.0; n],
-                stamps: vec![0; n],
-                epoch: 0,
-            }),
         }
     }
 }
@@ -168,46 +147,33 @@ impl CandidateFilter for TokenFilterBasic {
         "TokenFilterBasic"
     }
 
-    fn candidates(&self, q: &Query, stats: &mut SearchStats) -> Vec<ObjectId> {
+    fn candidates_into(&self, q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats) {
         let start = Instant::now();
-        let mut out = Vec::new();
+        ctx.candidates.clear();
         if q.tokens.is_empty() {
-            out.extend_from_slice(&self.empty_token_objects);
+            ctx.candidates.extend_from_slice(&self.empty_token_objects);
             stats.filter_time += start.elapsed();
-            return out;
+            return;
         }
         let cfg = self.cfg;
         let c_t = crate::signatures::relax(cfg.textual_threshold(q, self.store.weights()));
-        let mut acc = self.acc.lock();
-        if acc.epoch == u32::MAX {
-            acc.stamps.fill(0);
-            acc.epoch = 0;
-        }
-        acc.epoch += 1;
-        let epoch = acc.epoch;
-        let mut touched: Vec<u32> = Vec::new();
+        ctx.acc.begin(self.store.len());
+        ctx.touched.clear();
         for t in q.tokens.iter() {
             stats.lists_probed += 1;
-            if let Some(list) = self.index.list(&t.0) {
-                stats.postings_scanned += list.len();
-                for p in list.postings() {
-                    let i = p.object as usize;
-                    if acc.stamps[i] != epoch {
-                        acc.stamps[i] = epoch;
-                        acc.sums[i] = 0.0;
-                        touched.push(p.object);
-                    }
-                    acc.sums[i] += p.bound; // bound slot = w(t)
+            if let Some(postings) = self.index.list(&t.0) {
+                stats.postings_scanned += postings.len();
+                for p in postings {
+                    ctx.acc.add(p.object, p.bound, &mut ctx.touched); // bound slot = w(t)
                 }
             }
         }
-        for o in touched {
-            if acc.sums[o as usize] >= c_t {
-                out.push(ObjectId(o));
+        for &o in &ctx.touched {
+            if ctx.acc.sum(o) >= c_t {
+                ctx.candidates.push(ObjectId(o));
             }
         }
         stats.filter_time += start.elapsed();
-        out
     }
 
     fn index_bytes(&self) -> usize {
@@ -236,7 +202,10 @@ mod tests {
         let mut got = f.candidates(&q, &mut stats);
         got.sort_unstable();
         assert_eq!(got, ids(&[0, 1, 2, 3, 4]));
-        assert!(stats.lists_probed <= 3, "prefix probes at most the 3 query tokens");
+        assert!(
+            stats.lists_probed <= 3,
+            "prefix probes at most the 3 query tokens"
+        );
     }
 
     #[test]
@@ -300,10 +269,7 @@ mod tests {
         use seal_geom::Rect;
         use seal_text::TokenSet;
         let objects = vec![
-            crate::RoiObject::new(
-                Rect::new(0.0, 0.0, 10.0, 10.0).unwrap(),
-                TokenSet::empty(),
-            ),
+            crate::RoiObject::new(Rect::new(0.0, 0.0, 10.0, 10.0).unwrap(), TokenSet::empty()),
             crate::RoiObject::new(
                 Rect::new(0.0, 0.0, 10.0, 10.0).unwrap(),
                 TokenSet::from_ids([seal_text::TokenId(0)]),

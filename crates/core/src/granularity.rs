@@ -28,7 +28,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { pi1: 1.0, pi2: 10.0 }
+        CostModel {
+            pi1: 1.0,
+            pi2: 10.0,
+        }
     }
 }
 
@@ -271,7 +274,7 @@ mod tests {
         use crate::verify::naive_search;
         let (store, q) = figure1_store();
         let store = std::sync::Arc::new(store);
-        let engine = build_auto_grid_engine(store.clone(), &[q.clone()], 1.0, 6);
+        let engine = build_auto_grid_engine(store.clone(), std::slice::from_ref(&q), 1.0, 6);
         let got = engine.search(&q).sorted();
         let mut expect = naive_search(&store, &crate::SimilarityConfig::default(), &q);
         expect.sort_unstable();

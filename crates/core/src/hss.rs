@@ -210,7 +210,11 @@ mod tests {
             .collect();
         for budget in [1usize, 4, 8, 16, 32] {
             let cells = hss_greedy(&regions, &tree(), budget);
-            assert!(cells.len() <= budget, "budget {budget}: got {}", cells.len());
+            assert!(
+                cells.len() <= budget,
+                "budget {budget}: got {}",
+                cells.len()
+            );
             assert!(tiles_space(&cells, &tree().space()), "budget {budget}");
         }
     }

@@ -169,7 +169,11 @@ mod tests {
         let (store, q) = figure1_store();
         let scheme = GridScheme::build(&store, 4);
         let sig = scheme.signature(&q.region);
-        let counts: Vec<u32> = sig.elements().iter().map(|e| scheme.count(e.cell)).collect();
+        let counts: Vec<u32> = sig
+            .elements()
+            .iter()
+            .map(|e| scheme.count(e.cell))
+            .collect();
         assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
     }
 
@@ -183,10 +187,7 @@ mod tests {
         let dropped: f64 = sig.elements()[p.len()..].iter().map(|e| e.weight).sum();
         assert!(dropped < c);
         if p.len() < sig.elements().len() {
-            let one_more: f64 = sig.elements()[p.len() - 1..]
-                .iter()
-                .map(|e| e.weight)
-                .sum();
+            let one_more: f64 = sig.elements()[p.len() - 1..].iter().map(|e| e.weight).sum();
             assert!(one_more >= c, "prefix not minimal");
         }
     }

@@ -286,8 +286,7 @@ mod tests {
                 let (a, b) = (&w[0], &w[1]);
                 assert!(
                     a.id.level() < b.id.level()
-                        || (a.id.level() == b.id.level()
-                            && a.objects.len() <= b.objects.len()),
+                        || (a.id.level() == b.id.level() && a.objects.len() <= b.objects.len()),
                     "order violated for token {t}"
                 );
             }

@@ -110,7 +110,10 @@ mod tests {
         for c in [0.5, 1.0, 2.5, 3.0, 6.0, 14.9, 15.0, 16.0] {
             let p = prefix_len(&suffix, c);
             let dropped: f64 = weights[p..].iter().sum();
-            assert!(dropped < c || p == weights.len(), "c={c}: dropped {dropped}");
+            assert!(
+                dropped < c || p == weights.len(),
+                "c={c}: dropped {dropped}"
+            );
             if p > 0 {
                 let one_less: f64 = weights[p - 1..].iter().sum();
                 assert!(one_less >= c, "c={c}: prefix not minimal");

@@ -38,9 +38,7 @@ impl TextualSignature {
                 weight: weights.weight(token),
             })
             .collect();
-        let suffix = suffix_sums(
-            &elements.iter().map(|e| e.weight).collect::<Vec<f64>>(),
-        );
+        let suffix = suffix_sums(&elements.iter().map(|e| e.weight).collect::<Vec<f64>>());
         TextualSignature { elements, suffix }
     }
 
@@ -146,11 +144,7 @@ mod tests {
     #[test]
     fn elements_with_bounds_pairs_up() {
         let (w, order) = fig1();
-        let s = TextualSignature::build(
-            &TokenSet::from_ids([TokenId(3), TokenId(4)]),
-            &w,
-            &order,
-        );
+        let s = TextualSignature::build(&TokenSet::from_ids([TokenId(3), TokenId(4)]), &w, &order);
         let pairs: Vec<(TokenId, f64)> = s
             .elements_with_bounds()
             .map(|(e, b)| (e.token, b))

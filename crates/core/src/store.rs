@@ -151,13 +151,17 @@ impl ObjectStore {
         let n = self.objects.len();
         let area_sum: f64 = self.objects.iter().map(|o| o.region.area()).sum();
         let token_sum: usize = self.objects.iter().map(|o| o.tokens.len()).sum();
-        let data_bytes = n * std::mem::size_of::<Rect>()
-            + token_sum * std::mem::size_of::<seal_text::TokenId>();
+        let data_bytes =
+            n * std::mem::size_of::<Rect>() + token_sum * std::mem::size_of::<seal_text::TokenId>();
         StoreStats {
             objects: n,
             avg_region_area: if n == 0 { 0.0 } else { area_sum / n as f64 },
             space_area: self.space.area(),
-            avg_token_count: if n == 0 { 0.0 } else { token_sum as f64 / n as f64 },
+            avg_token_count: if n == 0 {
+                0.0
+            } else {
+                token_sum as f64 / n as f64
+            },
             vocab_size: self.vocab_size,
             data_bytes,
         }
@@ -296,10 +300,8 @@ mod tests {
     #[test]
     fn degenerate_only_store_pads_space() {
         let p = Rect::new(5.0, 5.0, 5.0, 5.0).unwrap();
-        let store = ObjectStore::from_objects(
-            vec![RoiObject::new(p, TokenSet::from_ids([TokenId(0)]))],
-            1,
-        );
+        let store =
+            ObjectStore::from_objects(vec![RoiObject::new(p, TokenSet::from_ids([TokenId(0)]))], 1);
         assert!(store.space().area() > 0.0);
         assert!(store.space().contains_rect(&p));
     }

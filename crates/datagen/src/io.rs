@@ -80,11 +80,9 @@ pub fn read_tsv<R: BufRead>(reader: R) -> Result<(Dataset, Vec<String>), IoError
                 reason: format!("bad number {f:?}: {e}"),
             })?;
         }
-        let region = Rect::new(nums[0], nums[1], nums[2], nums[3]).map_err(|e| {
-            IoError::Parse {
-                line: lineno,
-                reason: format!("bad rectangle: {e}"),
-            }
+        let region = Rect::new(nums[0], nums[1], nums[2], nums[3]).map_err(|e| IoError::Parse {
+            line: lineno,
+            reason: format!("bad rectangle: {e}"),
         })?;
         let tokens: Vec<TokenId> = fields[4]
             .split(',')

@@ -87,7 +87,10 @@ pub struct RawQuery {
 /// # Panics
 /// If the dataset is empty.
 pub fn generate(dataset: &Dataset, params: &QueryParams) -> Vec<RawQuery> {
-    assert!(!dataset.objects.is_empty(), "cannot anchor queries on an empty dataset");
+    assert!(
+        !dataset.objects.is_empty(),
+        "cannot anchor queries on an empty dataset"
+    );
     let mut rng = StdRng::seed_from_u64(params.seed);
     let space = seal_geom::Rect::mbr_of(dataset.objects.iter().map(|o| &o.region))
         .expect("non-empty dataset");
@@ -181,14 +184,16 @@ mod tests {
         let d = dataset();
         let large = generate(&d, &QueryParams::paper(QuerySpec::LargeRegion, 1));
         let small = generate(&d, &QueryParams::paper(QuerySpec::SmallRegion, 1));
-        let mean_area =
-            small.iter().map(|q| q.region.area()).sum::<f64>() / small.len() as f64;
+        let mean_area = small.iter().map(|q| q.region.area()).sum::<f64>() / small.len() as f64;
         assert!(mean_area < 3.0, "small-region mean area {mean_area}");
         let large_tokens =
             large.iter().map(|q| q.tokens.len()).sum::<usize>() as f64 / large.len() as f64;
         let small_tokens =
             small.iter().map(|q| q.tokens.len()).sum::<usize>() as f64 / small.len() as f64;
-        assert!(small_tokens > large_tokens, "{small_tokens} vs {large_tokens}");
+        assert!(
+            small_tokens > large_tokens,
+            "{small_tokens} vs {large_tokens}"
+        );
     }
 
     #[test]
@@ -209,7 +214,10 @@ mod tests {
             .iter()
             .filter(|q| d.objects.iter().any(|o| o.region.intersects(&q.region)))
             .count();
-        assert!(overlapping >= 95, "only {overlapping}/100 queries touch data");
+        assert!(
+            overlapping >= 95,
+            "only {overlapping}/100 queries touch data"
+        );
     }
 
     #[test]

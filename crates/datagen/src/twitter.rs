@@ -188,8 +188,8 @@ fn echo_of<R: Rng + ?Sized>(
     let y0 = (src.region.min().y + jit(rng, h)).clamp(0.0, side);
     let x1 = (src.region.max().x + jit(rng, w)).clamp(0.0, side);
     let y1 = (src.region.max().y + jit(rng, h)).clamp(0.0, side);
-    let region = Rect::new(x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1))
-        .expect("jittered rect is valid");
+    let region =
+        Rect::new(x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1)).expect("jittered rect is valid");
     let mut tokens: Vec<TokenId> = src
         .tokens
         .iter()

@@ -161,7 +161,10 @@ impl Grid {
 
     /// The inclusive `(col_lo..=col_hi, row_lo..=row_hi)` ranges of cells
     /// whose closed extent intersects `r`.
-    pub fn cell_range(&self, r: &Rect) -> (std::ops::RangeInclusive<u32>, std::ops::RangeInclusive<u32>) {
+    pub fn cell_range(
+        &self,
+        r: &Rect,
+    ) -> (std::ops::RangeInclusive<u32>, std::ops::RangeInclusive<u32>) {
         (
             self.col_of(r.min().x)..=self.col_of(r.max().x),
             self.row_of(r.min().y)..=self.row_of(r.max().y),
@@ -360,9 +363,8 @@ mod proptests {
     fn arb_rect_in(space: Rect) -> impl Strategy<Value = Rect> {
         let (x0, x1) = (space.min().x, space.max().x);
         let (y0, y1) = (space.min().y, space.max().y);
-        (x0..x1, y0..y1, x0..x1, y0..y1).prop_map(|(a, b, c, d)| {
-            Rect::new(a.min(c), b.min(d), a.max(c), b.max(d)).unwrap()
-        })
+        (x0..x1, y0..y1, x0..x1, y0..y1)
+            .prop_map(|(a, b, c, d)| Rect::new(a.min(c), b.min(d), a.max(c), b.max(d)).unwrap())
     }
 
     proptest! {

@@ -121,10 +121,26 @@ impl GridCellId {
         let l = self.level + 1;
         let (x, y) = (self.ix * 2, self.iy * 2);
         Some([
-            GridCellId { level: l, ix: x, iy: y },
-            GridCellId { level: l, ix: x + 1, iy: y },
-            GridCellId { level: l, ix: x, iy: y + 1 },
-            GridCellId { level: l, ix: x + 1, iy: y + 1 },
+            GridCellId {
+                level: l,
+                ix: x,
+                iy: y,
+            },
+            GridCellId {
+                level: l,
+                ix: x + 1,
+                iy: y,
+            },
+            GridCellId {
+                level: l,
+                ix: x,
+                iy: y + 1,
+            },
+            GridCellId {
+                level: l,
+                ix: x + 1,
+                iy: y + 1,
+            },
         ])
     }
 

@@ -46,12 +46,7 @@ impl Rect {
     /// Creates a rectangle from two arbitrary corner points, normalizing
     /// their order.
     pub fn from_corners(a: Point, b: Point) -> Result<Self> {
-        Rect::new(
-            a.x.min(b.x),
-            a.y.min(b.y),
-            a.x.max(b.x),
-            a.y.max(b.y),
-        )
+        Rect::new(a.x.min(b.x), a.y.min(b.y), a.x.max(b.x), a.y.max(b.y))
     }
 
     /// A rectangle centred at `(cx, cy)` with the given width and height.
@@ -277,7 +272,10 @@ mod tests {
         assert!(Rect::new(0.0, 0.0, -1.0, 1.0).is_err());
         assert!(Rect::new(0.0, 2.0, 1.0, 1.0).is_err());
         assert!(Rect::new(f64::NAN, 0.0, 1.0, 1.0).is_err());
-        assert!(Rect::new(0.0, 0.0, 0.0, 0.0).is_ok(), "points are valid MBRs");
+        assert!(
+            Rect::new(0.0, 0.0, 0.0, 0.0).is_ok(),
+            "points are valid MBRs"
+        );
     }
 
     #[test]

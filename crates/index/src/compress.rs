@@ -19,7 +19,7 @@
 //! [`BoundedPostingList`]; round-trip tests assert the superset
 //! property posting-by-posting.
 
-use crate::{BoundedPostingList, ObjId};
+use crate::{BoundedPostingList, ObjId, Posting};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// LEB128 unsigned varint encoding.
@@ -86,12 +86,14 @@ impl std::error::Error for CompressError {}
 impl CompressedPostingList {
     /// Compresses a finalized posting list.
     pub fn compress(list: &BoundedPostingList) -> Self {
+        Self::compress_postings(list.postings())
+    }
+
+    /// Compresses a posting slice (e.g. one arena group of an
+    /// [`crate::InvertedIndex`]).
+    pub fn compress_postings(postings: &[Posting]) -> Self {
         // Sort ids ascending for delta coding; remember each id's bound.
-        let mut pairs: Vec<(ObjId, f64)> = list
-            .postings()
-            .iter()
-            .map(|p| (p.object, p.bound))
-            .collect();
+        let mut pairs: Vec<(ObjId, f64)> = postings.iter().map(|p| (p.object, p.bound)).collect();
         pairs.sort_unstable_by_key(|(id, _)| *id);
         let max_bound = pairs
             .iter()
@@ -167,16 +169,16 @@ impl CompressedPostingList {
 /// report its size next to the in-memory index (the paper's Table 1
 /// sizes are disk sizes).
 #[derive(Debug, Clone)]
-pub struct CompressedInvertedIndex<K: Eq + std::hash::Hash> {
+pub struct CompressedInvertedIndex<K: Eq + std::hash::Hash + Ord> {
     lists: std::collections::HashMap<K, CompressedPostingList>,
 }
 
-impl<K: Eq + std::hash::Hash + Copy> CompressedInvertedIndex<K> {
+impl<K: Eq + std::hash::Hash + Ord + Copy> CompressedInvertedIndex<K> {
     /// Compresses every list of an [`crate::InvertedIndex`].
     pub fn compress(index: &crate::InvertedIndex<K>) -> Self {
         let lists = index
             .iter()
-            .map(|(k, list)| (*k, CompressedPostingList::compress(list)))
+            .map(|(k, postings)| (k, CompressedPostingList::compress_postings(postings)))
             .collect();
         CompressedInvertedIndex { lists }
     }
@@ -280,7 +282,17 @@ mod tests {
     #[test]
     fn varint_roundtrip() {
         let mut buf = BytesMut::new();
-        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         for &v in &values {
             put_varint(&mut buf, v);
         }
@@ -318,7 +330,10 @@ mod tests {
                 bound_b + 1e-12 >= *bound_a,
                 "bound lowered: {bound_a} -> {bound_b}"
             );
-            assert!(bound_b - bound_a <= step, "bound inflated by more than a step");
+            assert!(
+                bound_b - bound_a <= step,
+                "bound inflated by more than a step"
+            );
         }
     }
 

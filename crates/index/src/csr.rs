@@ -1,0 +1,196 @@
+//! The shared frozen-CSR container behind [`crate::InvertedIndex`] and
+//! [`crate::HybridIndex`].
+//!
+//! Building appends into a per-key staging map; [`CsrCore::finalize`]
+//! compacts everything into **one contiguous postings arena** plus a
+//! sorted key table with CSR offsets:
+//!
+//! ```text
+//! keys:    [k0, k1, k2, ...]          sorted ascending
+//! offsets: [0, |I(k0)|, |I(k0)|+|I(k1)|, ...]   len = keys.len() + 1
+//! arena:   [ I(k0) postings | I(k1) postings | ... ]
+//! ```
+//!
+//! A probe is one binary search over `keys` plus whatever cut the
+//! wrapper performs on the group slice — no pointer chasing, no
+//! per-list heap objects, and the whole read path is `&self`
+//! (shared-nothing across query threads). The wrappers choose the
+//! per-group sort order (descending bound vs. descending spatial
+//! bound) via the comparator passed to [`finalize`](CsrCore::finalize).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A keyed collection of posting groups in the frozen-CSR layout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CsrCore<K: Eq + Hash + Ord, P> {
+    /// Postings pushed since the last finalize, keyed for grouping.
+    staging: HashMap<K, Vec<P>>,
+    /// Sorted keys of the frozen arena.
+    keys: Vec<K>,
+    /// CSR offsets into `arena`; `keys.len() + 1` entries.
+    offsets: Vec<usize>,
+    /// All postings, grouped by key.
+    arena: Vec<P>,
+    posting_count: usize,
+}
+
+impl<K: Eq + Hash + Ord + Copy, P: Copy> Default for CsrCore<K, P> {
+    fn default() -> Self {
+        CsrCore {
+            staging: HashMap::new(),
+            keys: Vec::new(),
+            offsets: vec![0],
+            arena: Vec::new(),
+            posting_count: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Ord + Copy, P: Copy> CsrCore<K, P> {
+    /// Appends a posting for `key`. Not visible to queries until
+    /// [`finalize`](Self::finalize).
+    pub(crate) fn push(&mut self, key: K, posting: P) {
+        self.staging.entry(key).or_default().push(posting);
+        self.posting_count += 1;
+    }
+
+    /// Compacts all postings into the contiguous arena: groups sorted
+    /// by key, postings within a group ordered by `cmp`. Re-finalizing
+    /// after further pushes merges the new postings in.
+    pub(crate) fn finalize(&mut self, cmp: impl Fn(&P, &P) -> std::cmp::Ordering) {
+        if self.staging.is_empty() {
+            return;
+        }
+        // Fold any previously frozen arena back into the staging map so
+        // repeated build/finalize cycles compose.
+        for i in 0..self.keys.len() {
+            let group = &self.arena[self.offsets[i]..self.offsets[i + 1]];
+            self.staging
+                .entry(self.keys[i])
+                .or_default()
+                .extend_from_slice(group);
+        }
+        let mut entries: Vec<(K, Vec<P>)> = self.staging.drain().collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        self.keys = Vec::with_capacity(entries.len());
+        self.offsets = Vec::with_capacity(entries.len() + 1);
+        self.offsets.push(0);
+        self.arena = Vec::with_capacity(self.posting_count);
+        for (key, mut group) in entries {
+            group.sort_unstable_by(&cmp);
+            self.keys.push(key);
+            self.arena.extend_from_slice(&group);
+            self.offsets.push(self.arena.len());
+        }
+    }
+
+    /// True when every pushed posting is in the frozen arena.
+    pub(crate) fn is_finalized(&self) -> bool {
+        self.staging.is_empty()
+    }
+
+    /// The frozen posting group for `key` (None if absent or only in
+    /// staging).
+    #[inline]
+    pub(crate) fn group(&self, key: &K) -> Option<&[P]> {
+        let i = self.keys.binary_search(key).ok()?;
+        Some(&self.arena[self.offsets[i]..self.offsets[i + 1]])
+    }
+
+    /// Number of distinct keys (frozen plus staged).
+    pub(crate) fn key_count(&self) -> usize {
+        self.keys.len()
+            + self
+                .staging
+                .keys()
+                .filter(|k| self.keys.binary_search(k).is_err())
+                .count()
+    }
+
+    /// Total number of postings ever pushed.
+    pub(crate) fn posting_count(&self) -> usize {
+        self.posting_count
+    }
+
+    /// Exact heap size in bytes: arena + key table + offsets, plus any
+    /// staged postings not yet folded in.
+    pub(crate) fn size_bytes(&self) -> usize {
+        let arena = self.arena.len() * std::mem::size_of::<P>();
+        let table = self.keys.len() * std::mem::size_of::<K>()
+            + self.offsets.len() * std::mem::size_of::<usize>();
+        let staged: usize = self
+            .staging
+            .values()
+            .map(|v| {
+                std::mem::size_of::<K>()
+                    + std::mem::size_of::<Vec<P>>()
+                    + v.len() * std::mem::size_of::<P>()
+            })
+            .sum();
+        arena + table + staged
+    }
+
+    /// Iterates `(key, postings)` groups in ascending key order.
+    ///
+    /// # Panics
+    /// If postings are staged: iteration sees only the frozen arena,
+    /// so consumers (serializers, compressors) would silently drop the
+    /// staged postings.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (K, &[P])> + '_ {
+        assert!(
+            self.is_finalized(),
+            "iteration requires finalize() after the last push"
+        );
+        (0..self.keys.len()).map(move |i| {
+            (
+                self.keys[i],
+                &self.arena[self.offsets[i]..self.offsets[i + 1]],
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_value(a: &u32, b: &u32) -> std::cmp::Ordering {
+        b.cmp(a) // descending
+    }
+
+    #[test]
+    fn groups_are_key_sorted_and_cmp_ordered() {
+        let mut c: CsrCore<u64, u32> = CsrCore::default();
+        for (k, v) in [(9u64, 1u32), (2, 5), (9, 7), (2, 3), (5, 4)] {
+            c.push(k, v);
+        }
+        c.finalize(by_value);
+        let got: Vec<(u64, Vec<u32>)> = c.iter().map(|(k, g)| (k, g.to_vec())).collect();
+        assert_eq!(got, vec![(2, vec![5, 3]), (5, vec![4]), (9, vec![7, 1])]);
+        assert_eq!(c.key_count(), 3);
+        assert_eq!(c.posting_count(), 5);
+        assert!(c.group(&5).is_some());
+        assert!(c.group(&6).is_none());
+    }
+
+    #[test]
+    fn refinalize_merges() {
+        let mut c: CsrCore<u64, u32> = CsrCore::default();
+        c.push(1, 10);
+        c.finalize(by_value);
+        c.push(1, 20);
+        assert!(!c.is_finalized());
+        c.finalize(by_value);
+        assert_eq!(c.group(&1).unwrap(), &[20, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires finalize()")]
+    fn staged_iteration_panics() {
+        let mut c: CsrCore<u64, u32> = CsrCore::default();
+        c.push(1, 1);
+        let _ = c.iter().count();
+    }
+}

@@ -1,8 +1,9 @@
-//! Keyed hybrid index over [`DualPostingList`]s (Section 5).
+//! Keyed hybrid index over dual-bounded postings (Section 5), stored in
+//! a single contiguous arena (CSR layout) once finalized.
 
-use crate::{DualPosting, DualPostingList, ObjId};
+use crate::csr::CsrCore;
+use crate::{DualPosting, ObjId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::hash::Hash;
 
 /// The hybrid inverted index of Sections 5.1/5.2: hash-based hybrid
@@ -10,22 +11,26 @@ use std::hash::Hash;
 ///
 /// Keys are packed `(token, grid-cell)` pairs; `seal-core` packs them as
 /// `u128 = (token as u128) << 64 | cell`.
+///
+/// A thin wrapper over the same frozen-CSR container as
+/// [`crate::InvertedIndex`] (see [`crate::csr`]). Each group is sorted
+/// by descending *spatial* bound — the axis with the most distinct
+/// values, so the binary-searched cut is deepest on average — and the
+/// textual bound is checked per surviving posting.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct HybridIndex<K: Eq + Hash> {
-    lists: HashMap<K, DualPostingList>,
-    posting_count: usize,
+pub struct HybridIndex<K: Eq + Hash + Ord> {
+    core: CsrCore<K, DualPosting>,
 }
 
-impl<K: Eq + Hash + Copy> Default for HybridIndex<K> {
+impl<K: Eq + Hash + Ord + Copy> Default for HybridIndex<K> {
     fn default() -> Self {
         HybridIndex {
-            lists: HashMap::new(),
-            posting_count: 0,
+            core: CsrCore::default(),
         }
     }
 }
 
-impl<K: Eq + Hash + Copy> HybridIndex<K> {
+impl<K: Eq + Hash + Ord + Copy> HybridIndex<K> {
     /// An empty index.
     pub fn new() -> Self {
         Self::default()
@@ -33,60 +38,77 @@ impl<K: Eq + Hash + Copy> HybridIndex<K> {
 
     /// Adds a posting for `key` with the two bounds of Section 5.1.
     pub fn push(&mut self, key: K, object: ObjId, spatial_bound: f64, textual_bound: f64) {
-        self.lists
-            .entry(key)
-            .or_default()
-            .push(object, spatial_bound, textual_bound);
-        self.posting_count += 1;
+        self.core
+            .push(key, DualPosting::new(object, spatial_bound, textual_bound));
     }
 
-    /// Finalizes all lists. Must be called before querying.
+    /// Compacts all postings into the contiguous arena (groups in
+    /// descending spatial-bound order). Must be called before
+    /// querying; pushing after a finalize and re-finalizing merges the
+    /// new postings in.
     pub fn finalize(&mut self) {
-        for list in self.lists.values_mut() {
-            list.finalize();
-        }
+        self.core.finalize(|a, b| {
+            b.spatial_bound
+                .partial_cmp(&a.spatial_bound)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.object.cmp(&b.object))
+        });
     }
 
-    /// The full list for a key, if any.
-    pub fn list(&self, key: &K) -> Option<&DualPostingList> {
-        self.lists.get(key)
+    /// True when every pushed posting is in the frozen arena (no
+    /// staged postings awaiting [`finalize`](Self::finalize)).
+    pub fn is_finalized(&self) -> bool {
+        self.core.is_finalized()
+    }
+
+    /// The full list for a key, if any (descending spatial-bound
+    /// order).
+    pub fn list(&self, key: &K) -> Option<&[DualPosting]> {
+        self.core.group(key)
     }
 
     /// Iterates the postings qualifying under both thresholds,
-    /// `I_{c_R, c_T}(key)`.
+    /// `I_{c_R, c_T}(key)`: a binary-searched spatial cut, then a
+    /// textual-bound check per surviving posting.
+    #[inline]
     pub fn qualifying<'a>(
         &'a self,
         key: &K,
         c_spatial: f64,
         c_textual: f64,
-    ) -> Box<dyn Iterator<Item = &'a DualPosting> + 'a> {
-        match self.lists.get(key) {
-            Some(l) => Box::new(l.qualifying(c_spatial, c_textual)),
-            None => Box::new(std::iter::empty()),
-        }
+    ) -> impl Iterator<Item = &'a DualPosting> + 'a {
+        debug_assert!(self.core.is_finalized(), "query on non-finalized index");
+        let group = self.core.group(key).unwrap_or(&[]);
+        let cut = group.partition_point(|p| p.spatial_bound >= c_spatial);
+        group[..cut]
+            .iter()
+            .filter(move |p| p.textual_bound >= c_textual)
     }
 
     /// Number of distinct keys (hash buckets actually populated).
     pub fn key_count(&self) -> usize {
-        self.lists.len()
+        self.core.key_count()
     }
 
     /// Total number of postings.
     pub fn posting_count(&self) -> usize {
-        self.posting_count
+        self.core.posting_count()
     }
 
-    /// Approximate heap size in bytes.
+    /// Exact heap size in bytes of the frozen layout (arena + key
+    /// table + offsets, plus any staged postings).
     pub fn size_bytes(&self) -> usize {
-        let posting_bytes: usize = self.lists.values().map(|l| l.size_bytes()).sum();
-        let key_bytes = self.lists.len()
-            * (std::mem::size_of::<K>() + std::mem::size_of::<DualPostingList>());
-        posting_bytes + key_bytes
+        self.core.size_bytes()
     }
 
-    /// Iterates `(key, list)` pairs in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = (&K, &DualPostingList)> {
-        self.lists.iter()
+    /// Iterates `(key, postings)` groups in ascending key order.
+    ///
+    /// # Panics
+    /// If postings are staged (push without a following
+    /// [`finalize`](Self::finalize)): iteration sees only the frozen
+    /// arena and would silently drop the staged postings.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &[DualPosting])> + '_ {
+        self.core.iter()
     }
 }
 
@@ -136,6 +158,25 @@ mod tests {
     }
 
     #[test]
+    fn spatial_cut_and_textual_filter() {
+        // Sorted by spatial bound; textual bound prunes within the cut.
+        let mut idx: HybridIndex<u128> = HybridIndex::new();
+        idx.push(key(1, 1), 4, 1100.0, 1.7);
+        idx.push(key(1, 1), 0, 1075.0, 1.9);
+        idx.finalize();
+        let got: Vec<ObjId> = idx
+            .qualifying(&key(1, 1), 600.0, 1.8)
+            .map(|p| p.object)
+            .collect();
+        assert_eq!(got, vec![0], "o5's textual bound 1.7 < 1.8 is pruned");
+        let got: Vec<ObjId> = idx
+            .qualifying(&key(1, 1), 1090.0, 0.0)
+            .map(|p| p.object)
+            .collect();
+        assert_eq!(got, vec![4], "spatial cut drops o1");
+    }
+
+    #[test]
     fn size_accounting() {
         let mut idx: HybridIndex<u128> = HybridIndex::new();
         let base = idx.size_bytes();
@@ -150,5 +191,7 @@ mod tests {
         idx.push(key(3, 4), 1, 1.0, 1.0);
         idx.finalize();
         assert_eq!(idx.iter().count(), 2);
+        let total: usize = idx.iter().map(|(_, ps)| ps.len()).sum();
+        assert_eq!(total, idx.posting_count(), "arena holds every posting");
     }
 }

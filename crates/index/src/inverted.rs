@@ -1,95 +1,126 @@
-//! Keyed inverted index over [`BoundedPostingList`]s.
+//! Keyed inverted index over threshold-bounded postings, stored in a
+//! single contiguous arena (CSR layout) once finalized.
 
-use crate::{BoundedPostingList, ObjId, Posting};
+use crate::csr::CsrCore;
+use crate::{ObjId, Posting};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::hash::Hash;
 
 /// An inverted index: signature element → threshold-bounded posting
 /// list. Keys are `u64`-like packed signature elements (token ids, grid
 /// cell ids, or hashed hybrid elements).
 ///
+/// # Layout
+///
+/// A thin wrapper over the frozen-CSR container (see [`crate::csr`]):
+/// one contiguous [`Posting`] arena plus a sorted key table.
+/// [`finalize`](InvertedIndex::finalize) sorts each per-key group in
+/// **descending bound order** (ties broken by object id for
+/// determinism), so the qualifying prefix `I_c(k)` of Lemma 3 is a
+/// `partition_point` cut of one slice: a probe is one binary search
+/// over the keys plus one over the group.
+///
 /// The paper keeps inverted lists on disk with an in-memory offset map;
-/// we keep everything in memory but report exact byte sizes via
-/// [`size_bytes`](InvertedIndex::size_bytes) so Table 1's relative index
-/// sizes can be reproduced.
+/// we keep everything in memory but report exact byte sizes of the
+/// arena layout via [`size_bytes`](InvertedIndex::size_bytes) so
+/// Table 1's relative index sizes can be reproduced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct InvertedIndex<K: Eq + Hash> {
-    lists: HashMap<K, BoundedPostingList>,
-    posting_count: usize,
+pub struct InvertedIndex<K: Eq + Hash + Ord> {
+    core: CsrCore<K, Posting>,
 }
 
-impl<K: Eq + Hash + Copy> Default for InvertedIndex<K> {
+impl<K: Eq + Hash + Ord + Copy> Default for InvertedIndex<K> {
     fn default() -> Self {
         InvertedIndex {
-            lists: HashMap::new(),
-            posting_count: 0,
+            core: CsrCore::default(),
         }
     }
 }
 
-impl<K: Eq + Hash + Copy> InvertedIndex<K> {
+impl<K: Eq + Hash + Ord + Copy> InvertedIndex<K> {
     /// An empty index.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Adds a posting for `key`.
+    /// Adds a posting for `key`. Not visible to queries until
+    /// [`finalize`](Self::finalize).
     pub fn push(&mut self, key: K, object: ObjId, bound: f64) {
-        self.lists.entry(key).or_default().push(object, bound);
-        self.posting_count += 1;
+        self.core.push(key, Posting::new(object, bound));
     }
 
-    /// Finalizes all lists (sorts by descending bound). Must be called
-    /// after the last [`push`](Self::push) and before querying.
+    /// Compacts all postings into the contiguous arena (groups in
+    /// descending bound order). Must be called after the last
+    /// [`push`](Self::push) and before querying; pushing after a
+    /// finalize and re-finalizing merges the new postings in.
     pub fn finalize(&mut self) {
-        for list in self.lists.values_mut() {
-            list.finalize();
-        }
+        self.core.finalize(|a, b| {
+            b.bound
+                .partial_cmp(&a.bound)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.object.cmp(&b.object))
+        });
     }
 
-    /// The full list for a key, if any.
-    pub fn list(&self, key: &K) -> Option<&BoundedPostingList> {
-        self.lists.get(key)
+    /// True when every pushed posting is in the frozen arena (no
+    /// staged postings awaiting [`finalize`](Self::finalize)).
+    pub fn is_finalized(&self) -> bool {
+        self.core.is_finalized()
+    }
+
+    /// The full list for a key, if any (descending bound order).
+    pub fn list(&self, key: &K) -> Option<&[Posting]> {
+        self.core.group(key)
     }
 
     /// The qualifying postings `I_c(key)` (empty slice if the key is
     /// absent).
+    #[inline]
     pub fn qualifying(&self, key: &K, c: f64) -> &[Posting] {
-        self.lists
-            .get(key)
-            .map(|l| l.qualifying(c))
-            .unwrap_or(&[])
+        debug_assert!(self.core.is_finalized(), "query on non-finalized index");
+        match self.core.group(key) {
+            Some(group) => {
+                let cut = group.partition_point(|p| p.bound >= c);
+                &group[..cut]
+            }
+            None => &[],
+        }
     }
 
-    /// Number of distinct keys.
+    /// Number of distinct keys (frozen plus staged).
     pub fn key_count(&self) -> usize {
-        self.lists.len()
+        self.core.key_count()
     }
 
     /// Total number of postings across all lists.
     pub fn posting_count(&self) -> usize {
-        self.posting_count
+        self.core.posting_count()
     }
 
-    /// Length of the list for `key` (0 if absent) — the `|I(g)|` used by
-    /// the cost model of Section 4.3.
+    /// Length of the **frozen** list for `key` (0 if absent) — the
+    /// `|I(g)|` used by the cost model of Section 4.3. Matches exactly
+    /// what a probe can scan: postings staged since the last
+    /// [`finalize`](Self::finalize) are not counted, because
+    /// [`qualifying`](Self::qualifying) cannot return them.
     pub fn list_len(&self, key: &K) -> usize {
-        self.lists.get(key).map(|l| l.len()).unwrap_or(0)
+        self.core.group(key).map(<[Posting]>::len).unwrap_or(0)
     }
 
-    /// Approximate heap size in bytes: postings plus per-key map
-    /// overhead.
+    /// Exact heap size in bytes of the frozen layout: the postings
+    /// arena plus the key table and CSR offsets (plus any staged
+    /// postings not yet folded in).
     pub fn size_bytes(&self) -> usize {
-        let posting_bytes: usize = self.lists.values().map(|l| l.size_bytes()).sum();
-        let key_bytes = self.lists.len()
-            * (std::mem::size_of::<K>() + std::mem::size_of::<BoundedPostingList>());
-        posting_bytes + key_bytes
+        self.core.size_bytes()
     }
 
-    /// Iterates `(key, list)` pairs in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = (&K, &BoundedPostingList)> {
-        self.lists.iter()
+    /// Iterates `(key, postings)` groups in ascending key order.
+    ///
+    /// # Panics
+    /// If postings are staged (push without a following
+    /// [`finalize`](Self::finalize)): iteration sees only the frozen
+    /// arena and would silently drop the staged postings.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &[Posting])> + '_ {
+        self.core.iter()
     }
 }
 
@@ -136,8 +167,60 @@ mod tests {
         idx.push(10, 0, 1.0);
         idx.push(20, 1, 2.0);
         idx.finalize();
-        let mut keys: Vec<u64> = idx.iter().map(|(k, _)| *k).collect();
-        keys.sort_unstable();
-        assert_eq!(keys, vec![10, 20]);
+        let keys: Vec<u64> = idx.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![10, 20], "iteration is key-sorted");
+    }
+
+    #[test]
+    fn arena_is_contiguous_and_grouped() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        for key in [3u64, 1, 2] {
+            for obj in 0..4u32 {
+                idx.push(key, obj, f64::from(obj));
+            }
+        }
+        idx.finalize();
+        // Groups come back in key order with descending bounds.
+        let groups: Vec<(u64, Vec<f64>)> = idx
+            .iter()
+            .map(|(k, ps)| (k, ps.iter().map(|p| p.bound).collect()))
+            .collect();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, 1);
+        assert_eq!(groups[2].0, 3);
+        for (_, bounds) in &groups {
+            assert!(bounds.windows(2).all(|w| w[0] >= w[1]));
+        }
+        // Total arena size equals the posting count: one allocation.
+        let total: usize = idx.iter().map(|(_, ps)| ps.len()).sum();
+        assert_eq!(total, idx.posting_count());
+    }
+
+    #[test]
+    fn push_after_finalize_merges_on_refinalize() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(1, 0, 5.0);
+        idx.finalize();
+        assert!(idx.is_finalized());
+        idx.push(1, 1, 9.0);
+        idx.push(2, 2, 1.0);
+        assert!(!idx.is_finalized());
+        idx.finalize();
+        assert_eq!(idx.key_count(), 2);
+        assert_eq!(idx.posting_count(), 3);
+        let ids: Vec<ObjId> = idx.qualifying(&1, 0.0).iter().map(|p| p.object).collect();
+        assert_eq!(ids, vec![1, 0], "merged list re-sorted by bound");
+    }
+
+    #[test]
+    fn list_len_counts_only_queryable_postings() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(1, 0, 1.0);
+        idx.finalize();
+        idx.push(1, 1, 2.0); // staged, invisible to probes
+        assert_eq!(idx.list_len(&1), 1, "staged posting not counted");
+        assert_eq!(idx.list_len(&1), idx.list(&1).unwrap().len());
+        idx.finalize();
+        assert_eq!(idx.list_len(&1), 2);
     }
 }

@@ -14,10 +14,9 @@
 //!
 //! * [`Posting`] / [`BoundedPostingList`] — single-bound lists for the
 //!   textual filter (`TokenInv`) and the grid filter (`GridInv`).
-//! * [`DualPosting`] / [`DualPostingList`] — the hybrid lists of
-//!   Section 5.1 (`HashInv`, `HierarchicalInv`) where each posting
-//!   carries both a spatial and a textual bound and is pruned if
-//!   *either* falls below its threshold.
+//! * [`DualPosting`] — the hybrid postings of Section 5.1 (`HashInv`,
+//!   `HierarchicalInv`) carrying both a spatial and a textual bound;
+//!   pruned if *either* falls below its threshold.
 //! * [`InvertedIndex`] / [`HybridIndex`] — keyed collections of the
 //!   above with byte-level size accounting (Table 1 reports index
 //!   sizes) and binary serialization.
@@ -29,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod compress;
+mod csr;
 mod hybrid;
 mod inverted;
 mod list;
@@ -38,7 +38,7 @@ mod serialize;
 pub use compress::{CompressError, CompressedInvertedIndex, CompressedPostingList};
 pub use hybrid::HybridIndex;
 pub use inverted::InvertedIndex;
-pub use list::{BoundedPostingList, DualPostingList};
+pub use list::BoundedPostingList;
 pub use posting::{DualPosting, Posting};
 pub use serialize::{IndexCodecError, IndexKey};
 

@@ -1,6 +1,6 @@
 //! Posting lists sorted by threshold bound.
 
-use crate::{DualPosting, ObjId, Posting};
+use crate::{ObjId, Posting};
 use serde::{Deserialize, Serialize};
 
 /// A posting list sorted in descending bound order (Section 4.2: "We
@@ -76,83 +76,6 @@ impl BoundedPostingList {
     }
 }
 
-/// A hybrid posting list with dual bounds (Section 5.1).
-///
-/// Sorted by descending *spatial* bound so the spatial threshold gives a
-/// binary-searched cut; the textual bound is checked per surviving
-/// posting. (Either axis could be the sort key; spatial bounds have far
-/// more distinct values — areas vs. discrete token-weight sums — so they
-/// cut deeper on average.)
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct DualPostingList {
-    postings: Vec<DualPosting>,
-    finalized: bool,
-}
-
-impl DualPostingList {
-    /// An empty list.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Appends a posting (unsorted until [`finalize`](Self::finalize)).
-    pub fn push(&mut self, object: ObjId, spatial_bound: f64, textual_bound: f64) {
-        self.postings
-            .push(DualPosting::new(object, spatial_bound, textual_bound));
-        self.finalized = false;
-    }
-
-    /// Sorts by descending spatial bound and marks the list queryable.
-    pub fn finalize(&mut self) {
-        self.postings.sort_by(|a, b| {
-            b.spatial_bound
-                .partial_cmp(&a.spatial_bound)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.object.cmp(&b.object))
-        });
-        self.finalized = true;
-    }
-
-    /// Number of postings.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.postings.len()
-    }
-
-    /// True if no postings.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.postings.is_empty()
-    }
-
-    /// All postings.
-    #[inline]
-    pub fn postings(&self) -> &[DualPosting] {
-        &self.postings
-    }
-
-    /// Iterates the postings qualifying under both thresholds
-    /// (`I_{c_R, c_T}(h)` of Section 5.1).
-    pub fn qualifying(
-        &self,
-        c_spatial: f64,
-        c_textual: f64,
-    ) -> impl Iterator<Item = &DualPosting> + '_ {
-        debug_assert!(self.finalized, "query on non-finalized posting list");
-        let cut = self
-            .postings
-            .partition_point(|p| p.spatial_bound >= c_spatial);
-        self.postings[..cut]
-            .iter()
-            .filter(move |p| p.textual_bound >= c_textual)
-    }
-
-    /// Heap bytes used by the postings.
-    pub fn size_bytes(&self) -> usize {
-        self.postings.len() * std::mem::size_of::<DualPosting>()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,37 +124,6 @@ mod tests {
         l.push(1, 2.0);
         assert_eq!(l.size_bytes(), 2 * std::mem::size_of::<Posting>());
     }
-
-    #[test]
-    fn dual_list_filters_on_both_axes() {
-        // Figure 9: list of (t1, g11) holds o5 (1100/1.7), o1 (1075/1.9)
-        // — wait, the figure shows (t1,g11): o5 1100/1.7, o1 1075/1.9.
-        let mut l = DualPostingList::new();
-        l.push(4, 1100.0, 1.7);
-        l.push(0, 1075.0, 1.9);
-        l.finalize();
-        assert_eq!(l.postings()[0].object, 4, "sorted by spatial bound");
-        // cR = 600, cT = 0.57: both qualify.
-        let got: Vec<ObjId> = l.qualifying(600.0, 0.57).map(|p| p.object).collect();
-        assert_eq!(got, vec![4, 0]);
-        // cT = 1.8 prunes o5 (textual bound 1.7) but keeps o1.
-        let got: Vec<ObjId> = l.qualifying(600.0, 1.8).map(|p| p.object).collect();
-        assert_eq!(got, vec![0]);
-        // cR = 1090 cuts the list after o5.
-        let got: Vec<ObjId> = l.qualifying(1090.0, 0.0).map(|p| p.object).collect();
-        assert_eq!(got, vec![4]);
-        assert_eq!(l.qualifying(2000.0, 0.0).count(), 0);
-    }
-
-    #[test]
-    fn dual_list_size_and_empty() {
-        let mut l = DualPostingList::new();
-        l.finalize();
-        assert!(l.is_empty());
-        assert_eq!(l.qualifying(0.0, 0.0).count(), 0);
-        l.push(1, 1.0, 1.0);
-        assert_eq!(l.size_bytes(), std::mem::size_of::<DualPosting>());
-    }
 }
 
 #[cfg(test)]
@@ -272,28 +164,6 @@ mod proptests {
             l.finalize();
             let ps = l.postings();
             prop_assert!(ps.windows(2).all(|w| w[0].bound >= w[1].bound));
-        }
-
-        #[test]
-        fn dual_qualifying_equals_linear_scan(
-            entries in proptest::collection::vec((0.0f64..100.0, 0.0f64..10.0), 0..64),
-            cr in 0.0f64..100.0,
-            ct in 0.0f64..10.0,
-        ) {
-            let mut l = DualPostingList::new();
-            for (i, (s, t)) in entries.iter().enumerate() {
-                l.push(i as ObjId, *s, *t);
-            }
-            l.finalize();
-            let fast: std::collections::BTreeSet<ObjId> =
-                l.qualifying(cr, ct).map(|p| p.object).collect();
-            let slow: std::collections::BTreeSet<ObjId> = entries
-                .iter()
-                .enumerate()
-                .filter(|(_, (s, t))| *s >= cr && *t >= ct)
-                .map(|(i, _)| i as ObjId)
-                .collect();
-            prop_assert_eq!(fast, slow);
         }
     }
 }

@@ -49,7 +49,7 @@ impl fmt::Display for IndexCodecError {
 impl std::error::Error for IndexCodecError {}
 
 /// Keys that can round-trip through the codec's `u128` slot.
-pub trait IndexKey: Eq + Hash + Copy {
+pub trait IndexKey: Eq + Hash + Ord + Copy {
     /// Widens the key to 128 bits.
     fn to_u128(self) -> u128;
     /// Narrows a 128-bit value back to the key type.
@@ -93,16 +93,26 @@ fn check_remaining(buf: &impl Buf, need: usize) -> Result<(), IndexCodecError> {
 
 impl<K: IndexKey> InvertedIndex<K> {
     /// Serializes the index to bytes.
+    ///
+    /// # Panics
+    /// If postings have been pushed since the last
+    /// [`finalize`](InvertedIndex::finalize): only the frozen arena is
+    /// serialized, so encoding a half-staged index would silently drop
+    /// data.
     pub fn to_bytes(&self) -> Bytes {
+        assert!(
+            self.is_finalized(),
+            "InvertedIndex::to_bytes requires finalize() after the last push"
+        );
         let mut buf = BytesMut::with_capacity(64 + self.posting_count() * 12);
         buf.put_u32_le(MAGIC);
         buf.put_u8(VERSION);
         buf.put_u8(KIND_SINGLE);
         buf.put_u64_le(self.key_count() as u64);
-        for (key, list) in self.iter() {
+        for (key, postings) in self.iter() {
             buf.put_u128_le(key.to_u128());
-            buf.put_u64_le(list.len() as u64);
-            for p in list.postings() {
+            buf.put_u64_le(postings.len() as u64);
+            for p in postings {
                 buf.put_u32_le(p.object);
                 buf.put_f64_le(p.bound);
             }
@@ -145,16 +155,26 @@ impl<K: IndexKey> InvertedIndex<K> {
 
 impl<K: IndexKey> HybridIndex<K> {
     /// Serializes the hybrid index to bytes.
+    ///
+    /// # Panics
+    /// If postings have been pushed since the last
+    /// [`finalize`](HybridIndex::finalize): only the frozen arena is
+    /// serialized, so encoding a half-staged index would silently drop
+    /// data.
     pub fn to_bytes(&self) -> Bytes {
+        assert!(
+            self.is_finalized(),
+            "HybridIndex::to_bytes requires finalize() after the last push"
+        );
         let mut buf = BytesMut::with_capacity(64 + self.posting_count() * 20);
         buf.put_u32_le(MAGIC);
         buf.put_u8(VERSION);
         buf.put_u8(KIND_DUAL);
         buf.put_u64_le(self.key_count() as u64);
-        for (key, list) in self.iter() {
+        for (key, postings) in self.iter() {
             buf.put_u128_le(key.to_u128());
-            buf.put_u64_le(list.len() as u64);
-            for p in list.postings() {
+            buf.put_u64_le(postings.len() as u64);
+            for p in postings {
                 buf.put_u32_le(p.object);
                 buf.put_f64_le(p.spatial_bound);
                 buf.put_f64_le(p.textual_bound);
@@ -228,6 +248,30 @@ mod tests {
             .map(|p| p.object)
             .collect();
         assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn refinalized_index_roundtrips() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(7, 0, 3.5);
+        idx.finalize();
+        idx.push(7, 1, 9.0);
+        idx.push(8, 2, 1.0);
+        idx.finalize();
+        let back: InvertedIndex<u64> = InvertedIndex::from_bytes(idx.to_bytes()).unwrap();
+        assert_eq!(back.key_count(), 2);
+        assert_eq!(back.posting_count(), 3);
+        assert_eq!(back.qualifying(&7, 4.0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires finalize()")]
+    fn staged_postings_refuse_to_serialize() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(1, 0, 1.0);
+        idx.finalize();
+        idx.push(2, 1, 1.0); // staged, not finalized
+        let _ = idx.to_bytes();
     }
 
     #[test]

@@ -29,8 +29,7 @@ impl<T> RTree<T> {
         let leaf_groups = str_partition(&mut entries, m, |e| e.rect.center());
         let mut level: Vec<NodeId> = Vec::with_capacity(leaf_groups.len());
         for group in leaf_groups {
-            let mbr = Rect::mbr_of(group.iter().map(|e| &e.rect))
-                .expect("non-empty leaf group");
+            let mbr = Rect::mbr_of(group.iter().map(|e| &e.rect)).expect("non-empty leaf group");
             level.push(tree.alloc(mbr, NodeKind::Leaf(group)));
         }
         tree.height = 1;
@@ -42,8 +41,8 @@ impl<T> RTree<T> {
             let groups = str_partition(&mut nodes, m, |(r, _)| r.center());
             let mut next: Vec<NodeId> = Vec::with_capacity(groups.len());
             for group in groups {
-                let mbr = Rect::mbr_of(group.iter().map(|(r, _)| r))
-                    .expect("non-empty internal group");
+                let mbr =
+                    Rect::mbr_of(group.iter().map(|(r, _)| r)).expect("non-empty internal group");
                 let children = group.into_iter().map(|(_, id)| id).collect();
                 next.push(tree.alloc(mbr, NodeKind::Internal(children)));
             }

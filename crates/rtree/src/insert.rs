@@ -158,8 +158,7 @@ fn quadratic_split(rects: &[Rect], min_entries: usize) -> (Vec<usize>, Vec<usize
     let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
     for i in 0..n {
         for j in (i + 1)..n {
-            let waste =
-                rects[i].mbr_with(&rects[j]).area() - rects[i].area() - rects[j].area();
+            let waste = rects[i].mbr_with(&rects[j]).area() - rects[i].area() - rects[j].area();
             if waste > worst {
                 worst = waste;
                 seed_a = i;
@@ -219,8 +218,7 @@ fn pick_next(
     let mut best_pos = 0;
     let mut best_diff = f64::NEG_INFINITY;
     for (pos, &idx) in remaining.iter().enumerate() {
-        let diff =
-            (left_mbr.enlargement(&rects[idx]) - right_mbr.enlargement(&rects[idx])).abs();
+        let diff = (left_mbr.enlargement(&rects[idx]) - right_mbr.enlargement(&rects[idx])).abs();
         if diff > best_diff {
             best_diff = diff;
             best_pos = pos;
@@ -238,7 +236,9 @@ mod tests {
         // Deterministic LCG to avoid a rand dependency in unit tests.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / f64::from(u32::MAX)
         };
         (0..n)

@@ -128,7 +128,9 @@ mod tests {
             .filter(|i| {
                 let x = (i % 30) as f64 * 10.0;
                 let y = (i / 30) as f64 * 10.0;
-                Rect::new(x, y, x + 8.0, y + 8.0).unwrap().intersects(&probe)
+                Rect::new(x, y, x + 8.0, y + 8.0)
+                    .unwrap()
+                    .intersects(&probe)
             })
             .collect();
         expect.sort_unstable();

@@ -31,8 +31,8 @@ impl<T> RTree<T> {
             match self.kind(id) {
                 NodeKind::Leaf(entries) => {
                     leaves += 1;
-                    size += entries.len()
-                        * (std::mem::size_of::<Rect>() + std::mem::size_of::<T>());
+                    size +=
+                        entries.len() * (std::mem::size_of::<Rect>() + std::mem::size_of::<T>());
                 }
                 NodeKind::Internal(children) => {
                     size += children.len() * std::mem::size_of::<crate::node::NodeId>();

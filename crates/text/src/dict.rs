@@ -38,9 +38,8 @@ impl Dictionary {
         if let Some(&id) = self.by_name.get(token) {
             return id;
         }
-        let id = TokenId(
-            u32::try_from(self.names.len()).expect("more than u32::MAX distinct tokens"),
-        );
+        let id =
+            TokenId(u32::try_from(self.names.len()).expect("more than u32::MAX distinct tokens"));
         self.names.push(token.to_owned());
         self.by_name.insert(token.to_owned(), id);
         id

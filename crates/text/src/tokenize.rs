@@ -24,8 +24,8 @@ impl Default for Tokenizer {
 /// A minimal English stopword list — enough to keep the examples' token
 /// sets meaningful without pulling in an IR dependency.
 const DEFAULT_STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is",
-    "it", "its", "of", "on", "or", "that", "the", "to", "was", "we", "were", "will", "with",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is", "it",
+    "its", "of", "on", "or", "that", "the", "to", "was", "we", "were", "will", "with",
 ];
 
 impl Tokenizer {

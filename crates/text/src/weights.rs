@@ -120,7 +120,10 @@ impl IdfWeights {
 impl TokenWeights for IdfWeights {
     #[inline]
     fn weight(&self, t: TokenId) -> f64 {
-        self.weights.get(t.index()).copied().unwrap_or(self.fallback)
+        self.weights
+            .get(t.index())
+            .copied()
+            .unwrap_or(self.fallback)
     }
 }
 
@@ -142,7 +145,7 @@ mod tests {
     #[test]
     fn idf_matches_paper_formula() {
         // 4 documents; token 0 appears in 2 of them: w = ln(4/2) = ln 2.
-        let docs = vec![doc(&[0, 1]), doc(&[0]), doc(&[1]), doc(&[2])];
+        let docs = [doc(&[0, 1]), doc(&[0]), doc(&[1]), doc(&[2])];
         let w = IdfWeights::from_corpus(3, docs.iter());
         assert!((w.weight(TokenId(0)) - (2.0f64).ln()).abs() < 1e-12);
         assert!((w.weight(TokenId(1)) - (2.0f64).ln()).abs() < 1e-12);
@@ -153,7 +156,7 @@ mod tests {
 
     #[test]
     fn duplicate_tokens_in_a_document_count_once() {
-        let docs = vec![doc(&[0, 0, 0]), doc(&[1])];
+        let docs = [doc(&[0, 0, 0]), doc(&[1])];
         let w = IdfWeights::from_corpus(2, docs.iter());
         // df(0) = 1, not 3.
         assert!((w.weight(TokenId(0)) - (2.0f64).ln()).abs() < 1e-12);
@@ -161,7 +164,7 @@ mod tests {
 
     #[test]
     fn unseen_token_falls_back_to_max_idf() {
-        let docs = vec![doc(&[0]), doc(&[0])];
+        let docs = [doc(&[0]), doc(&[0])];
         let w = IdfWeights::from_corpus(1, docs.iter());
         // Query asks about TokenId(7), never interned: fallback ln(2).
         assert!((w.weight(TokenId(7)) - (2.0f64).ln()).abs() < 1e-12);
@@ -200,6 +203,6 @@ mod tests {
         }
         let w = UniformWeights;
         let s = TokenSet::from_ids([TokenId(0), TokenId(1)]);
-        assert_eq!(total(&w, &s), 2.0);
+        assert_eq!(total(w, &s), 2.0);
     }
 }

@@ -47,8 +47,8 @@ fn main() {
         .expect("some user has at least one potential friend");
     println!("recommending for user {me:?}\n");
     let profile = store.get(me);
-    let q = Query::new(profile.region, profile.tokens.clone(), 0.05, 0.1)
-        .expect("valid thresholds");
+    let q =
+        Query::new(profile.region, profile.tokens.clone(), 0.05, 0.1).expect("valid thresholds");
 
     let mut reference: Option<Vec<ObjectId>> = None;
     for engine in &engines {
@@ -64,10 +64,7 @@ fn main() {
         );
         match &reference {
             None => reference = Some(result.answers.clone()),
-            Some(r) => assert_eq!(
-                r, &result.answers,
-                "engines disagree on the friend list"
-            ),
+            Some(r) => assert_eq!(r, &result.answers, "engines disagree on the friend list"),
         }
     }
 

@@ -20,11 +20,18 @@ fn main() {
             vec!["coffee", "starbucks", "mocha"],
         ),
         (rect(30.0, 30.0, 70.0, 70.0), vec!["tea", "bubble", "boba"]),
-        (rect(80.0, 80.0, 120.0, 120.0), vec!["park", "dogs", "trails"]),
+        (
+            rect(80.0, 80.0, 120.0, 120.0),
+            vec!["park", "dogs", "trails"],
+        ),
         (rect(82.0, 78.0, 118.0, 119.0), vec!["park", "picnic"]),
     ]);
     let store = Arc::new(store);
-    println!("indexed {} objects over space {:?}", store.len(), store.space());
+    println!(
+        "indexed {} objects over space {:?}",
+        store.len(),
+        store.space()
+    );
 
     // 2. Build the engine with SEAL's hierarchical hybrid signatures.
     let engine = SealEngine::build(

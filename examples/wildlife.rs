@@ -81,7 +81,10 @@ fn main() {
     )
     .expect("valid thresholds");
     let r2 = engine.search(&q2).sorted();
-    println!("wetland carnivores in the south-east: {} species", r2.answers.len());
+    println!(
+        "wetland carnivores in the south-east: {} species",
+        r2.answers.len()
+    );
     assert_eq!(r2.answers.len(), 2, "alligator and heron");
 }
 

@@ -1,0 +1,300 @@
+//! Offline shim for `criterion`: a minimal wall-clock harness with the
+//! same macro/builder surface. Each benchmark is warmed up, then timed
+//! for `sample_size` batches; the median batch is reported. There is
+//! no statistical analysis, plotting, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time per measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(25);
+
+/// The benchmark driver (builder-configured, mirrors `criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the batch count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(&format!("{}/{}", self.name, id.label), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`group/label` in the printed output).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the benchmark closure; call [`iter`](Bencher::iter) with
+/// the code under test.
+pub struct Bencher {
+    sample_size: usize,
+    /// (median per-iteration, mean per-iteration), filled by `iter`.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Measures a closure: warm-up, batch-size calibration, then
+    /// `sample_size` timed batches.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up + calibration: find how many iterations fill the
+        // batch target.
+        let mut iters_per_batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= BATCH_TARGET || iters_per_batch >= 1 << 20 {
+                break;
+            }
+            let scale = if elapsed.is_zero() {
+                16
+            } else {
+                (BATCH_TARGET.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            };
+            iters_per_batch = iters_per_batch.saturating_mul(scale.clamp(2, 16));
+        }
+        let mut batches: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            batches.push(start.elapsed() / iters_per_batch as u32);
+        }
+        batches.sort_unstable();
+        let median = batches[batches.len() / 2];
+        let mean = batches.iter().sum::<Duration>() / batches.len() as u32;
+        self.result = Some((median, mean));
+    }
+}
+
+/// How much setup output to pre-batch in
+/// [`iter_batched`](Bencher::iter_batched) (accepted for API
+/// compatibility; the shim always sets up per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Measures `routine` with a fresh `setup` value per call; only
+    /// the routine is timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Calibrate the per-batch iteration count on routine time only.
+        let mut iters_per_batch = 1u64;
+        loop {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters_per_batch {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                spent += start.elapsed();
+            }
+            if spent >= BATCH_TARGET || iters_per_batch >= 1 << 16 {
+                break;
+            }
+            let scale = if spent.is_zero() {
+                16
+            } else {
+                (BATCH_TARGET.as_nanos() / spent.as_nanos().max(1) + 1) as u64
+            };
+            iters_per_batch = iters_per_batch.saturating_mul(scale.clamp(2, 16));
+        }
+        let mut batches: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters_per_batch {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                spent += start.elapsed();
+            }
+            batches.push(spent / iters_per_batch as u32);
+        }
+        batches.sort_unstable();
+        let median = batches[batches.len() / 2];
+        let mean = batches.iter().sum::<Duration>() / batches.len() as u32;
+        self.result = Some((median, mean));
+    }
+}
+
+fn run_bench(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((median, mean)) => println!("bench {name:<48} median {median:>12?}  mean {mean:>12?}"),
+        None => println!("bench {name:<48} (no measurement: iter() never called)"),
+    }
+}
+
+/// Declares a group of benchmark functions (both `criterion` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("named", |b| b.iter(|| black_box(3)));
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

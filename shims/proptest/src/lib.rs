@@ -1,0 +1,244 @@
+//! Offline shim for `proptest`: the strategy/`proptest!` subset this
+//! workspace uses. Cases are sampled from a deterministic per-test
+//! seed; failures report the failing inputs but are **not shrunk**.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Debug;
+
+/// Runner configuration (`cases` is the only knob the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.sample(rng),)*)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The [`vec`] strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rand::Rng::gen_range(rng, self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Drives one property: samples `config.cases` cases from a seed
+/// derived from the test name, reporting the case index on failure.
+/// Called by the [`proptest!`] macro expansion; not public API.
+pub fn run_cases(config: ProptestConfig, name: &str, case: impl Fn(u32, &mut StdRng)) {
+    // FNV-1a over the test name keeps seeds stable across runs and
+    // distinct across properties.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    for i in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(u64::from(i)));
+        case(i, &mut rng);
+    }
+}
+
+/// Asserts a condition inside a property (no shrinking; panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (no shrinking; panics).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Defines property tests. Supports the same surface the workspace
+/// uses: an optional `#![proptest_config(..)]` header and `fn
+/// name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(config, stringify!($name), |__case, __rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __rng);)*
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),*),
+                        $(&$arg),*
+                    );
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(panic) = __result {
+                        eprintln!(
+                            "proptest {} failed at case {}:\n  {}",
+                            stringify!($name), __case, __inputs,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u32..100, f in 0.0f64..1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn map_and_vec_compose(
+            v in collection::vec((0u32..10).prop_map(|x| x * 2), 0..16),
+        ) {
+            prop_assert!(v.len() < 16);
+            prop_assert!(v.iter().all(|x| x % 2 == 0));
+            prop_assert_eq!(v.iter().filter(|x| **x >= 20).count(), 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_header_accepted(t in (0u8..4, 0u8..=3, 1i64..9, 0.0f64..2.0)) {
+            prop_assert!(t.0 < 4 && t.1 <= 3 && t.2 >= 1 && t.3 < 2.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use super::Strategy;
+        let mut a = rand::rngs::StdRng::seed_from_u64(9);
+        let mut b = rand::rngs::StdRng::seed_from_u64(9);
+        use rand::SeedableRng;
+        let s = 0u64..1_000_000;
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives (offline shim).
+//!
+//! The workspace derives these traits for documentation/compatibility
+//! but never serializes through serde (the on-disk codec is the
+//! hand-rolled one in `seal-index::serialize`), so the derives expand
+//! to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: the shim `Serialize` trait has a blanket impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: the shim `Deserialize` trait has a blanket impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

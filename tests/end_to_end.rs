@@ -3,8 +3,8 @@
 //! the paper's threshold grid.
 
 use seal_bench_test_util::*;
-use seal_core::{FilterKind, SealEngine, SimilarityConfig};
 use seal_core::verify::naive_search;
+use seal_core::{FilterKind, SealEngine, SimilarityConfig};
 use std::sync::Arc;
 
 #[path = "util/mod.rs"]

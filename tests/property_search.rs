@@ -12,9 +12,11 @@ use std::sync::Arc;
 const WORLD: f64 = 1000.0;
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (0.0..WORLD, 0.0..WORLD, 1.0..200.0, 1.0..200.0).prop_map(|(x, y, w, h): (f64, f64, f64, f64)| {
-        Rect::new(x, y, (x + w).min(WORLD * 2.0), (y + h).min(WORLD * 2.0)).unwrap()
-    })
+    (0.0..WORLD, 0.0..WORLD, 1.0..200.0, 1.0..200.0).prop_map(
+        |(x, y, w, h): (f64, f64, f64, f64)| {
+            Rect::new(x, y, (x + w).min(WORLD * 2.0), (y + h).min(WORLD * 2.0)).unwrap()
+        },
+    )
 }
 
 fn arb_tokens(vocab: u32) -> impl Strategy<Value = Vec<TokenId>> {
@@ -23,8 +25,7 @@ fn arb_tokens(vocab: u32) -> impl Strategy<Value = Vec<TokenId>> {
 
 fn arb_objects(vocab: u32) -> impl Strategy<Value = Vec<RoiObject>> {
     proptest::collection::vec(
-        (arb_rect(), arb_tokens(vocab))
-            .prop_map(|(r, t)| RoiObject::new(r, TokenSet::from_ids(t))),
+        (arb_rect(), arb_tokens(vocab)).prop_map(|(r, t)| RoiObject::new(r, TokenSet::from_ids(t))),
         1..60,
     )
 }

@@ -44,11 +44,7 @@ fn to_store(dataset: &seal_datagen::Dataset) -> ObjectStore {
     ObjectStore::from_objects(objects, dataset.vocab_size)
 }
 
-fn build_queries(
-    dataset: &seal_datagen::Dataset,
-    per_spec: usize,
-    seed: u64,
-) -> Vec<Query> {
+fn build_queries(dataset: &seal_datagen::Dataset, per_spec: usize, seed: u64) -> Vec<Query> {
     let mut out = Vec::new();
     for (i, spec) in [QuerySpec::LargeRegion, QuerySpec::SmallRegion]
         .into_iter()
