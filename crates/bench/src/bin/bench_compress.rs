@@ -1,0 +1,117 @@
+//! Records compressed-vs-uncompressed serving numbers to
+//! `BENCH_compress.json`: index bytes and batch-probe throughput for
+//! the token and hash-hybrid filters in both storage modes (the arena
+//! form vs. the compressed arena served in place).
+//!
+//! ```text
+//! cargo run --release -p seal-bench --bin bench_compress -- \
+//!     [--objects N] [--queries N] [--seed N] [--out PATH]
+//! ```
+//!
+//! The JSON records `available_parallelism` and a caveat string: on a
+//! 1-core container the absolute throughputs say little — the numbers
+//! to read are the compressed/uncompressed *ratios* (size and qps).
+
+use seal_bench::data::{build_store, dataset, with_thresholds, workload, BenchConfig, Which};
+use seal_bench::harness::batch_qps;
+use seal_core::{FilterKind, SealEngine};
+use seal_datagen::QuerySpec;
+use std::io::Write;
+
+struct Mode {
+    label: &'static str,
+    arena: FilterKind,
+    compressed: FilterKind,
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_compress.json".to_string());
+
+    let d = dataset(Which::Twitter, &cfg);
+    let store = build_store(&d);
+    let raw = workload(&d, QuerySpec::LargeRegion, &cfg);
+    let qs = with_thresholds(&raw, 0.2, 0.2);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let modes = [
+        Mode {
+            label: "token",
+            arena: FilterKind::Token,
+            compressed: FilterKind::TokenCompressed,
+        },
+        Mode {
+            label: "hash_hybrid",
+            arena: FilterKind::HashHybrid {
+                side: 256,
+                buckets: Some(1 << 16),
+            },
+            compressed: FilterKind::HashHybridCompressed {
+                side: 256,
+                buckets: Some(1 << 16),
+            },
+        },
+    ];
+
+    let mut sections = Vec::new();
+    for mode in &modes {
+        let mut row = String::new();
+        row.push_str(&format!("  \"{}\": {{\n", mode.label));
+        let mut stats = Vec::new();
+        for (tag, kind) in [("arena", mode.arena), ("compressed", mode.compressed)] {
+            let engine = SealEngine::build(store.clone(), kind);
+            let bytes = engine.index_bytes();
+            let qps = batch_qps(&engine, &qs, 1, 3);
+            println!(
+                "{:<12} {:<12} {:>12} bytes {:>12.1} q/s ({})",
+                mode.label,
+                tag,
+                bytes,
+                qps,
+                engine.filter_name()
+            );
+            stats.push((tag, bytes, qps));
+        }
+        let (arena_bytes, arena_qps) = (stats[0].1, stats[0].2);
+        let (comp_bytes, comp_qps) = (stats[1].1, stats[1].2);
+        for (tag, bytes, qps) in &stats {
+            row.push_str(&format!(
+                "    \"{tag}\": {{ \"index_bytes\": {bytes}, \"qps\": {qps:.1} }},\n"
+            ));
+        }
+        row.push_str(&format!(
+            "    \"compressed_size_ratio\": {:.3},\n",
+            comp_bytes as f64 / arena_bytes.max(1) as f64
+        ));
+        row.push_str(&format!(
+            "    \"compressed_qps_ratio\": {:.3}\n",
+            comp_qps / arena_qps.max(1e-9)
+        ));
+        row.push_str("  }");
+        sections.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"bench\": \"compressed vs uncompressed probe throughput (queries/sec, 1 thread)\",\n",
+    );
+    json.push_str(&format!("  \"objects\": {},\n", store.len()));
+    json.push_str(&format!("  \"queries\": {},\n", qs.len()));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(
+        "  \"caveat\": \"recorded on a 1-core container when available_parallelism is 1; \
+         absolute qps is not meaningful there — compare the size/qps ratios\",\n",
+    );
+    json.push_str(&sections.join(",\n"));
+    json.push_str("\n}\n");
+
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {out_path}");
+}

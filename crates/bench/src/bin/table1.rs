@@ -47,10 +47,18 @@ fn main() {
         for (name, kind) in [
             ("IR-tree size (MB)", FilterKind::IrTree { fanout: 64 }),
             ("TokenInv size (MB)", FilterKind::Token),
+            ("TokenInv compressed (MB)", FilterKind::TokenCompressed),
             ("GridInv (1024) size (MB)", FilterKind::Grid { side: 1024 }),
             (
                 "HashInv (1024) size (MB)",
                 FilterKind::HashHybrid {
+                    side: 1024,
+                    buckets: Some(1 << 20),
+                },
+            ),
+            (
+                "HashInv compressed (MB)",
+                FilterKind::HashHybridCompressed {
                     side: 1024,
                     buckets: Some(1 << 20),
                 },

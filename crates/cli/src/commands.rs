@@ -21,7 +21,8 @@ commands:
             synthesize a dataset and write it as TSV
   stats     --data FILE
             print dataset statistics (Table 1's data rows)
-  index     --data FILE [--filter seal|token|grid|hash|adaptive|irtree]
+  index     --data FILE [--filter seal|token|token-compressed|grid|hash|
+            hash-compressed|adaptive|irtree]
             build an index and report build time + size
   query     --data FILE --region x0,y0,x1,y1 --tokens a,b,c
             [--tau-r F] [--tau-t F] [--filter ...] [--top-k N]
@@ -100,8 +101,13 @@ fn filter_kind(name: &str) -> Result<FilterKind, Box<dyn Error>> {
     Ok(match name {
         "seal" | "hierarchical" => FilterKind::seal_default(),
         "token" => FilterKind::Token,
+        "token-compressed" | "tokenc" => FilterKind::TokenCompressed,
         "grid" => FilterKind::Grid { side: 1024 },
         "hash" => FilterKind::HashHybrid {
+            side: 1024,
+            buckets: Some(1 << 20),
+        },
+        "hash-compressed" | "hashc" => FilterKind::HashHybridCompressed {
             side: 1024,
             buckets: Some(1 << 20),
         },
@@ -311,7 +317,18 @@ mod tests {
     #[test]
     fn filter_kinds_resolve() {
         for f in [
-            "seal", "token", "grid", "hash", "adaptive", "irtree", "keyword", "spatial",
+            "seal",
+            "token",
+            "token-compressed",
+            "tokenc",
+            "grid",
+            "hash",
+            "hash-compressed",
+            "hashc",
+            "adaptive",
+            "irtree",
+            "keyword",
+            "spatial",
         ] {
             assert!(filter_kind(f).is_ok(), "{f}");
         }

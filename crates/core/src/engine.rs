@@ -18,6 +18,11 @@ use std::sync::{Arc, OnceLock};
 pub enum FilterKind {
     /// `Sig-Filter+` on textual signatures (`TokenInv`).
     Token,
+    /// `Sig-Filter+` on textual signatures served **in place** off the
+    /// compressed arena (`TokenInv` in its at-rest form): ~4× smaller
+    /// lists, probes decode only the qualifying prefix into the
+    /// per-worker [`QueryContext`] scratch.
+    TokenCompressed,
     /// Basic `Sig-Filter` on textual signatures (ablation).
     TokenBasic,
     /// `Sig-Filter+` on grid signatures (`GridInv`) at the given
@@ -28,6 +33,14 @@ pub enum FilterKind {
     },
     /// `Hybrid-Sig-Filter+` on hash-based hybrid signatures (`HashInv`).
     HashHybrid {
+        /// Cells per side.
+        side: u32,
+        /// Hash-bucket constraint (None = full 64-bit hashing).
+        buckets: Option<u64>,
+    },
+    /// `Hybrid-Sig-Filter+` served in place off the compressed
+    /// dual-bound arena (`HashInv` in its at-rest form).
+    HashHybridCompressed {
         /// Cells per side.
         side: u32,
         /// Hash-bucket constraint (None = full 64-bit hashing).
@@ -115,6 +128,10 @@ impl SealEngine {
     ) -> Self {
         let filter: Box<dyn CandidateFilter> = match kind {
             FilterKind::Token => Box::new(TokenFilter::build_with_config(store.clone(), cfg)),
+            FilterKind::TokenCompressed => Box::new(TokenFilter::build_compressed_with_config(
+                store.clone(),
+                cfg,
+            )),
             FilterKind::TokenBasic => {
                 Box::new(TokenFilterBasic::build_with_config(store.clone(), cfg))
             }
@@ -127,6 +144,18 @@ impl SealEngine {
                     None => BucketScheme::Full,
                 };
                 Box::new(HybridFilter::build_with_config(
+                    store.clone(),
+                    side,
+                    scheme,
+                    cfg,
+                ))
+            }
+            FilterKind::HashHybridCompressed { side, buckets } => {
+                let scheme = match buckets {
+                    Some(m) => BucketScheme::Buckets(m),
+                    None => BucketScheme::Full,
+                };
+                Box::new(HybridFilter::build_compressed_with_config(
                     store.clone(),
                     side,
                     scheme,
@@ -314,6 +343,7 @@ mod tests {
     fn all_kinds() -> Vec<FilterKind> {
         vec![
             FilterKind::Token,
+            FilterKind::TokenCompressed,
             FilterKind::TokenBasic,
             FilterKind::Grid { side: 8 },
             FilterKind::HashHybrid {
@@ -321,6 +351,14 @@ mod tests {
                 buckets: None,
             },
             FilterKind::HashHybrid {
+                side: 8,
+                buckets: Some(64),
+            },
+            FilterKind::HashHybridCompressed {
+                side: 8,
+                buckets: None,
+            },
+            FilterKind::HashHybridCompressed {
                 side: 8,
                 buckets: Some(64),
             },

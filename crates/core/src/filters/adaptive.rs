@@ -83,7 +83,7 @@ impl AdaptiveFilter {
         let token_cost: usize = tsig
             .prefix(c_t)
             .iter()
-            .map(|e| self.token.index().qualifying(&e.token.0, c_t).len())
+            .map(|e| self.token.qualifying_len(e.token.0, c_t))
             .sum();
 
         let c_r = crate::signatures::relax(self.cfg.spatial_threshold(q));

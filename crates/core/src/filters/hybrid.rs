@@ -6,9 +6,17 @@ use crate::signatures::grid::GridScheme;
 use crate::signatures::hash_hybrid::BucketScheme;
 use crate::signatures::textual::TextualSignature;
 use crate::{ObjectId, ObjectStore, Query, SearchStats};
-use seal_index::HybridIndex;
+use seal_index::{CompressedHybridIndex, HybridIndex};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Posting storage for the hybrid filter: the uncompressed dual-bound
+/// CSR arena, or the compressed arena served in place through the
+/// `QueryContext` dual-posting scratch.
+enum HybridStorage {
+    Arena(HybridIndex<u64>),
+    Compressed(CompressedHybridIndex<u64>),
+}
 
 /// The hash-based hybrid filter: elements are `(token, cell)` pairs
 /// hashed into buckets, postings carry *both* spatial and textual
@@ -18,7 +26,7 @@ pub struct HybridFilter {
     cfg: crate::SimilarityConfig,
     grid: GridScheme,
     buckets: BucketScheme,
-    index: HybridIndex<u64>,
+    storage: HybridStorage,
     empty_token_objects: Vec<ObjectId>,
 }
 
@@ -39,7 +47,49 @@ impl HybridFilter {
         buckets: BucketScheme,
         cfg: crate::SimilarityConfig,
     ) -> Self {
-        let grid = GridScheme::build(&store, side);
+        let (grid, index, empty) = Self::build_index(&store, side, buckets);
+        HybridFilter {
+            store,
+            cfg,
+            grid,
+            buckets,
+            storage: HybridStorage::Arena(index),
+            empty_token_objects: empty,
+        }
+    }
+
+    /// Builds the compressed serving mode (default configuration):
+    /// the same `HashInv` lists folded into one compressed dual-bound
+    /// arena and queried in place.
+    pub fn build_compressed(store: Arc<ObjectStore>, side: u32, buckets: BucketScheme) -> Self {
+        Self::build_compressed_with_config(store, side, buckets, crate::SimilarityConfig::default())
+    }
+
+    /// Builds the compressed serving mode with an explicit similarity
+    /// configuration.
+    pub fn build_compressed_with_config(
+        store: Arc<ObjectStore>,
+        side: u32,
+        buckets: BucketScheme,
+        cfg: crate::SimilarityConfig,
+    ) -> Self {
+        let (grid, index, empty) = Self::build_index(&store, side, buckets);
+        HybridFilter {
+            store,
+            cfg,
+            grid,
+            buckets,
+            storage: HybridStorage::Compressed(CompressedHybridIndex::compress(&index)),
+            empty_token_objects: empty,
+        }
+    }
+
+    fn build_index(
+        store: &ObjectStore,
+        side: u32,
+        buckets: BucketScheme,
+    ) -> (GridScheme, HybridIndex<u64>, Vec<ObjectId>) {
+        let grid = GridScheme::build(store, side);
         let mut index: HybridIndex<u64> = HybridIndex::new();
         let mut empty = Vec::new();
         for (id, o) in store.iter() {
@@ -58,14 +108,7 @@ impl HybridFilter {
             }
         }
         index.finalize();
-        HybridFilter {
-            store,
-            cfg,
-            grid,
-            buckets,
-            index,
-            empty_token_objects: empty,
-        }
+        (grid, index, empty)
     }
 
     /// The grid scheme in use.
@@ -78,15 +121,31 @@ impl HybridFilter {
         self.buckets
     }
 
-    /// The underlying index (diagnostics).
-    pub fn index(&self) -> &HybridIndex<u64> {
-        &self.index
+    /// The uncompressed index, when serving from the CSR arena
+    /// (diagnostics; `None` in compressed mode).
+    pub fn index(&self) -> Option<&HybridIndex<u64>> {
+        match &self.storage {
+            HybridStorage::Arena(i) => Some(i),
+            HybridStorage::Compressed(_) => None,
+        }
+    }
+
+    /// The compressed index, when serving in place (`None` in arena
+    /// mode).
+    pub fn compressed_index(&self) -> Option<&CompressedHybridIndex<u64>> {
+        match &self.storage {
+            HybridStorage::Arena(_) => None,
+            HybridStorage::Compressed(c) => Some(c),
+        }
     }
 }
 
 impl CandidateFilter for HybridFilter {
     fn name(&self) -> &'static str {
-        "HybridFilter"
+        match &self.storage {
+            HybridStorage::Arena(_) => "HybridFilter",
+            HybridStorage::Compressed(_) => "HybridFilterCompressed",
+        }
     }
 
     fn candidates_into(&self, q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats) {
@@ -110,10 +169,23 @@ impl CandidateFilter for HybridFilter {
             for gelem in gprefix {
                 let key = self.buckets.key(telem.token, gelem.cell);
                 stats.lists_probed += 1;
-                for p in self.index.qualifying(&key, c_r, c_t) {
-                    stats.postings_scanned += 1;
-                    if ctx.dedup.insert(p.object) {
-                        ctx.candidates.push(ObjectId(p.object));
+                match &self.storage {
+                    HybridStorage::Arena(index) => {
+                        for p in index.qualifying(&key, c_r, c_t) {
+                            stats.postings_scanned += 1;
+                            if ctx.dedup.insert(p.object) {
+                                ctx.candidates.push(ObjectId(p.object));
+                            }
+                        }
+                    }
+                    HybridStorage::Compressed(index) => {
+                        let postings = index.qualifying_into(&key, c_r, c_t, &mut ctx.decode_dual);
+                        stats.postings_scanned += postings.len();
+                        for p in postings {
+                            if ctx.dedup.insert(p.object) {
+                                ctx.candidates.push(ObjectId(p.object));
+                            }
+                        }
                     }
                 }
             }
@@ -122,7 +194,11 @@ impl CandidateFilter for HybridFilter {
     }
 
     fn index_bytes(&self) -> usize {
-        self.index.size_bytes() + self.grid.size_bytes()
+        let index = match &self.storage {
+            HybridStorage::Arena(i) => i.size_bytes(),
+            HybridStorage::Compressed(c) => c.size_bytes(),
+        };
+        index + self.grid.size_bytes()
     }
 }
 
@@ -203,6 +279,33 @@ mod tests {
         assert_eq!(f.buckets(), BucketScheme::Buckets(32));
         assert_eq!(f.grid().side(), 4);
         assert!(f.index_bytes() > 0);
-        assert!(f.index().posting_count() > 0);
+        assert!(f.index().unwrap().posting_count() > 0);
+        assert!(f.compressed_index().is_none());
+    }
+
+    #[test]
+    fn compressed_mode_is_complete() {
+        let (store, q0) = figure1_store();
+        let store = Arc::new(store);
+        let cfg = SimilarityConfig::default();
+        let compressed = HybridFilter::build_compressed(store.clone(), 8, BucketScheme::Full);
+        assert_eq!(compressed.name(), "HybridFilterCompressed");
+        assert!(compressed.index().is_none());
+        assert!(compressed.compressed_index().is_some());
+        // Size wins only show on dense lists (the 7-object fixture's
+        // directory overhead dominates); see seal-index's
+        // `dual_compression_shrinks` for the size assertion.
+        assert!(compressed.index_bytes() > 0);
+        for (tr, tt) in [(0.1, 0.1), (0.25, 0.3), (0.6, 0.6)] {
+            let q = q0.with_thresholds(tr, tt).unwrap();
+            let answers = naive_search(&store, &cfg, &q);
+            let mut stats = SearchStats::new();
+            let cands = compressed.candidates(&q, &mut stats);
+            for a in &answers {
+                assert!(cands.contains(a), "τ=({tr},{tt}): answer {a:?} missing");
+            }
+            let mut vstats = SearchStats::new();
+            assert_eq!(verify(&store, &cfg, &q, &cands, &mut vstats), answers);
+        }
     }
 }

@@ -18,14 +18,57 @@
 //! # Concurrency model
 //!
 //! Filters are **stateless at query time**: every byte of per-query
-//! scratch (dedup stamps, accumulator arrays, candidate buffers) lives
-//! in a caller-owned [`QueryContext`], so `&self` probes never contend
-//! on a lock. A serving loop keeps one context per worker thread and
-//! calls [`CandidateFilter::candidates_into`]; after the first query
-//! warms the buffers, a probe performs **zero heap allocations**. The
-//! plain [`CandidateFilter::candidates`] convenience method allocates a
+//! scratch (dedup stamps, accumulator arrays, candidate buffers,
+//! compressed-arena decode buffers) lives in a caller-owned
+//! [`QueryContext`], so `&self` probes never contend on a lock. A
+//! serving loop keeps one context per worker thread and calls
+//! [`CandidateFilter::candidates_into`]; after the first query warms
+//! the buffers, a probe performs **zero heap allocations**. The plain
+//! [`CandidateFilter::candidates`] convenience method allocates a
 //! fresh context per call — fine for tests and examples, wasteful in a
 //! hot loop.
+//!
+//! # Scratch invariants
+//!
+//! * **Epoch-stamped dedup.** Candidate-set membership and the
+//!   accumulator arrays are reset by bumping a `u32` epoch, not by
+//!   clearing memory, so starting a query costs O(1) regardless of
+//!   store size; a slot is "seen" only if its stamp equals the current
+//!   epoch. On epoch wrap (every 2³²−1 queries per context) the stamp
+//!   array is zeroed once to keep stale stamps from aliasing.
+//! * **Filters clear their outputs at entry.** `candidates_into`
+//!   clears `ctx.candidates` (and whatever scratch it uses) before
+//!   writing, so contexts may be freely reused across filters, engines
+//!   and stores of different sizes — buffers only ever grow.
+//! * **Compressed decode buffers are per-probe.** The compressed
+//!   filters decode each qualifying prefix into the context's decode
+//!   scratch and consume it before the next list probe; nothing in the
+//!   context outlives the query it served.
+//!
+//! ```
+//! use seal_core::{CandidateFilter, ObjectStore, Query, QueryContext, SearchStats};
+//! use seal_core::filters::TokenFilter;
+//! use seal_geom::Rect;
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(ObjectStore::from_labeled(vec![
+//!     (Rect::new(0.0, 0.0, 10.0, 10.0).unwrap(), vec!["coffee", "mocha"]),
+//!     (Rect::new(5.0, 5.0, 15.0, 15.0).unwrap(), vec!["tea"]),
+//! ]));
+//! // One filter, one long-lived context per worker thread.
+//! let filter = TokenFilter::build(store.clone());
+//! let mut ctx = QueryContext::with_capacity(store.len());
+//! let mut stats = SearchStats::new();
+//! let dict = store.dictionary().unwrap();
+//! let q = Query::with_token_ids(
+//!     Rect::new(0.0, 0.0, 10.0, 10.0).unwrap(),
+//!     dict.get("coffee"),
+//!     0.3,
+//!     0.3,
+//! ).unwrap();
+//! filter.candidates_into(&q, &mut ctx, &mut stats);
+//! assert_eq!(ctx.candidates().len(), 1); // warm probes now allocate nothing
+//! ```
 
 mod adaptive;
 mod grid;
@@ -94,6 +137,13 @@ pub struct QueryContext {
     pub(crate) candidates: Vec<ObjectId>,
     /// Object ids touched by the accumulator this query.
     pub(crate) touched: Vec<u32>,
+    /// Decode scratch for compressed single-bound arenas: qualifying
+    /// prefixes are varint-decoded here, so the compressed serving
+    /// path allocates nothing once this has grown to the largest
+    /// qualifying prefix.
+    pub(crate) decode: Vec<seal_index::Posting>,
+    /// Decode scratch for compressed dual-bound arenas.
+    pub(crate) decode_dual: Vec<seal_index::DualPosting>,
 }
 
 impl QueryContext {
@@ -123,6 +173,14 @@ impl QueryContext {
     /// scratch; external filters manage their own.)
     pub fn candidates_mut(&mut self) -> &mut Vec<ObjectId> {
         &mut self.candidates
+    }
+
+    /// Current capacities of the compressed-arena decode buffers
+    /// (single-bound, dual-bound). Once a context is warm these stop
+    /// changing — tests use this to assert the compressed serving
+    /// path performs no further allocations.
+    pub fn decode_capacities(&self) -> (usize, usize) {
+        (self.decode.capacity(), self.decode_dual.capacity())
     }
 }
 

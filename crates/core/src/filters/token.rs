@@ -4,18 +4,37 @@
 use crate::filters::{CandidateFilter, QueryContext};
 use crate::signatures::textual::TextualSignature;
 use crate::{ObjectId, ObjectStore, Query, SearchStats};
-use seal_index::InvertedIndex;
+use seal_index::{CompressedInvertedIndex, InvertedIndex};
 use seal_text::TokenWeights;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// How a filter stores its posting lists: the uncompressed CSR arena,
+/// or the compressed arena served in place (quantized bound columns +
+/// varint ids, decoded through the `QueryContext` scratch).
+enum TokenStorage {
+    Arena(InvertedIndex<u32>),
+    Compressed(CompressedInvertedIndex<u32>),
+}
+
 /// `Sig-Filter+` with textual signatures: token inverted lists with
 /// Lemma 3 threshold bounds, probed only for the query's Lemma 2
 /// prefix.
+///
+/// Two serving modes share the probe logic: the uncompressed CSR
+/// arena ([`TokenFilter::build`]) returns qualifying prefixes as
+/// slices of the arena; the compressed arena
+/// ([`TokenFilter::build_compressed`]) binary-searches the quantized
+/// bound column in place and decodes only the qualifying prefix into
+/// the caller's [`QueryContext`] scratch. Both are allocation-free on
+/// a warm context; the compressed mode trades ~4× smaller lists for
+/// the prefix decode and a superset-only candidate guarantee (bounds
+/// round up by at most one quantization step — verification removes
+/// the extras).
 pub struct TokenFilter {
     store: Arc<ObjectStore>,
     cfg: crate::SimilarityConfig,
-    index: InvertedIndex<u32>,
+    storage: TokenStorage,
     /// Objects with empty token sets: they can only match queries whose
     /// token sets are also empty (simT = 1 by convention), and inverted
     /// lists never enumerate them.
@@ -34,6 +53,36 @@ impl TokenFilter {
     /// function, which keeps the filter a safe superset for Dice /
     /// Cosine deployments too.
     pub fn build_with_config(store: Arc<ObjectStore>, cfg: crate::SimilarityConfig) -> Self {
+        let (index, empty) = Self::build_index(&store);
+        TokenFilter {
+            store,
+            cfg,
+            storage: TokenStorage::Arena(index),
+            empty_token_objects: empty,
+        }
+    }
+
+    /// Builds the compressed serving mode (default configuration).
+    pub fn build_compressed(store: Arc<ObjectStore>) -> Self {
+        Self::build_compressed_with_config(store, crate::SimilarityConfig::default())
+    }
+
+    /// Builds the compressed serving mode: the same finalized CSR
+    /// index, folded into one compressed arena and queried in place.
+    pub fn build_compressed_with_config(
+        store: Arc<ObjectStore>,
+        cfg: crate::SimilarityConfig,
+    ) -> Self {
+        let (index, empty) = Self::build_index(&store);
+        TokenFilter {
+            store,
+            cfg,
+            storage: TokenStorage::Compressed(CompressedInvertedIndex::compress(&index)),
+            empty_token_objects: empty,
+        }
+    }
+
+    fn build_index(store: &ObjectStore) -> (InvertedIndex<u32>, Vec<ObjectId>) {
         let mut index: InvertedIndex<u32> = InvertedIndex::new();
         let mut empty = Vec::new();
         for (id, o) in store.iter() {
@@ -47,23 +96,44 @@ impl TokenFilter {
             }
         }
         index.finalize();
-        TokenFilter {
-            store,
-            cfg,
-            index,
-            empty_token_objects: empty,
+        (index, empty)
+    }
+
+    /// The uncompressed inverted index, when serving from the CSR
+    /// arena (diagnostics; `None` in compressed mode).
+    pub fn index(&self) -> Option<&InvertedIndex<u32>> {
+        match &self.storage {
+            TokenStorage::Arena(i) => Some(i),
+            TokenStorage::Compressed(_) => None,
         }
     }
 
-    /// The underlying inverted index (diagnostics).
-    pub fn index(&self) -> &InvertedIndex<u32> {
-        &self.index
+    /// The compressed index, when serving in place (`None` in arena
+    /// mode).
+    pub fn compressed_index(&self) -> Option<&CompressedInvertedIndex<u32>> {
+        match &self.storage {
+            TokenStorage::Arena(_) => None,
+            TokenStorage::Compressed(c) => Some(c),
+        }
+    }
+
+    /// `|I_c(token)|` — the qualifying-prefix length, costed without
+    /// decoding anything (the §4.3 cost-model probe; used by the
+    /// adaptive router). Works in both serving modes.
+    pub fn qualifying_len(&self, token: u32, c: f64) -> usize {
+        match &self.storage {
+            TokenStorage::Arena(i) => i.qualifying(&token, c).len(),
+            TokenStorage::Compressed(i) => i.qualifying_len(&token, c),
+        }
     }
 }
 
 impl CandidateFilter for TokenFilter {
     fn name(&self) -> &'static str {
-        "TokenFilter"
+        match &self.storage {
+            TokenStorage::Arena(_) => "TokenFilter",
+            TokenStorage::Compressed(_) => "TokenFilterCompressed",
+        }
     }
 
     fn candidates_into(&self, q: &Query, ctx: &mut QueryContext, stats: &mut SearchStats) {
@@ -82,7 +152,12 @@ impl CandidateFilter for TokenFilter {
         ctx.dedup.begin(store.len());
         for elem in sig.prefix(c_t) {
             stats.lists_probed += 1;
-            let postings = self.index.qualifying(&elem.token.0, c_t);
+            let postings = match &self.storage {
+                TokenStorage::Arena(index) => index.qualifying(&elem.token.0, c_t),
+                TokenStorage::Compressed(index) => {
+                    index.qualifying_into(&elem.token.0, c_t, &mut ctx.decode)
+                }
+            };
             stats.postings_scanned += postings.len();
             for p in postings {
                 if ctx.dedup.insert(p.object) {
@@ -94,7 +169,10 @@ impl CandidateFilter for TokenFilter {
     }
 
     fn index_bytes(&self) -> usize {
-        self.index.size_bytes()
+        match &self.storage {
+            TokenStorage::Arena(i) => i.size_bytes(),
+            TokenStorage::Compressed(c) => c.size_bytes(),
+        }
     }
 }
 

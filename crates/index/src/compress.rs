@@ -1,26 +1,66 @@
-//! Compressed posting storage: delta + varint object ids, quantized
-//! bounds.
+//! Compressed posting arenas served **in place**: delta-free varint
+//! object ids plus quantized bound columns, laid out exactly like the
+//! uncompressed CSR form so queries run directly off the compressed
+//! bytes.
 //!
 //! Table 1 is an index-size study: the paper's inverted lists live on
-//! disk and their footprint is a first-class metric. This module
-//! provides the compressed at-rest representation a disk deployment
-//! would use:
+//! disk and their footprint is a first-class metric. Earlier revisions
+//! kept one compressed `Bytes` payload per key and fully decoded a
+//! list before probing it; this module instead mirrors the in-memory
+//! CSR layout (the private `csr` module shared by [`InvertedIndex`]
+//! and [`HybridIndex`]) — **one contiguous compressed arena plus a
+//! sorted key/offset table** — and serves [`qualifying_into`] probes
+//! straight off the arena through a caller-owned scratch buffer.
+//! Compressed indexes are a serving mode, not just a storage
+//! artifact.
 //!
-//! * object ids are sorted ascending, delta-encoded and LEB128-varint
-//!   compressed (4–8× smaller than raw `u32`s on dense lists);
-//! * threshold bounds are quantized to `u16` fractions of the list's
-//!   maximum bound — safe because decompression rounds bounds **up**
-//!   to the next quantization step, which can only widen the candidate
-//!   superset (the same one-sided-error principle as
-//!   [`crate::serialize`]'s exact codec, traded for ~5× bound
-//!   compression).
+//! # Arena layout (the index-layout contract)
 //!
-//! A [`CompressedPostingList`] decompresses back to a queryable
-//! [`BoundedPostingList`]; round-trip tests assert the superset
-//! property posting-by-posting.
+//! Groups appear in ascending key order, postings within a group in
+//! the *same order as the uncompressed CSR group* (descending bound,
+//! ties by ascending object id — the `finalize()` order):
+//!
+//! ```text
+//! directory (one entry per key, sorted ascending):
+//!   keys:    [k0, k1, ...]
+//!   offsets: [byte start of group 0, ..., arena.len()]  len = keys+1
+//!   meta:    [(len, scale), ...]            one bound scale per group
+//! arena (one contiguous byte buffer):
+//!   group i, single-bound: [ q_bound: u16 ×len | id: varint ×len ]
+//!   group i, dual-bound:   [ q_spatial: u16 ×len | q_textual: u16 ×len
+//!                          | id: varint ×len ]
+//! ```
+//!
+//! Because the postings keep the descending-bound order *and* the
+//! quantization map is monotone, the `u16` bound column is itself
+//! non-increasing — so the Lemma 3 qualifying cut is a binary search
+//! over the **fixed-width compressed column**, with zero decoding of
+//! postings that fail the threshold. Only the qualifying prefix's ids
+//! are varint-decoded, into the caller's scratch buffer (`seal-core`
+//! hangs one off its `QueryContext`, keeping the warm serving path
+//! allocation-free and mutex-free).
+//!
+//! Bounds are quantized to `u16` fractions of the group's maximum
+//! bound, **rounded up** to the next step: a decompressed bound is
+//! never below the true bound, so pruning with it can only widen the
+//! candidate superset (the same one-sided-error principle the exact
+//! `to_bytes`/`from_bytes` codec relies on, traded for 4× bound
+//! compression). Object ids are LEB128 varints (≤ 2 bytes for ids
+//! below 16 384 instead of a 4-byte word plus padding).
+//!
+//! Arenas are validated up front — at [`compress`] time by
+//! construction, at deserialization time by a full decode walk in
+//! `from_bytes` — so the probe path is infallible.
+//!
+//! [`qualifying_into`]: CompressedInvertedIndex::qualifying_into
+//! [`compress`]: CompressedInvertedIndex::compress
 
-use crate::{BoundedPostingList, ObjId, Posting};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::csr::group_range;
+use crate::{DualPosting, HybridIndex, InvertedIndex, ObjId, Posting};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Number of quantization steps for bounds (u16 range).
+const QUANT_STEPS: f64 = 65535.0;
 
 /// LEB128 unsigned varint encoding.
 fn put_varint(buf: &mut BytesMut, mut v: u64) {
@@ -35,15 +75,17 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-/// LEB128 decoding; returns `None` on truncation or overflow.
-fn get_varint(buf: &mut impl Buf) -> Option<u64> {
+/// LEB128 decoding from a slice, advancing `pos`; `None` on truncation
+/// or overflow.
+fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
     let mut out = 0u64;
     let mut shift = 0u32;
     loop {
-        if !buf.has_remaining() || shift >= 64 {
+        if *pos >= buf.len() || shift >= 64 {
             return None;
         }
-        let byte = buf.get_u8();
+        let byte = buf[*pos];
+        *pos += 1;
         out |= u64::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
             return Some(out);
@@ -52,231 +94,483 @@ fn get_varint(buf: &mut impl Buf) -> Option<u64> {
     }
 }
 
-/// Number of quantization steps for bounds (u16 range).
-const QUANT_STEPS: f64 = 65535.0;
-
-/// A compressed, immutable posting list.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CompressedPostingList {
-    /// Delta-varint ids followed by u16 quantized bounds.
-    payload: Bytes,
-    /// Number of postings.
-    len: usize,
-    /// Maximum bound (quantization scale).
-    max_bound: f64,
+/// Reads the `j`-th entry of a little-endian `u16` column.
+#[inline]
+fn column_u16(col: &[u8], j: usize) -> u16 {
+    u16::from_le_bytes([col[2 * j], col[2 * j + 1]])
 }
 
-/// Errors from decompression.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CompressError {
-    /// The payload ended before the declared postings.
-    Truncated,
+/// Per-group bound quantizer: maps `[0, scale]` onto `0..=65535`,
+/// rounding **up** so the dequantized value never drops below the true
+/// bound (superset safety).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Quantizer {
+    scale: f64,
 }
 
-impl std::fmt::Display for CompressError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CompressError::Truncated => write!(f, "compressed payload truncated"),
-        }
-    }
-}
-
-impl std::error::Error for CompressError {}
-
-impl CompressedPostingList {
-    /// Compresses a finalized posting list.
-    pub fn compress(list: &BoundedPostingList) -> Self {
-        Self::compress_postings(list.postings())
-    }
-
-    /// Compresses a posting slice (e.g. one arena group of an
-    /// [`crate::InvertedIndex`]).
-    pub fn compress_postings(postings: &[Posting]) -> Self {
-        // Sort ids ascending for delta coding; remember each id's bound.
-        let mut pairs: Vec<(ObjId, f64)> = postings.iter().map(|p| (p.object, p.bound)).collect();
-        pairs.sort_unstable_by_key(|(id, _)| *id);
-        let max_bound = pairs
-            .iter()
-            .map(|(_, b)| *b)
-            .fold(0.0f64, f64::max)
-            .max(f64::MIN_POSITIVE);
-
-        let mut buf = BytesMut::with_capacity(pairs.len() * 3 + 16);
-        let mut prev = 0u64;
-        for (id, _) in &pairs {
-            let v = u64::from(*id);
-            put_varint(&mut buf, v - prev);
-            prev = v;
-        }
-        for (_, bound) in &pairs {
-            // Round *up* so the decompressed bound is never below the
-            // true bound: pruning with a too-low bound only admits
-            // extra candidates (safe); too high would drop answers.
-            let q = ((bound / max_bound) * QUANT_STEPS).ceil().min(QUANT_STEPS);
-            buf.put_u16_le(q as u16);
-        }
-        CompressedPostingList {
-            payload: buf.freeze(),
-            len: pairs.len(),
-            max_bound,
+impl Quantizer {
+    /// A quantizer scaled to the group's maximum bound.
+    pub(crate) fn for_max(max_bound: f64) -> Self {
+        Quantizer {
+            scale: max_bound.max(f64::MIN_POSITIVE),
         }
     }
 
-    /// Number of postings.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// True if the list is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Compressed size in bytes.
-    pub fn size_bytes(&self) -> usize {
-        self.payload.len() + std::mem::size_of::<usize>() + std::mem::size_of::<f64>()
-    }
-
-    /// Decompresses back to a finalized, queryable list. Bounds come
-    /// back rounded up by at most one quantization step.
-    pub fn decompress(&self) -> Result<BoundedPostingList, CompressError> {
-        let mut buf = self.payload.clone();
-        let mut ids = Vec::with_capacity(self.len);
-        let mut prev = 0u64;
-        for _ in 0..self.len {
-            let delta = get_varint(&mut buf).ok_or(CompressError::Truncated)?;
-            prev += delta;
-            ids.push(prev as ObjId);
+    /// Rebuilds from a serialized scale.
+    pub(crate) fn from_scale(scale: f64) -> Self {
+        Quantizer {
+            scale: scale.max(f64::MIN_POSITIVE),
         }
-        let mut out = BoundedPostingList::new();
-        for id in ids {
-            if buf.remaining() < 2 {
-                return Err(CompressError::Truncated);
-            }
-            let q = f64::from(buf.get_u16_le());
-            let bound = q / QUANT_STEPS * self.max_bound;
-            out.push(id, bound);
+    }
+
+    /// The serialized scale.
+    pub(crate) fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Quantizes a bound (rounding up; values at or above the scale
+    /// saturate to the top step).
+    ///
+    /// Guarantees `dequantize(quantize(b)) >= b` exactly: the ceil
+    /// happens in the `b/scale` domain, where rounding error can land
+    /// the round-trip 1 ulp *below* `b` and silently drop an answer
+    /// whose bound equals the query threshold — so the step is bumped
+    /// until the invariant holds in `f64` arithmetic.
+    #[inline]
+    pub(crate) fn quantize(&self, bound: f64) -> u16 {
+        assert!(
+            bound.is_finite(),
+            "non-finite bound cannot be quantized for compression"
+        );
+        if bound >= self.scale {
+            return QUANT_STEPS as u16;
         }
-        out.finalize();
-        Ok(out)
+        let mut q = ((bound / self.scale) * QUANT_STEPS)
+            .ceil()
+            .clamp(0.0, QUANT_STEPS) as u16;
+        // Terminates: dequantize(65535) == scale > bound on this branch.
+        while self.dequantize(q) < bound {
+            q += 1;
+        }
+        q
+    }
+
+    /// Dequantizes back to a bound ≥ the original, within one step.
+    #[inline]
+    pub(crate) fn dequantize(&self, q: u16) -> f64 {
+        f64::from(q) / QUANT_STEPS * self.scale
     }
 }
 
-/// A fully compressed inverted index: every list stored in the
-/// delta-varint representation, decompressed on demand.
+/// Directory entry for one single-bound group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct GroupMeta {
+    /// Postings in the group.
+    pub(crate) len: u32,
+    /// Bound quantization scale.
+    pub(crate) quant: Quantizer,
+}
+
+/// Directory entry for one dual-bound group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct DualGroupMeta {
+    /// Postings in the group.
+    pub(crate) len: u32,
+    /// Spatial-bound quantization scale.
+    pub(crate) spatial: Quantizer,
+    /// Textual-bound quantization scale.
+    pub(crate) textual: Quantizer,
+}
+
+/// Binary search over a non-increasing dequantized bound column:
+/// returns the qualifying-prefix length (first index whose bound drops
+/// below `c`).
+#[inline]
+fn column_cut(col: &[u8], len: usize, quant: Quantizer, c: f64) -> usize {
+    let mut lo = 0usize;
+    let mut hi = len;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if quant.dequantize(column_u16(col, mid)) >= c {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// A fully compressed single-bound inverted index, served in place.
 ///
-/// This is the at-rest form a disk deployment pages in; the benchmarks
-/// report its size next to the in-memory index (the paper's Table 1
-/// sizes are disk sizes).
+/// Stores exactly one compressed arena plus the sorted key/offset
+/// directory (see the [module docs](self) for the byte layout). Built
+/// from a finalized [`InvertedIndex`] whose CSR group order it
+/// preserves verbatim.
+///
+/// ```
+/// use seal_index::{CompressedInvertedIndex, InvertedIndex};
+///
+/// let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+/// idx.push(7, 0, 2.0);
+/// idx.push(7, 1, 1.0);
+/// idx.finalize();
+///
+/// let compressed = CompressedInvertedIndex::compress(&idx);
+/// let mut scratch = Vec::new(); // caller-owned; reuse across probes
+/// let hits = compressed.qualifying_into(&7, 1.5, &mut scratch);
+/// assert_eq!(hits.iter().map(|p| p.object).collect::<Vec<_>>(), vec![0]);
+/// assert!(hits[0].bound >= 2.0, "bounds only ever round up");
+/// ```
 #[derive(Debug, Clone)]
-pub struct CompressedInvertedIndex<K: Eq + std::hash::Hash + Ord> {
-    lists: std::collections::HashMap<K, CompressedPostingList>,
+pub struct CompressedInvertedIndex<K: Ord> {
+    /// Sorted keys (one per non-empty group).
+    pub(crate) keys: Vec<K>,
+    /// Byte offsets into `arena`; `keys.len() + 1` entries.
+    pub(crate) offsets: Vec<usize>,
+    /// Per-group posting count + quantization scale.
+    pub(crate) meta: Vec<GroupMeta>,
+    /// The single contiguous compressed arena.
+    pub(crate) arena: Bytes,
+    /// Total postings across all groups.
+    pub(crate) posting_count: usize,
 }
 
-impl<K: Eq + std::hash::Hash + Ord + Copy> CompressedInvertedIndex<K> {
-    /// Compresses every list of an [`crate::InvertedIndex`].
-    pub fn compress(index: &crate::InvertedIndex<K>) -> Self {
-        let lists = index
-            .iter()
-            .map(|(k, postings)| (k, CompressedPostingList::compress_postings(postings)))
-            .collect();
-        CompressedInvertedIndex { lists }
+impl<K: Ord + Copy + std::hash::Hash> CompressedInvertedIndex<K> {
+    /// Compresses a finalized [`InvertedIndex`], preserving its CSR
+    /// group order.
+    ///
+    /// # Panics
+    /// If postings are staged (push without finalize) — the underlying
+    /// iterator refuses to silently drop them — or if any bound is
+    /// non-finite (unquantizable).
+    pub fn compress(index: &InvertedIndex<K>) -> Self {
+        let mut keys = Vec::with_capacity(index.key_count());
+        let mut offsets = Vec::with_capacity(index.key_count() + 1);
+        let mut meta = Vec::with_capacity(index.key_count());
+        let mut buf = BytesMut::with_capacity(index.posting_count() * 4);
+        offsets.push(0);
+        let mut posting_count = 0usize;
+        for (key, postings) in index.iter() {
+            let max = postings.iter().map(|p| p.bound).fold(0.0f64, f64::max);
+            let quant = Quantizer::for_max(max);
+            for p in postings {
+                buf.put_u16_le(quant.quantize(p.bound));
+            }
+            for p in postings {
+                put_varint(&mut buf, u64::from(p.object));
+            }
+            keys.push(key);
+            offsets.push(buf.len());
+            meta.push(GroupMeta {
+                len: postings.len() as u32,
+                quant,
+            });
+            posting_count += postings.len();
+        }
+        CompressedInvertedIndex {
+            keys,
+            offsets,
+            meta,
+            arena: buf.freeze(),
+            posting_count,
+        }
     }
 
     /// Number of keys.
     pub fn key_count(&self) -> usize {
-        self.lists.len()
+        self.keys.len()
     }
 
-    /// Total compressed bytes.
+    /// Total postings across all groups.
+    pub fn posting_count(&self) -> usize {
+        self.posting_count
+    }
+
+    /// Exact heap bytes of the compressed form: arena + directory.
     pub fn size_bytes(&self) -> usize {
-        self.lists
-            .values()
-            .map(|l| l.size_bytes() + std::mem::size_of::<K>())
-            .sum()
+        self.arena.len()
+            + self.keys.len() * std::mem::size_of::<K>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+            + self.meta.len() * std::mem::size_of::<GroupMeta>()
     }
 
-    /// Decompresses one list (the "page-in" operation).
-    pub fn list(&self, key: &K) -> Option<Result<BoundedPostingList, CompressError>> {
-        self.lists.get(key).map(CompressedPostingList::decompress)
+    /// Length of the list for `key` (0 if absent).
+    pub fn list_len(&self, key: &K) -> usize {
+        match group_range(&self.keys, &self.offsets, key) {
+            Some((i, _)) => self.meta[i].len as usize,
+            None => 0,
+        }
     }
 
-    /// Decompresses the whole index back to queryable form.
-    pub fn decompress(&self) -> Result<crate::InvertedIndex<K>, CompressError> {
-        let mut out = crate::InvertedIndex::new();
-        for (k, clist) in &self.lists {
-            let list = clist.decompress()?;
-            for p in list.postings() {
-                out.push(*k, p.object, p.bound);
+    /// Number of postings that would qualify at threshold `c` — the
+    /// binary-searched column cut alone, no decoding. This is the
+    /// cost-model probe (`|I_c(s)|`) at compressed-column price.
+    pub fn qualifying_len(&self, key: &K, c: f64) -> usize {
+        match group_range(&self.keys, &self.offsets, key) {
+            Some((i, range)) => {
+                let m = self.meta[i];
+                let len = m.len as usize;
+                let bounds = &self.arena.as_slice()[range.start..range.start + 2 * len];
+                column_cut(bounds, len, m.quant, c)
+            }
+            None => 0,
+        }
+    }
+
+    /// Decodes the qualifying postings `I_c(key)` into `scratch`
+    /// (cleared first) and returns them as a slice.
+    ///
+    /// The cut is a binary search over the compressed bound column;
+    /// only the qualifying prefix's ids are varint-decoded. Once
+    /// `scratch` has grown to the largest qualifying prefix it is only
+    /// reused — the warm path performs **zero heap allocations**.
+    /// Returned bounds are the dequantized (rounded-up) values, so the
+    /// result is a superset of the uncompressed index's qualifying set
+    /// (never missing an answer; each bound inflated by at most one
+    /// quantization step).
+    pub fn qualifying_into<'a>(
+        &self,
+        key: &K,
+        c: f64,
+        scratch: &'a mut Vec<Posting>,
+    ) -> &'a [Posting] {
+        scratch.clear();
+        let Some((i, range)) = group_range(&self.keys, &self.offsets, key) else {
+            return &[];
+        };
+        let m = self.meta[i];
+        let len = m.len as usize;
+        let group = &self.arena.as_slice()[range];
+        let bounds = &group[..2 * len];
+        let cut = column_cut(bounds, len, m.quant, c);
+        let ids = &group[2 * len..];
+        let mut pos = 0usize;
+        for j in 0..cut {
+            let id = get_varint(ids, &mut pos).expect("arena validated at construction");
+            scratch.push(Posting::new(
+                id as ObjId,
+                m.quant.dequantize(column_u16(bounds, j)),
+            ));
+        }
+        &scratch[..]
+    }
+
+    /// Decodes the full list for `key` into `scratch` (descending
+    /// bound order), if present.
+    pub fn list_into<'a>(&self, key: &K, scratch: &'a mut Vec<Posting>) -> &'a [Posting] {
+        self.qualifying_into(key, f64::NEG_INFINITY, scratch)
+    }
+
+    /// Decompresses the whole index back to the uncompressed CSR form
+    /// (bounds come back rounded up by at most one quantization step).
+    pub fn decompress(&self) -> InvertedIndex<K> {
+        let mut out = InvertedIndex::new();
+        let mut scratch = Vec::new();
+        for key in &self.keys {
+            for p in self.list_into(key, &mut scratch) {
+                out.push(*key, p.object, p.bound);
             }
         }
         out.finalize();
-        Ok(out)
+        out
     }
 }
 
-#[cfg(test)]
-mod index_tests {
-    use super::*;
+/// A fully compressed dual-bound hybrid index (Section 5.1's lists in
+/// their at-rest form), served in place.
+///
+/// Same arena + directory shape as [`CompressedInvertedIndex`], with
+/// two quantized bound columns per group: postings keep the
+/// descending-*spatial*-bound order of [`HybridIndex::finalize`], the
+/// spatial column is binary-search cut, and the textual bound is
+/// checked per surviving posting during the prefix decode.
+#[derive(Debug, Clone)]
+pub struct CompressedHybridIndex<K: Ord> {
+    /// Sorted keys (one per non-empty group).
+    pub(crate) keys: Vec<K>,
+    /// Byte offsets into `arena`; `keys.len() + 1` entries.
+    pub(crate) offsets: Vec<usize>,
+    /// Per-group posting count + the two quantization scales.
+    pub(crate) meta: Vec<DualGroupMeta>,
+    /// The single contiguous compressed arena.
+    pub(crate) arena: Bytes,
+    /// Total postings across all groups.
+    pub(crate) posting_count: usize,
+}
 
-    #[test]
-    fn whole_index_roundtrip_is_a_superset() {
-        let mut idx: crate::InvertedIndex<u64> = crate::InvertedIndex::new();
-        for key in 0u64..50 {
-            for obj in 0..(key as u32 % 40 + 1) {
-                idx.push(key, obj * 7, f64::from(obj) * 1.5 + f64::from(key as u32));
+impl<K: Ord + Copy + std::hash::Hash> CompressedHybridIndex<K> {
+    /// Compresses a finalized [`HybridIndex`], preserving its CSR
+    /// group order.
+    ///
+    /// # Panics
+    /// If postings are staged, or any bound is non-finite.
+    pub fn compress(index: &HybridIndex<K>) -> Self {
+        let mut keys = Vec::with_capacity(index.key_count());
+        let mut offsets = Vec::with_capacity(index.key_count() + 1);
+        let mut meta = Vec::with_capacity(index.key_count());
+        let mut buf = BytesMut::with_capacity(index.posting_count() * 6);
+        offsets.push(0);
+        let mut posting_count = 0usize;
+        for (key, postings) in index.iter() {
+            let smax = postings
+                .iter()
+                .map(|p| p.spatial_bound)
+                .fold(0.0f64, f64::max);
+            let tmax = postings
+                .iter()
+                .map(|p| p.textual_bound)
+                .fold(0.0f64, f64::max);
+            let spatial = Quantizer::for_max(smax);
+            let textual = Quantizer::for_max(tmax);
+            for p in postings {
+                buf.put_u16_le(spatial.quantize(p.spatial_bound));
             }
+            for p in postings {
+                buf.put_u16_le(textual.quantize(p.textual_bound));
+            }
+            for p in postings {
+                put_varint(&mut buf, u64::from(p.object));
+            }
+            keys.push(key);
+            offsets.push(buf.len());
+            meta.push(DualGroupMeta {
+                len: postings.len() as u32,
+                spatial,
+                textual,
+            });
+            posting_count += postings.len();
         }
-        idx.finalize();
-        let compressed = CompressedInvertedIndex::compress(&idx);
-        assert_eq!(compressed.key_count(), idx.key_count());
-        let back = compressed.decompress().unwrap();
-        assert_eq!(back.posting_count(), idx.posting_count());
-        for key in 0u64..50 {
-            for c in [0.0, 5.0, 20.0] {
-                let orig: std::collections::BTreeSet<u32> =
-                    idx.qualifying(&key, c).iter().map(|p| p.object).collect();
-                let rest: std::collections::BTreeSet<u32> =
-                    back.qualifying(&key, c).iter().map(|p| p.object).collect();
-                assert!(orig.is_subset(&rest), "key {key} c {c}");
-            }
+        CompressedHybridIndex {
+            keys,
+            offsets,
+            meta,
+            arena: buf.freeze(),
+            posting_count,
         }
     }
 
-    #[test]
-    fn compressed_index_is_smaller_on_realistic_lists() {
-        let mut idx: crate::InvertedIndex<u64> = crate::InvertedIndex::new();
-        for key in 0u64..20 {
-            for obj in 0..2_000u32 {
-                idx.push(key, obj, f64::from(obj % 97));
+    /// Number of keys.
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total postings across all groups.
+    pub fn posting_count(&self) -> usize {
+        self.posting_count
+    }
+
+    /// Exact heap bytes of the compressed form: arena + directory.
+    pub fn size_bytes(&self) -> usize {
+        self.arena.len()
+            + self.keys.len() * std::mem::size_of::<K>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+            + self.meta.len() * std::mem::size_of::<DualGroupMeta>()
+    }
+
+    /// Length of the list for `key` (0 if absent).
+    pub fn list_len(&self, key: &K) -> usize {
+        match group_range(&self.keys, &self.offsets, key) {
+            Some((i, _)) => self.meta[i].len as usize,
+            None => 0,
+        }
+    }
+
+    /// Decodes the postings qualifying under both thresholds,
+    /// `I_{c_R, c_T}(key)`, into `scratch` (cleared first): a
+    /// binary-searched cut over the compressed spatial column, then a
+    /// per-posting textual check during the prefix decode. Warm calls
+    /// allocate nothing once `scratch` has grown.
+    pub fn qualifying_into<'a>(
+        &self,
+        key: &K,
+        c_spatial: f64,
+        c_textual: f64,
+        scratch: &'a mut Vec<DualPosting>,
+    ) -> &'a [DualPosting] {
+        scratch.clear();
+        let Some((i, range)) = group_range(&self.keys, &self.offsets, key) else {
+            return &[];
+        };
+        let m = self.meta[i];
+        let len = m.len as usize;
+        let group = &self.arena.as_slice()[range];
+        let sbounds = &group[..2 * len];
+        let tbounds = &group[2 * len..4 * len];
+        let cut = column_cut(sbounds, len, m.spatial, c_spatial);
+        let ids = &group[4 * len..];
+        let mut pos = 0usize;
+        for j in 0..cut {
+            let id = get_varint(ids, &mut pos).expect("arena validated at construction");
+            let tb = m.textual.dequantize(column_u16(tbounds, j));
+            if tb >= c_textual {
+                scratch.push(DualPosting::new(
+                    id as ObjId,
+                    m.spatial.dequantize(column_u16(sbounds, j)),
+                    tb,
+                ));
             }
         }
-        idx.finalize();
-        let compressed = CompressedInvertedIndex::compress(&idx);
-        assert!(
-            compressed.size_bytes() * 2 < idx.size_bytes(),
-            "compressed {} vs raw {}",
-            compressed.size_bytes(),
-            idx.size_bytes()
-        );
-        assert!(compressed.list(&0).is_some());
-        assert!(compressed.list(&999).is_none());
+        &scratch[..]
     }
+
+    /// Decompresses the whole index back to the uncompressed CSR form
+    /// (both bounds rounded up by at most one quantization step).
+    pub fn decompress(&self) -> HybridIndex<K> {
+        let mut out = HybridIndex::new();
+        let mut scratch = Vec::new();
+        for key in &self.keys {
+            for p in self.qualifying_into(key, f64::NEG_INFINITY, f64::NEG_INFINITY, &mut scratch) {
+                out.push(*key, p.object, p.spatial_bound, p.textual_bound);
+            }
+            // borrow of scratch ends each iteration; qualifying_into
+            // clears it on entry.
+        }
+        out.finalize();
+        out
+    }
+}
+
+/// Walks one serialized group, checking that the bound columns fit,
+/// the quantized primary column is non-increasing (the CSR order
+/// survived), and exactly `len` varint ids ≤ `u32::MAX` follow.
+/// Returns the group's byte length. Shared by the deserializers in
+/// [`crate::serialize`] so the probe path can stay infallible.
+pub(crate) fn validate_group(bytes: &[u8], len: usize, columns: usize) -> Option<usize> {
+    let header = 2 * len * columns;
+    if bytes.len() < header {
+        return None;
+    }
+    let primary = &bytes[..2 * len];
+    for j in 1..len {
+        if column_u16(primary, j) > column_u16(primary, j - 1) {
+            return None;
+        }
+    }
+    let mut pos = header;
+    for _ in 0..len {
+        let id = get_varint(bytes, &mut pos)?;
+        if id > u64::from(u32::MAX) {
+            return None;
+        }
+    }
+    Some(pos)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn sample_list(n: u32, spread: f64) -> BoundedPostingList {
-        let mut l = BoundedPostingList::new();
-        for i in 0..n {
-            let hashed = i.wrapping_mul(2_654_435_761).wrapping_mul(i | 1);
-            let bound = (f64::from(hashed % 10_000) / 10_000.0) * spread;
-            l.push(i * 3, bound);
+    fn sample_index(n: u32, spread: f64) -> InvertedIndex<u64> {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        for key in 0u64..8 {
+            for i in 0..n {
+                let hashed = i.wrapping_mul(2_654_435_761).wrapping_mul(i | 1) ^ (key as u32);
+                let bound = (f64::from(hashed % 10_000) / 10_000.0) * spread;
+                idx.push(key, i * 3, bound);
+            }
         }
-        l.finalize();
-        l
+        idx.finalize();
+        idx
     }
 
     #[test]
@@ -296,103 +590,322 @@ mod tests {
         for &v in &values {
             put_varint(&mut buf, v);
         }
-        let mut b = buf.freeze();
+        let frozen = buf.freeze();
+        let bytes = frozen.as_slice();
+        let mut pos = 0;
         for &v in &values {
-            assert_eq!(get_varint(&mut b), Some(v));
+            assert_eq!(get_varint(bytes, &mut pos), Some(v));
         }
-        assert_eq!(get_varint(&mut Bytes::new()), None, "empty buffer");
+        assert_eq!(pos, bytes.len());
+        assert_eq!(get_varint(&[], &mut 0), None, "empty buffer");
     }
 
     #[test]
-    fn roundtrip_preserves_ids_and_never_lowers_bounds() {
-        let original = sample_list(500, 1000.0);
-        let compressed = CompressedPostingList::compress(&original);
-        let back = compressed.decompress().unwrap();
-        assert_eq!(back.len(), original.len());
-        // Check per-object: the restored bound must be >= the true
-        // bound (superset safety) and within one quantization step.
-        let step = 1000.0 / 65535.0 + 1e-9;
-        let mut orig: Vec<(ObjId, f64)> = original
-            .postings()
-            .iter()
-            .map(|p| (p.object, p.bound))
-            .collect();
-        orig.sort_unstable_by_key(|(id, _)| *id);
-        let mut restored: Vec<(ObjId, f64)> = back
-            .postings()
-            .iter()
-            .map(|p| (p.object, p.bound))
-            .collect();
-        restored.sort_unstable_by_key(|(id, _)| *id);
-        for ((id_a, bound_a), (id_b, bound_b)) in orig.iter().zip(restored.iter()) {
-            assert_eq!(id_a, id_b);
-            assert!(
-                bound_b + 1e-12 >= *bound_a,
-                "bound lowered: {bound_a} -> {bound_b}"
-            );
-            assert!(
-                bound_b - bound_a <= step,
-                "bound inflated by more than a step"
-            );
+    fn quantizer_rounds_up_within_one_step() {
+        let q = Quantizer::for_max(1000.0);
+        for b in [0.0, 0.013, 1.0, 499.9, 999.99, 1000.0] {
+            let restored = q.dequantize(q.quantize(b));
+            assert!(restored >= b, "{b} lowered to {restored}");
+            assert!(restored - b <= 1000.0 / QUANT_STEPS + 1e-9);
+        }
+        // Saturation: at/above scale maps to the top step exactly.
+        assert_eq!(q.quantize(1000.0), QUANT_STEPS as u16);
+        assert_eq!(q.dequantize(QUANT_STEPS as u16), 1000.0);
+    }
+
+    #[test]
+    fn quantizer_roundtrip_never_lands_below_the_bound() {
+        // Regression: ceil in the b/scale domain can round-trip 1 ulp
+        // *below* b (these exact values did), which would cut a posting
+        // whose bound equals the query threshold out of the qualifying
+        // prefix — a completeness violation, not just imprecision.
+        let q = Quantizer::for_max(669_730.401_440_551_2);
+        let b = 206_381.406_227_083_73;
+        assert!(q.dequantize(q.quantize(b)) >= b);
+        // And broadly, across awkward scale/bound pairs.
+        for scale_bits in 1..2000u32 {
+            let scale = f64::from(scale_bits) * 335.07 + 0.000_123;
+            let quant = Quantizer::for_max(scale);
+            for frac in [0.1, 0.30815, 0.5, 0.77777, 0.9999] {
+                let bound = scale * frac;
+                let restored = quant.dequantize(quant.quantize(bound));
+                assert!(restored >= bound, "scale {scale} bound {bound}");
+            }
         }
     }
 
     #[test]
-    fn qualifying_superset_after_roundtrip() {
-        let original = sample_list(300, 50.0);
-        let back = CompressedPostingList::compress(&original)
-            .decompress()
-            .unwrap();
-        for c in [0.0, 1.0, 10.0, 25.0, 49.9] {
-            let orig: std::collections::BTreeSet<ObjId> =
-                original.qualifying(c).iter().map(|p| p.object).collect();
-            let rest: std::collections::BTreeSet<ObjId> =
-                back.qualifying(c).iter().map(|p| p.object).collect();
-            assert!(
-                orig.is_subset(&rest),
-                "c={c}: compression lost qualifying postings"
-            );
+    fn arena_is_single_and_contiguous() {
+        let idx = sample_index(200, 50.0);
+        let c = CompressedInvertedIndex::compress(&idx);
+        assert_eq!(c.key_count(), idx.key_count());
+        assert_eq!(c.posting_count(), idx.posting_count());
+        assert_eq!(c.offsets.len(), c.keys.len() + 1);
+        assert_eq!(*c.offsets.last().unwrap(), c.arena.len());
+        assert!(c.offsets.windows(2).all(|w| w[0] < w[1]));
+        // Keys sorted strictly ascending.
+        assert!(c.keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn qualifying_matches_uncompressed_superset_within_a_step() {
+        let idx = sample_index(300, 50.0);
+        let c = CompressedInvertedIndex::compress(&idx);
+        let mut scratch = Vec::new();
+        for key in 0u64..8 {
+            let step = 50.0 / QUANT_STEPS + 1e-9;
+            for thr in [0.0, 1.0, 10.0, 25.0, 49.9] {
+                let orig: std::collections::BTreeSet<ObjId> =
+                    idx.qualifying(&key, thr).iter().map(|p| p.object).collect();
+                let got: std::collections::BTreeSet<ObjId> = c
+                    .qualifying_into(&key, thr, &mut scratch)
+                    .iter()
+                    .map(|p| p.object)
+                    .collect();
+                assert!(orig.is_subset(&got), "key {key} thr {thr}: lost postings");
+                // Anything extra is within one quantization step of the
+                // threshold.
+                let relaxed: std::collections::BTreeSet<ObjId> = idx
+                    .qualifying(&key, thr - step)
+                    .iter()
+                    .map(|p| p.object)
+                    .collect();
+                assert!(
+                    got.is_subset(&relaxed),
+                    "key {key} thr {thr}: over-admitted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qualifying_len_equals_decoded_len() {
+        let idx = sample_index(150, 20.0);
+        let c = CompressedInvertedIndex::compress(&idx);
+        let mut scratch = Vec::new();
+        for key in 0u64..8 {
+            for thr in [0.0, 5.0, 19.0, 100.0] {
+                assert_eq!(
+                    c.qualifying_len(&key, thr),
+                    c.qualifying_into(&key, thr, &mut scratch).len()
+                );
+            }
+        }
+        assert_eq!(c.qualifying_len(&999, 0.0), 0);
+        assert!(c.qualifying_into(&999, 0.0, &mut scratch).is_empty());
+        assert_eq!(c.list_len(&0), 150);
+        assert_eq!(c.list_len(&999), 0);
+    }
+
+    #[test]
+    fn scratch_is_reused_without_reallocating() {
+        let idx = sample_index(500, 10.0);
+        let c = CompressedInvertedIndex::compress(&idx);
+        let mut scratch = Vec::new();
+        // Warm: decode the largest list once.
+        let _ = c.list_into(&0, &mut scratch);
+        let cap = scratch.capacity();
+        assert!(cap >= 500);
+        for key in 0u64..8 {
+            for thr in [0.0, 2.0, 9.0] {
+                let _ = c.qualifying_into(&key, thr, &mut scratch);
+            }
+        }
+        assert_eq!(scratch.capacity(), cap, "warm probes must not reallocate");
+    }
+
+    #[test]
+    fn decompress_roundtrip_preserves_ids_and_never_lowers_bounds() {
+        let idx = sample_index(400, 1000.0);
+        let back = CompressedInvertedIndex::compress(&idx).decompress();
+        assert_eq!(back.posting_count(), idx.posting_count());
+        assert_eq!(back.key_count(), idx.key_count());
+        let step = 1000.0 / QUANT_STEPS + 1e-9;
+        for (key, group) in idx.iter() {
+            let mut orig: Vec<(ObjId, f64)> = group.iter().map(|p| (p.object, p.bound)).collect();
+            orig.sort_unstable_by_key(|(id, _)| *id);
+            let mut rest: Vec<(ObjId, f64)> = back
+                .list(&key)
+                .unwrap()
+                .iter()
+                .map(|p| (p.object, p.bound))
+                .collect();
+            rest.sort_unstable_by_key(|(id, _)| *id);
+            for ((ia, ba), (ib, bb)) in orig.iter().zip(rest.iter()) {
+                assert_eq!(ia, ib);
+                assert!(bb + 1e-12 >= *ba, "bound lowered: {ba} -> {bb}");
+                assert!(bb - ba <= step, "bound inflated by more than a step");
+            }
         }
     }
 
     #[test]
     fn compression_shrinks_dense_lists() {
-        let original = sample_list(10_000, 100.0);
-        let compressed = CompressedPostingList::compress(&original);
-        let raw = original.size_bytes();
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        for key in 0u64..20 {
+            for obj in 0..2_000u32 {
+                idx.push(key, obj, f64::from(obj % 97));
+            }
+        }
+        idx.finalize();
+        let c = CompressedInvertedIndex::compress(&idx);
         assert!(
-            compressed.size_bytes() * 3 < raw,
-            "compressed {} vs raw {raw}",
-            compressed.size_bytes()
+            c.size_bytes() * 2 < idx.size_bytes(),
+            "compressed {} vs raw {}",
+            c.size_bytes(),
+            idx.size_bytes()
         );
     }
 
     #[test]
-    fn empty_list() {
-        let mut l = BoundedPostingList::new();
-        l.finalize();
-        let c = CompressedPostingList::compress(&l);
-        assert!(c.is_empty());
-        assert_eq!(c.decompress().unwrap().len(), 0);
+    fn empty_and_zero_bound_lists() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.finalize();
+        let c = CompressedInvertedIndex::compress(&idx);
+        assert_eq!(c.key_count(), 0);
+        assert_eq!(c.posting_count(), 0);
+        let mut scratch = Vec::new();
+        assert!(c.qualifying_into(&1, 0.0, &mut scratch).is_empty());
+
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(3, 5, 0.0);
+        idx.push(3, 9, 0.0);
+        idx.finalize();
+        let c = CompressedInvertedIndex::compress(&idx);
+        assert_eq!(c.qualifying_into(&3, 0.0, &mut scratch).len(), 2);
     }
 
     #[test]
-    fn truncated_payload_errors() {
-        let original = sample_list(50, 10.0);
-        let mut c = CompressedPostingList::compress(&original);
-        c.payload = c.payload.slice(..c.payload.len() / 2);
-        assert!(matches!(c.decompress(), Err(CompressError::Truncated)));
+    #[should_panic(expected = "requires finalize()")]
+    fn staged_postings_refuse_to_compress() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(1, 0, 1.0);
+        let _ = CompressedInvertedIndex::compress(&idx);
     }
 
     #[test]
-    fn zero_bounds_survive() {
-        let mut l = BoundedPostingList::new();
-        l.push(5, 0.0);
-        l.push(9, 0.0);
-        l.finalize();
-        let back = CompressedPostingList::compress(&l).decompress().unwrap();
-        assert_eq!(back.len(), 2);
-        assert_eq!(back.qualifying(0.0).len(), 2);
+    fn validate_group_accepts_built_groups_and_rejects_corruption() {
+        let idx = sample_index(64, 10.0);
+        let c = CompressedInvertedIndex::compress(&idx);
+        for i in 0..c.keys.len() {
+            let bytes = &c.arena.as_slice()[c.offsets[i]..c.offsets[i + 1]];
+            assert_eq!(
+                validate_group(bytes, c.meta[i].len as usize, 1),
+                Some(bytes.len())
+            );
+            // A truncated group fails.
+            assert_eq!(
+                validate_group(&bytes[..bytes.len() - 1], c.meta[i].len as usize, 1),
+                None
+            );
+        }
+        // An out-of-order bound column fails.
+        let bad = [0u8, 0, 255, 255, 1, 1]; // q0=0 < q1=65535, two ids
+        assert_eq!(validate_group(&bad, 2, 1), None);
+    }
+}
+
+#[cfg(test)]
+mod dual_tests {
+    use super::*;
+
+    fn key(token: u64, cell: u64) -> u128 {
+        (u128::from(token) << 64) | u128::from(cell)
+    }
+
+    fn sample_hybrid(n: u32) -> HybridIndex<u128> {
+        let mut idx: HybridIndex<u128> = HybridIndex::new();
+        for t in 0u64..4 {
+            for g in 0u64..4 {
+                for i in 0..n {
+                    let h = i.wrapping_mul(2_654_435_761) ^ (t as u32) ^ ((g as u32) << 8);
+                    let sb = f64::from(h % 5_000);
+                    let tb = f64::from((h >> 8) % 200) / 100.0;
+                    idx.push(key(t, g), i, sb, tb);
+                }
+            }
+        }
+        idx.finalize();
+        idx
+    }
+
+    #[test]
+    fn dual_qualifying_is_a_superset_of_uncompressed() {
+        let idx = sample_hybrid(120);
+        let c = CompressedHybridIndex::compress(&idx);
+        assert_eq!(c.key_count(), idx.key_count());
+        assert_eq!(c.posting_count(), idx.posting_count());
+        let mut scratch = Vec::new();
+        for t in 0u64..4 {
+            for g in 0u64..4 {
+                let k = key(t, g);
+                for (cr, ct) in [(0.0, 0.0), (1000.0, 0.5), (4000.0, 1.5), (6000.0, 0.1)] {
+                    let orig: std::collections::BTreeSet<ObjId> =
+                        idx.qualifying(&k, cr, ct).map(|p| p.object).collect();
+                    let got: std::collections::BTreeSet<ObjId> = c
+                        .qualifying_into(&k, cr, ct, &mut scratch)
+                        .iter()
+                        .map(|p| p.object)
+                        .collect();
+                    assert!(
+                        orig.is_subset(&got),
+                        "key ({t},{g}) thresholds ({cr},{ct}): lost postings"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_figure9_example_survives_compression() {
+        // Figure 9's lists: compression may only widen the candidate
+        // sets, and here the quantization error is far below the
+        // threshold gaps, so the sets are identical.
+        let mut idx: HybridIndex<u128> = HybridIndex::new();
+        idx.push(key(1, 10), 0, 2400.0, 1.1);
+        idx.push(key(1, 10), 1, 1525.0, 1.9);
+        idx.push(key(1, 14), 0, 900.0, 1.7);
+        idx.push(key(1, 14), 1, 550.0, 1.9);
+        idx.finalize();
+        let c = CompressedHybridIndex::compress(&idx);
+        let mut scratch = Vec::new();
+        let got: Vec<ObjId> = c
+            .qualifying_into(&key(1, 14), 600.0, 0.57, &mut scratch)
+            .iter()
+            .map(|p| p.object)
+            .collect();
+        assert_eq!(got, vec![0]);
+        let got: Vec<ObjId> = c
+            .qualifying_into(&key(1, 10), 600.0, 0.57, &mut scratch)
+            .iter()
+            .map(|p| p.object)
+            .collect();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn dual_decompress_roundtrip() {
+        let idx = sample_hybrid(60);
+        let back = CompressedHybridIndex::compress(&idx).decompress();
+        assert_eq!(back.posting_count(), idx.posting_count());
+        for t in 0u64..4 {
+            let k = key(t, 0);
+            let orig: Vec<ObjId> = idx.qualifying(&k, 0.0, 0.0).map(|p| p.object).collect();
+            let rest: Vec<ObjId> = back.qualifying(&k, 0.0, 0.0).map(|p| p.object).collect();
+            assert_eq!(orig, rest, "full-list order must survive");
+        }
+    }
+
+    #[test]
+    fn dual_compression_shrinks() {
+        let idx = sample_hybrid(500);
+        let c = CompressedHybridIndex::compress(&idx);
+        assert!(
+            c.size_bytes() * 2 < idx.size_bytes(),
+            "compressed {} vs raw {}",
+            c.size_bytes(),
+            idx.size_bytes()
+        );
     }
 }
 
@@ -404,23 +917,30 @@ mod proptests {
     proptest! {
         #[test]
         fn roundtrip_superset_property(
-            entries in proptest::collection::vec((0u32..1_000_000, 0.0f64..1e6), 0..200),
+            entries in proptest::collection::vec(
+                (0u64..16, 0u32..1_000_000, 0.0f64..1e6), 0..300),
             c in 0.0f64..1e6,
         ) {
-            let mut l = BoundedPostingList::new();
+            let mut idx: InvertedIndex<u64> = InvertedIndex::new();
             let mut seen = std::collections::HashSet::new();
-            for (id, b) in entries {
-                if seen.insert(id) {
-                    l.push(id, b);
+            for (k, id, b) in entries {
+                if seen.insert((k, id)) {
+                    idx.push(k, id, b);
                 }
             }
-            l.finalize();
-            let back = CompressedPostingList::compress(&l).decompress().unwrap();
-            let orig: std::collections::BTreeSet<ObjId> =
-                l.qualifying(c).iter().map(|p| p.object).collect();
-            let rest: std::collections::BTreeSet<ObjId> =
-                back.qualifying(c).iter().map(|p| p.object).collect();
-            prop_assert!(orig.is_subset(&rest));
+            idx.finalize();
+            let compressed = CompressedInvertedIndex::compress(&idx);
+            let mut scratch = Vec::new();
+            for key in 0u64..16 {
+                let orig: std::collections::BTreeSet<ObjId> =
+                    idx.qualifying(&key, c).iter().map(|p| p.object).collect();
+                let got: std::collections::BTreeSet<ObjId> = compressed
+                    .qualifying_into(&key, c, &mut scratch)
+                    .iter()
+                    .map(|p| p.object)
+                    .collect();
+                prop_assert!(orig.is_subset(&got));
+            }
         }
     }
 }

@@ -17,10 +17,67 @@
 //! (shared-nothing across query threads). The wrappers choose the
 //! per-group sort order (descending bound vs. descending spatial
 //! bound) via the comparator passed to [`finalize`](CsrCore::finalize).
+//!
+//! The same `keys`/`offsets` directory shape backs the compressed
+//! arena of [`crate::compress`]: there the offsets are *byte* offsets
+//! into one compressed byte arena instead of element offsets into a
+//! posting arena, but the lookup ([`group_range`]) and the sorted-key
+//! invariant are identical, so both forms share this module's
+//! machinery.
+//!
+//! # Invariants
+//!
+//! 1. **Sorted keys.** `keys` is strictly ascending; [`group_range`]
+//!    binary-searches it. `finalize` establishes this by sorting the
+//!    drained staging entries.
+//! 2. **Staged postings are an error for whole-index consumers.**
+//!    Between a `push` and the next `finalize`, postings live only in
+//!    the staging map; probes cannot see them (by design — queries
+//!    read the frozen arena only), and [`CsrCore::iter`] *panics*
+//!    rather than silently dropping them, because its consumers
+//!    (serializers, compressors) would otherwise persist a truncated
+//!    index.
+//! 3. **Bounds are never NaN.** The wrappers call [`check_bound`] at
+//!    insert time, so the descending sort inside `finalize` is a total
+//!    order ([`desc_f64`] via `f64::total_cmp`) and every
+//!    `partition_point` cut over a bound column is well-defined. A NaN
+//!    bound would otherwise poison the sort and silently corrupt the
+//!    qualifying-prefix property.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::hash::Hash;
+
+/// Rejects NaN threshold bounds at insert time (invariant 3): panics
+/// with a message naming the offending slot. Infinities are allowed —
+/// they order fine under `total_cmp` — but NaN has no place in a bound
+/// column that gets `partition_point`-cut.
+#[inline]
+pub(crate) fn check_bound(bound: f64, what: &str) {
+    assert!(!bound.is_nan(), "NaN {what} rejected at insert time");
+}
+
+/// Descending total order over bound values. Safe as a sort comparator
+/// because [`check_bound`] keeps NaN out of the arena; `total_cmp`
+/// makes the order total without an `unwrap_or(Equal)` escape hatch.
+#[inline]
+pub(crate) fn desc_f64(a: f64, b: f64) -> std::cmp::Ordering {
+    b.total_cmp(&a)
+}
+
+/// The shared directory lookup: binary-searches `keys` (invariant 1)
+/// and returns the group's index plus its `offsets[i]..offsets[i+1]`
+/// range. Used by [`CsrCore::group`] (element offsets) and by the
+/// compressed indexes of [`crate::compress`] (byte offsets).
+#[inline]
+pub(crate) fn group_range<K: Ord>(
+    keys: &[K],
+    offsets: &[usize],
+    key: &K,
+) -> Option<(usize, std::ops::Range<usize>)> {
+    let i = keys.binary_search(key).ok()?;
+    Some((i, offsets[i]..offsets[i + 1]))
+}
 
 /// A keyed collection of posting groups in the frozen-CSR layout.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -95,8 +152,8 @@ impl<K: Eq + Hash + Ord + Copy, P: Copy> CsrCore<K, P> {
     /// staging).
     #[inline]
     pub(crate) fn group(&self, key: &K) -> Option<&[P]> {
-        let i = self.keys.binary_search(key).ok()?;
-        Some(&self.arena[self.offsets[i]..self.offsets[i + 1]])
+        let (_, range) = group_range(&self.keys, &self.offsets, key)?;
+        Some(&self.arena[range])
     }
 
     /// Number of distinct keys (frozen plus staged).
@@ -192,5 +249,37 @@ mod tests {
         let mut c: CsrCore<u64, u32> = CsrCore::default();
         c.push(1, 1);
         let _ = c.iter().count();
+    }
+
+    #[test]
+    fn desc_f64_is_total_and_descending() {
+        let mut v = [1.0f64, f64::INFINITY, 0.0, 3.5, f64::NEG_INFINITY];
+        v.sort_by(|a, b| desc_f64(*a, *b));
+        assert_eq!(v[0], f64::INFINITY);
+        assert_eq!(v[4], f64::NEG_INFINITY);
+        assert!(v.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN bound rejected at insert time")]
+    fn check_bound_rejects_nan() {
+        check_bound(f64::NAN, "bound");
+    }
+
+    #[test]
+    fn check_bound_accepts_finite_and_infinite() {
+        check_bound(0.0, "bound");
+        check_bound(-1.5, "bound");
+        check_bound(f64::INFINITY, "bound");
+    }
+
+    #[test]
+    fn group_range_matches_offsets() {
+        let keys = [2u64, 5, 9];
+        let offsets = [0usize, 3, 3, 7];
+        assert_eq!(group_range(&keys, &offsets, &2), Some((0, 0..3)));
+        assert_eq!(group_range(&keys, &offsets, &5), Some((1, 3..3)));
+        assert_eq!(group_range(&keys, &offsets, &9), Some((2, 3..7)));
+        assert_eq!(group_range(&keys, &offsets, &4), None);
     }
 }

@@ -13,7 +13,7 @@ use std::hash::Hash;
 /// `u128 = (token as u128) << 64 | cell`.
 ///
 /// A thin wrapper over the same frozen-CSR container as
-/// [`crate::InvertedIndex`] (see [`crate::csr`]). Each group is sorted
+/// [`crate::InvertedIndex`]. Each group is sorted
 /// by descending *spatial* bound — the axis with the most distinct
 /// values, so the binary-searched cut is deepest on average — and the
 /// textual bound is checked per surviving posting.
@@ -37,7 +37,14 @@ impl<K: Eq + Hash + Ord + Copy> HybridIndex<K> {
     }
 
     /// Adds a posting for `key` with the two bounds of Section 5.1.
+    ///
+    /// # Panics
+    /// If either bound is NaN — rejected at insert time so the
+    /// descending spatial sort and both qualifying comparisons stay
+    /// well-defined.
     pub fn push(&mut self, key: K, object: ObjId, spatial_bound: f64, textual_bound: f64) {
+        crate::csr::check_bound(spatial_bound, "spatial bound");
+        crate::csr::check_bound(textual_bound, "textual bound");
         self.core
             .push(key, DualPosting::new(object, spatial_bound, textual_bound));
     }
@@ -48,10 +55,7 @@ impl<K: Eq + Hash + Ord + Copy> HybridIndex<K> {
     /// new postings in.
     pub fn finalize(&mut self) {
         self.core.finalize(|a, b| {
-            b.spatial_bound
-                .partial_cmp(&a.spatial_bound)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.object.cmp(&b.object))
+            crate::csr::desc_f64(a.spatial_bound, b.spatial_bound).then(a.object.cmp(&b.object))
         });
     }
 
@@ -174,6 +178,20 @@ mod tests {
             .map(|p| p.object)
             .collect();
         assert_eq!(got, vec![4], "spatial cut drops o1");
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN spatial bound rejected at insert time")]
+    fn nan_spatial_bound_rejected_at_insert() {
+        let mut idx: HybridIndex<u128> = HybridIndex::new();
+        idx.push(key(1, 1), 0, f64::NAN, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN textual bound rejected at insert time")]
+    fn nan_textual_bound_rejected_at_insert() {
+        let mut idx: HybridIndex<u128> = HybridIndex::new();
+        idx.push(key(1, 1), 0, 1.0, f64::NAN);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::hash::Hash;
 ///
 /// # Layout
 ///
-/// A thin wrapper over the frozen-CSR container (see [`crate::csr`]):
+/// A thin wrapper over the shared frozen-CSR container:
 /// one contiguous [`Posting`] arena plus a sorted key table.
 /// [`finalize`](InvertedIndex::finalize) sorts each per-key group in
 /// **descending bound order** (ties broken by object id for
@@ -45,7 +45,13 @@ impl<K: Eq + Hash + Ord + Copy> InvertedIndex<K> {
 
     /// Adds a posting for `key`. Not visible to queries until
     /// [`finalize`](Self::finalize).
+    ///
+    /// # Panics
+    /// If `bound` is NaN: a NaN bound would poison the descending sort
+    /// and break every `partition_point` cut, so it is rejected here,
+    /// at insert time, rather than corrupting queries later.
     pub fn push(&mut self, key: K, object: ObjId, bound: f64) {
+        crate::csr::check_bound(bound, "bound");
         self.core.push(key, Posting::new(object, bound));
     }
 
@@ -54,12 +60,8 @@ impl<K: Eq + Hash + Ord + Copy> InvertedIndex<K> {
     /// [`push`](Self::push) and before querying; pushing after a
     /// finalize and re-finalizing merges the new postings in.
     pub fn finalize(&mut self) {
-        self.core.finalize(|a, b| {
-            b.bound
-                .partial_cmp(&a.bound)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.object.cmp(&b.object))
-        });
+        self.core
+            .finalize(|a, b| crate::csr::desc_f64(a.bound, b.bound).then(a.object.cmp(&b.object)));
     }
 
     /// True when every pushed posting is in the frozen arena (no
@@ -210,6 +212,13 @@ mod tests {
         assert_eq!(idx.posting_count(), 3);
         let ids: Vec<ObjId> = idx.qualifying(&1, 0.0).iter().map(|p| p.object).collect();
         assert_eq!(ids, vec![1, 0], "merged list re-sorted by bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN bound rejected at insert time")]
+    fn nan_bound_rejected_at_insert() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(1, 0, f64::NAN);
     }
 
     #[test]

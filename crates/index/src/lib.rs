@@ -20,6 +20,11 @@
 //! * [`InvertedIndex`] / [`HybridIndex`] — keyed collections of the
 //!   above with byte-level size accounting (Table 1 reports index
 //!   sizes) and binary serialization.
+//! * [`CompressedInvertedIndex`] / [`CompressedHybridIndex`] — the
+//!   same lists in one compressed arena (quantized bound columns +
+//!   varint ids), served in place through a caller-owned scratch
+//!   buffer; see [`compress`] for the layout
+//!   contract.
 //!
 //! Object identifiers are bare `u32`s here ([`ObjId`]); the `seal-core`
 //! crate wraps them in its typed `ObjectId`.
@@ -27,7 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod compress;
+pub mod compress;
 mod csr;
 mod hybrid;
 mod inverted;
@@ -35,7 +40,7 @@ mod list;
 mod posting;
 mod serialize;
 
-pub use compress::{CompressError, CompressedInvertedIndex, CompressedPostingList};
+pub use compress::{CompressedHybridIndex, CompressedInvertedIndex};
 pub use hybrid::HybridIndex;
 pub use inverted::InvertedIndex;
 pub use list::BoundedPostingList;

@@ -24,7 +24,12 @@ impl BoundedPostingList {
     }
 
     /// Appends a posting (unsorted until [`finalize`](Self::finalize)).
+    ///
+    /// # Panics
+    /// If `bound` is NaN (rejected at insert time; see
+    /// the shared CSR core's invariants).
     pub fn push(&mut self, object: ObjId, bound: f64) {
+        crate::csr::check_bound(bound, "bound");
         self.postings.push(Posting::new(object, bound));
         self.finalized = false;
     }
@@ -32,12 +37,8 @@ impl BoundedPostingList {
     /// Sorts postings by descending bound (ties broken by object id for
     /// determinism) and marks the list queryable.
     pub fn finalize(&mut self) {
-        self.postings.sort_by(|a, b| {
-            b.bound
-                .partial_cmp(&a.bound)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.object.cmp(&b.object))
-        });
+        self.postings
+            .sort_by(|a, b| crate::csr::desc_f64(a.bound, b.bound).then(a.object.cmp(&b.object)));
         self.finalized = true;
     }
 

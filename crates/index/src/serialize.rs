@@ -6,12 +6,29 @@
 //!
 //! ```text
 //! magic:u32  version:u8  kind:u8  key_count:u64
-//! repeat key_count times:
-//!   key:u128  len:u64
-//!   repeat len times:
-//!     object:u32  bound(s): f64 [f64]
+//! kind 1 (single) / 2 (dual), exact:
+//!   repeat key_count times:
+//!     key:u128  len:u64
+//!     repeat len times:
+//!       object:u32  bound(s): f64 [f64]
+//! kind 3 (compressed single) / 4 (compressed dual):
+//!   arena_len:u64
+//!   repeat key_count times:
+//!     key:u128  len:u32  scale:f64 [t_scale:f64]
+//!   arena bytes (the in-memory compressed arena, verbatim — see
+//!   crate::compress for the group layout; byte offsets are rebuilt
+//!   by the validation walk at load time)
 //! ```
+//!
+//! The compressed kinds persist the serving form **as-is**: encoding
+//! is a directory dump plus one arena memcpy, and decoding revalidates
+//! every group (bound columns in order, varints well-formed and
+//! `u32`-sized) so the in-place probe path stays infallible.
 
+use crate::compress::{
+    validate_group, CompressedHybridIndex, CompressedInvertedIndex, DualGroupMeta, GroupMeta,
+    Quantizer,
+};
 use crate::{HybridIndex, InvertedIndex, ObjId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -21,6 +38,8 @@ const MAGIC: u32 = 0x5EA1_1D8E;
 const VERSION: u8 = 1;
 const KIND_SINGLE: u8 = 1;
 const KIND_DUAL: u8 = 2;
+const KIND_COMPRESSED_SINGLE: u8 = 3;
+const KIND_COMPRESSED_DUAL: u8 = 4;
 
 /// Errors produced when decoding serialized indexes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +52,9 @@ pub enum IndexCodecError {
     BadKind(u8),
     /// The buffer ended before the declared contents.
     Truncated,
+    /// A compressed payload failed validation (out-of-order bound
+    /// column, malformed or oversized varint, misaligned group).
+    Corrupt,
 }
 
 impl fmt::Display for IndexCodecError {
@@ -42,6 +64,7 @@ impl fmt::Display for IndexCodecError {
             IndexCodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
             IndexCodecError::BadKind(k) => write!(f, "unexpected index kind {k}"),
             IndexCodecError::Truncated => write!(f, "buffer truncated"),
+            IndexCodecError::Corrupt => write!(f, "compressed payload corrupt"),
         }
     }
 }
@@ -123,19 +146,7 @@ impl<K: IndexKey> InvertedIndex<K> {
     /// Decodes an index from bytes; the result is finalized and ready to
     /// query.
     pub fn from_bytes(mut buf: impl Buf) -> Result<Self, IndexCodecError> {
-        check_remaining(&buf, 4 + 1 + 1 + 8)?;
-        if buf.get_u32_le() != MAGIC {
-            return Err(IndexCodecError::BadMagic);
-        }
-        let version = buf.get_u8();
-        if version != VERSION {
-            return Err(IndexCodecError::BadVersion(version));
-        }
-        let kind = buf.get_u8();
-        if kind != KIND_SINGLE {
-            return Err(IndexCodecError::BadKind(kind));
-        }
-        let key_count = buf.get_u64_le();
+        let key_count = check_header(&mut buf, KIND_SINGLE)?;
         let mut idx = InvertedIndex::new();
         for _ in 0..key_count {
             check_remaining(&buf, 16 + 8)?;
@@ -185,19 +196,7 @@ impl<K: IndexKey> HybridIndex<K> {
 
     /// Decodes a hybrid index from bytes (finalized, ready to query).
     pub fn from_bytes(mut buf: impl Buf) -> Result<Self, IndexCodecError> {
-        check_remaining(&buf, 4 + 1 + 1 + 8)?;
-        if buf.get_u32_le() != MAGIC {
-            return Err(IndexCodecError::BadMagic);
-        }
-        let version = buf.get_u8();
-        if version != VERSION {
-            return Err(IndexCodecError::BadVersion(version));
-        }
-        let kind = buf.get_u8();
-        if kind != KIND_DUAL {
-            return Err(IndexCodecError::BadKind(kind));
-        }
-        let key_count = buf.get_u64_le();
+        let key_count = check_header(&mut buf, KIND_DUAL)?;
         let mut idx = HybridIndex::new();
         for _ in 0..key_count {
             check_remaining(&buf, 16 + 8)?;
@@ -213,6 +212,177 @@ impl<K: IndexKey> HybridIndex<K> {
         }
         idx.finalize();
         Ok(idx)
+    }
+}
+
+fn check_header(buf: &mut impl Buf, expect_kind: u8) -> Result<u64, IndexCodecError> {
+    check_remaining(buf, 4 + 1 + 1 + 8)?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(IndexCodecError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(IndexCodecError::BadVersion(version));
+    }
+    let kind = buf.get_u8();
+    if kind != expect_kind {
+        return Err(IndexCodecError::BadKind(kind));
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// A deserialized quantizer scale, rejected unless finite and positive.
+fn checked_scale(scale: f64) -> Result<Quantizer, IndexCodecError> {
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(IndexCodecError::Corrupt);
+    }
+    Ok(Quantizer::from_scale(scale))
+}
+
+/// Shared untrusted-input decode for both compressed kinds: header,
+/// overflow-checked directory sizing (a corrupt count must fail, not
+/// abort on a huge allocation), per-key meta parse, sorted-key check,
+/// arena copy, and the full validation walk that rebuilds the byte
+/// offsets so the probe path stays infallible. `meta_bytes` is the
+/// per-entry directory size after the key; `columns` the number of
+/// `u16` bound columns per group.
+#[allow(clippy::type_complexity)]
+fn decode_compressed<K: IndexKey, M>(
+    mut buf: impl Buf,
+    kind: u8,
+    meta_bytes: usize,
+    columns: usize,
+    parse_meta: impl Fn(&mut dyn Buf) -> Result<M, IndexCodecError>,
+    len_of: impl Fn(&M) -> usize,
+) -> Result<(Vec<K>, Vec<usize>, Vec<M>, Bytes, usize), IndexCodecError> {
+    let key_count = check_header(&mut buf, kind)? as usize;
+    check_remaining(&buf, 8)?;
+    let arena_len = buf.get_u64_le() as usize;
+    let directory = key_count
+        .checked_mul(16 + meta_bytes)
+        .ok_or(IndexCodecError::Truncated)?;
+    check_remaining(&buf, directory)?;
+    let mut keys = Vec::with_capacity(key_count);
+    let mut meta = Vec::with_capacity(key_count);
+    for _ in 0..key_count {
+        keys.push(K::from_u128(buf.get_u128_le()));
+        meta.push(parse_meta(&mut buf)?);
+    }
+    if !keys.windows(2).all(|w| w[0] < w[1]) {
+        return Err(IndexCodecError::Corrupt);
+    }
+    check_remaining(&buf, arena_len)?;
+    let mut raw = vec![0u8; arena_len];
+    buf.copy_to_slice(&mut raw);
+    let arena = Bytes::from(raw);
+    let mut offsets = Vec::with_capacity(key_count + 1);
+    offsets.push(0usize);
+    let mut pos = 0usize;
+    let mut posting_count = 0usize;
+    for m in &meta {
+        let group = &arena.as_slice()[pos..];
+        let consumed = validate_group(group, len_of(m), columns).ok_or(IndexCodecError::Corrupt)?;
+        pos += consumed;
+        offsets.push(pos);
+        posting_count += len_of(m);
+    }
+    if pos != arena.len() {
+        return Err(IndexCodecError::Corrupt);
+    }
+    Ok((keys, offsets, meta, arena, posting_count))
+}
+
+impl<K: IndexKey> CompressedInvertedIndex<K> {
+    /// Serializes the compressed index: the directory, then the arena
+    /// verbatim. This *is* the at-rest form — no recompression happens.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.keys.len() * 28 + self.arena.len());
+        buf.put_u32_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(KIND_COMPRESSED_SINGLE);
+        buf.put_u64_le(self.keys.len() as u64);
+        buf.put_u64_le(self.arena.len() as u64);
+        for (key, m) in self.keys.iter().zip(&self.meta) {
+            buf.put_u128_le(key.to_u128());
+            buf.put_u32_le(m.len);
+            buf.put_f64_le(m.quant.scale());
+        }
+        buf.put_slice(self.arena.as_slice());
+        buf.freeze()
+    }
+
+    /// Decodes a compressed index and validates the whole arena (keys
+    /// sorted, bound columns non-increasing, varints well-formed), so
+    /// the returned index can serve probes infallibly.
+    pub fn from_bytes(buf: impl Buf) -> Result<Self, IndexCodecError> {
+        let (keys, offsets, meta, arena, posting_count) = decode_compressed(
+            buf,
+            KIND_COMPRESSED_SINGLE,
+            4 + 8,
+            1,
+            |b| {
+                let len = b.get_u32_le();
+                Ok(GroupMeta {
+                    len,
+                    quant: checked_scale(b.get_f64_le())?,
+                })
+            },
+            |m: &GroupMeta| m.len as usize,
+        )?;
+        Ok(CompressedInvertedIndex {
+            keys,
+            offsets,
+            meta,
+            arena,
+            posting_count,
+        })
+    }
+}
+
+impl<K: IndexKey> CompressedHybridIndex<K> {
+    /// Serializes the compressed hybrid index (directory + arena
+    /// verbatim).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.keys.len() * 36 + self.arena.len());
+        buf.put_u32_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(KIND_COMPRESSED_DUAL);
+        buf.put_u64_le(self.keys.len() as u64);
+        buf.put_u64_le(self.arena.len() as u64);
+        for (key, m) in self.keys.iter().zip(&self.meta) {
+            buf.put_u128_le(key.to_u128());
+            buf.put_u32_le(m.len);
+            buf.put_f64_le(m.spatial.scale());
+            buf.put_f64_le(m.textual.scale());
+        }
+        buf.put_slice(self.arena.as_slice());
+        buf.freeze()
+    }
+
+    /// Decodes and fully validates a compressed hybrid index.
+    pub fn from_bytes(buf: impl Buf) -> Result<Self, IndexCodecError> {
+        let (keys, offsets, meta, arena, posting_count) = decode_compressed(
+            buf,
+            KIND_COMPRESSED_DUAL,
+            4 + 16,
+            2,
+            |b| {
+                let len = b.get_u32_le();
+                Ok(DualGroupMeta {
+                    len,
+                    spatial: checked_scale(b.get_f64_le())?,
+                    textual: checked_scale(b.get_f64_le())?,
+                })
+            },
+            |m: &DualGroupMeta| m.len as usize,
+        )?;
+        Ok(CompressedHybridIndex {
+            keys,
+            offsets,
+            meta,
+            arena,
+            posting_count,
+        })
     }
 }
 
@@ -324,5 +494,136 @@ mod tests {
         assert!(IndexCodecError::Truncated.to_string().contains("truncated"));
         assert!(IndexCodecError::BadVersion(9).to_string().contains('9'));
         assert!(IndexCodecError::BadKind(3).to_string().contains('3'));
+        assert!(IndexCodecError::Corrupt.to_string().contains("corrupt"));
+    }
+
+    fn sample_compressed() -> CompressedInvertedIndex<u64> {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        for key in 0u64..10 {
+            for obj in 0..(20 + key as u32 * 7) {
+                idx.push(key, obj * 3, f64::from(obj % 13) * 1.5);
+            }
+        }
+        idx.finalize();
+        CompressedInvertedIndex::compress(&idx)
+    }
+
+    #[test]
+    fn compressed_single_roundtrip_serves_identically() {
+        let c = sample_compressed();
+        let bytes = c.to_bytes();
+        let back: CompressedInvertedIndex<u64> =
+            CompressedInvertedIndex::from_bytes(bytes).unwrap();
+        assert_eq!(back.key_count(), c.key_count());
+        assert_eq!(back.posting_count(), c.posting_count());
+        let mut s1 = Vec::new();
+        let mut s2 = Vec::new();
+        for key in 0u64..10 {
+            for thr in [0.0, 3.0, 9.0, 100.0] {
+                assert_eq!(
+                    c.qualifying_into(&key, thr, &mut s1),
+                    back.qualifying_into(&key, thr, &mut s2),
+                    "key {key} thr {thr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_dual_roundtrip_serves_identically() {
+        let mut idx: HybridIndex<u128> = HybridIndex::new();
+        for k in 0u128..6 {
+            for obj in 0..40u32 {
+                idx.push(
+                    k << 64,
+                    obj,
+                    f64::from(obj % 11) * 100.0,
+                    f64::from(obj % 7) / 3.0,
+                );
+            }
+        }
+        idx.finalize();
+        let c = CompressedHybridIndex::compress(&idx);
+        let back: CompressedHybridIndex<u128> =
+            CompressedHybridIndex::from_bytes(c.to_bytes()).unwrap();
+        let mut s1 = Vec::new();
+        let mut s2 = Vec::new();
+        for k in 0u128..6 {
+            for (cr, ct) in [(0.0, 0.0), (500.0, 1.0), (1001.0, 0.5)] {
+                assert_eq!(
+                    c.qualifying_into(&(k << 64), cr, ct, &mut s1),
+                    back.qualifying_into(&(k << 64), cr, ct, &mut s2),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_rejects_wrong_kind_and_truncation() {
+        let c = sample_compressed();
+        let bytes = c.to_bytes();
+        assert_eq!(
+            InvertedIndex::<u64>::from_bytes(bytes.clone()).unwrap_err(),
+            IndexCodecError::BadKind(KIND_COMPRESSED_SINGLE)
+        );
+        assert_eq!(
+            CompressedHybridIndex::<u64>::from_bytes(bytes.clone()).unwrap_err(),
+            IndexCodecError::BadKind(KIND_COMPRESSED_SINGLE)
+        );
+        let cut = bytes.slice(..bytes.len() - 3);
+        assert_eq!(
+            CompressedInvertedIndex::<u64>::from_bytes(cut).unwrap_err(),
+            IndexCodecError::Truncated
+        );
+    }
+
+    #[test]
+    fn compressed_rejects_corrupt_bound_column() {
+        let c = sample_compressed();
+        let mut raw = c.to_bytes().as_slice().to_vec();
+        // Arena begins after header (14) + arena_len (8) + directory
+        // (key_count × 28). Break the first group's non-increasing
+        // bound column: zero the first u16, max the second.
+        let arena_at = 14 + 8 + c.key_count() * 28;
+        raw[arena_at] = 0;
+        raw[arena_at + 1] = 0;
+        raw[arena_at + 2] = 0xFF;
+        raw[arena_at + 3] = 0xFF;
+        assert_eq!(
+            CompressedInvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
+            IndexCodecError::Corrupt
+        );
+    }
+
+    #[test]
+    fn compressed_rejects_huge_key_count_without_allocating() {
+        // A corrupt header declaring 2^60 keys must error out, not
+        // abort on a multi-exabyte Vec reservation.
+        let mut raw = Vec::new();
+        raw.put_u32_le(MAGIC);
+        raw.put_u8(VERSION);
+        raw.put_u8(KIND_COMPRESSED_SINGLE);
+        raw.put_u64_le(1u64 << 60);
+        raw.put_u64_le(0); // arena_len
+        assert_eq!(
+            CompressedInvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
+            IndexCodecError::Truncated
+        );
+        raw[5] = KIND_COMPRESSED_DUAL;
+        assert_eq!(
+            CompressedHybridIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
+            IndexCodecError::Truncated
+        );
+    }
+
+    #[test]
+    fn compressed_empty_roundtrip() {
+        let mut idx: InvertedIndex<u32> = InvertedIndex::new();
+        idx.finalize();
+        let c = CompressedInvertedIndex::compress(&idx);
+        let back: CompressedInvertedIndex<u32> =
+            CompressedInvertedIndex::from_bytes(c.to_bytes()).unwrap();
+        assert_eq!(back.key_count(), 0);
+        assert_eq!(back.posting_count(), 0);
     }
 }

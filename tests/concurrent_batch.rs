@@ -21,9 +21,14 @@ const THREADS: usize = 64;
 fn kinds() -> Vec<FilterKind> {
     vec![
         FilterKind::Token,
+        FilterKind::TokenCompressed,
         FilterKind::TokenBasic,
         FilterKind::Grid { side: 64 },
         FilterKind::HashHybrid {
+            side: 64,
+            buckets: Some(1 << 12),
+        },
+        FilterKind::HashHybridCompressed {
             side: 64,
             buckets: Some(1 << 12),
         },
