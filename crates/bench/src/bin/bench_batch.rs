@@ -12,19 +12,13 @@
 //! 1-core CI container's flat curve is not mistaken for contention.
 
 use seal_bench::data::{build_store, dataset, with_thresholds, workload, BenchConfig, Which};
-use seal_bench::harness::batch_qps;
+use seal_bench::harness::{batch_qps, out_path, write_json};
 use seal_core::{FilterKind, SealEngine};
 use seal_datagen::QuerySpec;
-use std::io::Write;
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    let args: Vec<String> = std::env::args().collect();
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let out_path = out_path("BENCH_batch.json");
 
     let d = dataset(Which::Twitter, &cfg);
     let store = build_store(&d);
@@ -63,7 +57,5 @@ fn main() {
     ));
     json.push_str("}\n");
 
-    let mut f = std::fs::File::create(&out_path).expect("create output file");
-    f.write_all(json.as_bytes()).expect("write json");
-    println!("wrote {out_path}");
+    write_json(&out_path, &json);
 }

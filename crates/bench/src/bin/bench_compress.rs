@@ -13,10 +13,9 @@
 //! to read are the compressed/uncompressed *ratios* (size and qps).
 
 use seal_bench::data::{build_store, dataset, with_thresholds, workload, BenchConfig, Which};
-use seal_bench::harness::batch_qps;
+use seal_bench::harness::{batch_qps, out_path, write_json};
 use seal_core::{FilterKind, SealEngine};
 use seal_datagen::QuerySpec;
-use std::io::Write;
 
 struct Mode {
     label: &'static str,
@@ -26,12 +25,7 @@ struct Mode {
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    let args: Vec<String> = std::env::args().collect();
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_compress.json".to_string());
+    let out_path = out_path("BENCH_compress.json");
 
     let d = dataset(Which::Twitter, &cfg);
     let store = build_store(&d);
@@ -111,7 +105,5 @@ fn main() {
     json.push_str(&sections.join(",\n"));
     json.push_str("\n}\n");
 
-    let mut f = std::fs::File::create(&out_path).expect("create output file");
-    f.write_all(json.as_bytes()).expect("write json");
-    println!("wrote {out_path}");
+    write_json(&out_path, &json);
 }

@@ -49,6 +49,23 @@ pub fn batch_qps(
     (passes * queries.len()) as f64 / start.elapsed().as_secs_f64().max(1e-9)
 }
 
+/// Parses `--out PATH` from the process argv, falling back to
+/// `default`. Shared by the `bench_*` bins that record JSON baselines.
+pub fn out_path(default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Writes a recorded JSON baseline to `path` and announces it (the
+/// `bench_*` bins' common epilogue).
+pub fn write_json(path: &str, json: &str) {
+    std::fs::write(path, json).expect("write bench json");
+    println!("wrote {path}");
+}
+
 /// Prints a fixed-width table row.
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let mut line = String::new();

@@ -1,7 +1,9 @@
 //! The `seal` subcommands.
 
 use crate::args::{parse_region, Args};
-use seal_core::{FilterKind, ObjectStore, Query, RoiObject, SealEngine};
+use seal_core::{
+    BuildOpts, FilterKind, ObjectStore, Query, RoiObject, SealEngine, SimilarityConfig,
+};
 use seal_datagen::{
     generate_queries, io as dio, twitter_like, usa_like, Dataset, QueryParams, QuerySpec,
     TwitterParams, UsaParams,
@@ -22,8 +24,9 @@ commands:
   stats     --data FILE
             print dataset statistics (Table 1's data rows)
   index     --data FILE [--filter seal|token|token-compressed|grid|hash|
-            hash-compressed|adaptive|irtree]
-            build an index and report build time + size
+            hash-compressed|adaptive|irtree] [--threads N]
+            build an index and report build time + size (alias: build;
+            --threads 0 = one worker per core, default 1)
   query     --data FILE --region x0,y0,x1,y1 --tokens a,b,c
             [--tau-r F] [--tau-t F] [--filter ...] [--top-k N]
             run one spatio-textual similarity query
@@ -42,7 +45,7 @@ pub fn run(argv: &[String]) -> Result<(), Box<dyn Error>> {
     match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
-        "index" => cmd_index(&args),
+        "index" | "build" => cmd_index(&args),
         "query" => cmd_query(&args),
         "batch" => cmd_batch(&args),
         other => Err(format!("unknown command {other:?}").into()),
@@ -134,12 +137,15 @@ fn cmd_stats(args: &Args) -> Result<(), Box<dyn Error>> {
 fn cmd_index(args: &Args) -> Result<(), Box<dyn Error>> {
     let (store, _names) = load(args.required("data")?)?;
     let kind = filter_kind(args.optional("filter").unwrap_or("seal"))?;
+    let threads: usize = args.parsed_or("threads", 1)?;
+    let opts = BuildOpts::with_threads(threads);
     let t0 = std::time::Instant::now();
-    let engine = SealEngine::build(store, kind);
+    let engine = SealEngine::build_with_opts(store, kind, SimilarityConfig::default(), opts);
     println!(
-        "built {} in {:.3}s, index size {:.2} MB",
+        "built {} in {:.3}s on {} build thread(s), index size {:.2} MB",
         engine.filter_name(),
         t0.elapsed().as_secs_f64(),
+        opts.resolved_threads(),
         engine.index_bytes() as f64 / (1024.0 * 1024.0),
     );
     Ok(())
@@ -240,7 +246,14 @@ fn cmd_batch(args: &Args) -> Result<(), Box<dyn Error>> {
         .collect::<Result<_, _>>()?;
 
     let t0 = std::time::Instant::now();
-    let engine = SealEngine::build(store, kind);
+    // The serving thread count also drives the build-side fan-out:
+    // a box provisioned to serve N-wide is provisioned to build N-wide.
+    let engine = SealEngine::build_with_opts(
+        store,
+        kind,
+        SimilarityConfig::default(),
+        BuildOpts::with_threads(threads),
+    );
     let build_s = t0.elapsed().as_secs_f64();
 
     let t1 = std::time::Instant::now();
@@ -284,6 +297,13 @@ mod tests {
         .unwrap();
         run(&argv(&format!("stats --data {data_s}"))).unwrap();
         run(&argv(&format!("index --data {data_s} --filter adaptive"))).unwrap();
+        // `build` is an alias of `index`; --threads drives the
+        // build-side fan-out (0 = one worker per core).
+        run(&argv(&format!(
+            "build --data {data_s} --filter seal --threads 4"
+        )))
+        .unwrap();
+        run(&argv(&format!("build --data {data_s} --threads 0"))).unwrap();
         // Query with a huge region and a frequent token: must not error.
         run(&argv(&format!(
             "query --data {data_s} --region 0,0,40000,40000 --tokens tok0 \

@@ -126,28 +126,46 @@ impl SealEngine {
         kind: FilterKind,
         cfg: SimilarityConfig,
     ) -> Self {
+        Self::build_with_opts(store, kind, cfg, crate::BuildOpts::default())
+    }
+
+    /// Builds with explicit build options. `BuildOpts::threads` fans
+    /// the build-side work (per-token `HSS-Greedy` selections, the
+    /// staged group sorts inside `finalize`) out over a work-stealing
+    /// pool; the resulting index is **identical for every thread
+    /// count** — parallelism buys wall-clock time only. Filters
+    /// without a parallel build path (the baselines, `Naive`) ignore
+    /// the options.
+    pub fn build_with_opts(
+        store: Arc<ObjectStore>,
+        kind: FilterKind,
+        cfg: SimilarityConfig,
+        opts: crate::BuildOpts,
+    ) -> Self {
         let filter: Box<dyn CandidateFilter> = match kind {
-            FilterKind::Token => Box::new(TokenFilter::build_with_config(store.clone(), cfg)),
-            FilterKind::TokenCompressed => Box::new(TokenFilter::build_compressed_with_config(
+            FilterKind::Token => Box::new(TokenFilter::build_with_opts(store.clone(), cfg, opts)),
+            FilterKind::TokenCompressed => Box::new(TokenFilter::build_compressed_with_opts(
                 store.clone(),
                 cfg,
+                opts,
             )),
             FilterKind::TokenBasic => {
                 Box::new(TokenFilterBasic::build_with_config(store.clone(), cfg))
             }
             FilterKind::Grid { side } => {
-                Box::new(GridFilter::build_with_config(store.clone(), side, cfg))
+                Box::new(GridFilter::build_with_opts(store.clone(), side, cfg, opts))
             }
             FilterKind::HashHybrid { side, buckets } => {
                 let scheme = match buckets {
                     Some(m) => BucketScheme::Buckets(m),
                     None => BucketScheme::Full,
                 };
-                Box::new(HybridFilter::build_with_config(
+                Box::new(HybridFilter::build_with_opts(
                     store.clone(),
                     side,
                     scheme,
                     cfg,
+                    opts,
                 ))
             }
             FilterKind::HashHybridCompressed { side, buckets } => {
@@ -155,15 +173,16 @@ impl SealEngine {
                     Some(m) => BucketScheme::Buckets(m),
                     None => BucketScheme::Full,
                 };
-                Box::new(HybridFilter::build_compressed_with_config(
+                Box::new(HybridFilter::build_compressed_with_opts(
                     store.clone(),
                     side,
                     scheme,
                     cfg,
+                    opts,
                 ))
             }
             FilterKind::Hierarchical { max_level, budget } => Box::new(
-                HierarchicalFilter::build_with_config(store.clone(), max_level, budget, cfg),
+                HierarchicalFilter::build_with_opts(store.clone(), max_level, budget, cfg, opts),
             ),
             FilterKind::KeywordFirst => {
                 Box::new(KeywordFirst::build_with_config(store.clone(), cfg))
@@ -176,9 +195,12 @@ impl SealEngine {
                 fanout,
                 cfg,
             )),
-            FilterKind::Adaptive { side } => {
-                Box::new(AdaptiveFilter::build_with_config(store.clone(), side, cfg))
-            }
+            FilterKind::Adaptive { side } => Box::new(AdaptiveFilter::build_with_opts(
+                store.clone(),
+                side,
+                cfg,
+                opts,
+            )),
             FilterKind::Naive => Box::new(NaiveFilter::new(store.clone())),
         };
         SealEngine { store, filter, cfg }
@@ -324,11 +346,12 @@ impl SealEngine {
                 (id, s)
             })
             .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        // Total order: scores are NaN-free by the simfn boundary
+        // contract (`SimilarityConfig` rejects NaN similarities the
+        // way `csr::check_bound` rejects NaN bounds), and `total_cmp`
+        // removes the `unwrap_or(Equal)` escape hatch that would let a
+        // stray NaN silently destabilize the ranking.
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
         scored
     }

@@ -58,8 +58,19 @@ impl AdaptiveFilter {
         side: u32,
         cfg: crate::SimilarityConfig,
     ) -> Self {
-        let token = TokenFilter::build_with_config(store.clone(), cfg);
-        let grid = GridFilter::build_with_config(store.clone(), side, cfg);
+        Self::build_with_opts(store, side, cfg, crate::BuildOpts::default())
+    }
+
+    /// Builds with explicit build options, forwarded to both
+    /// underlying index builds.
+    pub fn build_with_opts(
+        store: Arc<ObjectStore>,
+        side: u32,
+        cfg: crate::SimilarityConfig,
+        opts: crate::BuildOpts,
+    ) -> Self {
+        let token = TokenFilter::build_with_opts(store.clone(), cfg, opts);
+        let grid = GridFilter::build_with_opts(store.clone(), side, cfg, opts);
         AdaptiveFilter {
             store,
             cfg,

@@ -32,6 +32,18 @@ impl GridFilter {
         side: u32,
         cfg: crate::SimilarityConfig,
     ) -> Self {
+        Self::build_with_opts(store, side, cfg, crate::BuildOpts::default())
+    }
+
+    /// Builds with explicit build options (`BuildOpts::threads`
+    /// parallelizes the finalize-time group sorts; contents are
+    /// identical for every thread count).
+    pub fn build_with_opts(
+        store: Arc<ObjectStore>,
+        side: u32,
+        cfg: crate::SimilarityConfig,
+        opts: crate::BuildOpts,
+    ) -> Self {
         let scheme = GridScheme::build(&store, side);
         let mut index: InvertedIndex<u64> = InvertedIndex::new();
         for (id, o) in store.iter() {
@@ -40,7 +52,7 @@ impl GridFilter {
                 index.push(elem.cell, id.0, bound);
             }
         }
-        index.finalize();
+        index.finalize_with_threads(opts.threads);
         GridFilter {
             cfg,
             scheme,

@@ -36,7 +36,23 @@ impl HierarchicalFilter {
         budget: usize,
         cfg: crate::SimilarityConfig,
     ) -> Self {
-        let scheme = HierarchicalScheme::build(&store, max_level, budget);
+        Self::build_with_opts(store, max_level, budget, cfg, crate::BuildOpts::default())
+    }
+
+    /// Builds with explicit build options. `BuildOpts::threads` fans
+    /// the per-token `HSS-Greedy` selections (the dominant build cost)
+    /// and the finalize-time group sorts out over a work-stealing
+    /// pool; the selected cells and the resulting index are identical
+    /// for every thread count.
+    pub fn build_with_opts(
+        store: Arc<ObjectStore>,
+        max_level: u8,
+        budget: usize,
+        cfg: crate::SimilarityConfig,
+        opts: crate::BuildOpts,
+    ) -> Self {
+        let scheme =
+            HierarchicalScheme::build_with_threads(&store, max_level, budget, opts.threads);
         let mut index: HybridIndex<u128> = HybridIndex::new();
         let mut empty = Vec::new();
         for (id, o) in store.iter() {
@@ -56,7 +72,7 @@ impl HierarchicalFilter {
                 }
             }
         }
-        index.finalize();
+        index.finalize_with_threads(opts.threads);
         HierarchicalFilter {
             store,
             cfg,

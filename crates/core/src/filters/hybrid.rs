@@ -47,7 +47,20 @@ impl HybridFilter {
         buckets: BucketScheme,
         cfg: crate::SimilarityConfig,
     ) -> Self {
-        let (grid, index, empty) = Self::build_index(&store, side, buckets);
+        Self::build_with_opts(store, side, buckets, cfg, crate::BuildOpts::default())
+    }
+
+    /// Builds with explicit build options (`BuildOpts::threads`
+    /// parallelizes the finalize-time group sorts; contents are
+    /// identical for every thread count).
+    pub fn build_with_opts(
+        store: Arc<ObjectStore>,
+        side: u32,
+        buckets: BucketScheme,
+        cfg: crate::SimilarityConfig,
+        opts: crate::BuildOpts,
+    ) -> Self {
+        let (grid, index, empty) = Self::build_index(&store, side, buckets, opts);
         HybridFilter {
             store,
             cfg,
@@ -73,7 +86,20 @@ impl HybridFilter {
         buckets: BucketScheme,
         cfg: crate::SimilarityConfig,
     ) -> Self {
-        let (grid, index, empty) = Self::build_index(&store, side, buckets);
+        Self::build_compressed_with_opts(store, side, buckets, cfg, crate::BuildOpts::default())
+    }
+
+    /// Compressed serving mode with explicit build options: the
+    /// uncompressed CSR build (finalize fanned out over
+    /// `opts.threads`) feeds the arena compressor unchanged.
+    pub fn build_compressed_with_opts(
+        store: Arc<ObjectStore>,
+        side: u32,
+        buckets: BucketScheme,
+        cfg: crate::SimilarityConfig,
+        opts: crate::BuildOpts,
+    ) -> Self {
+        let (grid, index, empty) = Self::build_index(&store, side, buckets, opts);
         HybridFilter {
             store,
             cfg,
@@ -88,6 +114,7 @@ impl HybridFilter {
         store: &ObjectStore,
         side: u32,
         buckets: BucketScheme,
+        opts: crate::BuildOpts,
     ) -> (GridScheme, HybridIndex<u64>, Vec<ObjectId>) {
         let grid = GridScheme::build(store, side);
         let mut index: HybridIndex<u64> = HybridIndex::new();
@@ -107,7 +134,7 @@ impl HybridFilter {
                 }
             }
         }
-        index.finalize();
+        index.finalize_with_threads(opts.threads);
         (grid, index, empty)
     }
 

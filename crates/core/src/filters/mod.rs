@@ -86,6 +86,43 @@ pub use token::{TokenFilter, TokenFilterBasic};
 
 use crate::{ObjectId, Query, SearchStats};
 
+/// Build-time options shared by the filter constructors.
+///
+/// `FilterKind` picks *what* gets built; `BuildOpts` configures *how*.
+/// The only knob today is the build-side thread count: per-token
+/// `HSS-Greedy` selections and the staged per-group sorts inside
+/// `finalize` fan out over a work-stealing pool
+/// ([`seal_index::parallel`]). Builds are **deterministic for every
+/// thread count** — parallelism changes wall-clock time only, never
+/// the selected cells or the arena contents (asserted by the
+/// parallel-determinism tests and by `bench_build`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOpts {
+    /// Worker threads for build-side fan-outs: `0` = one per core
+    /// (`available_parallelism`), `1` = fully sequential (default),
+    /// `n` = exactly `n`.
+    pub threads: usize,
+}
+
+impl Default for BuildOpts {
+    fn default() -> Self {
+        BuildOpts { threads: 1 }
+    }
+}
+
+impl BuildOpts {
+    /// Options with an explicit thread count (0 = one per core).
+    pub fn with_threads(threads: usize) -> Self {
+        BuildOpts { threads }
+    }
+
+    /// The effective worker count: `0` resolves to
+    /// `available_parallelism`, anything else is literal.
+    pub fn resolved_threads(&self) -> usize {
+        seal_index::parallel::resolve_threads(self.threads)
+    }
+}
+
 /// The filter interface: produce a candidate superset of the answers.
 pub trait CandidateFilter: Send + Sync {
     /// Short display name (matches the paper's method names).

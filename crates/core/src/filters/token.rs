@@ -53,7 +53,19 @@ impl TokenFilter {
     /// function, which keeps the filter a safe superset for Dice /
     /// Cosine deployments too.
     pub fn build_with_config(store: Arc<ObjectStore>, cfg: crate::SimilarityConfig) -> Self {
-        let (index, empty) = Self::build_index(&store);
+        Self::build_with_opts(store, cfg, crate::BuildOpts::default())
+    }
+
+    /// Builds with explicit similarity configuration and build options
+    /// (`BuildOpts::threads` parallelizes the finalize-time group
+    /// sorts; the index contents are identical for every thread
+    /// count).
+    pub fn build_with_opts(
+        store: Arc<ObjectStore>,
+        cfg: crate::SimilarityConfig,
+        opts: crate::BuildOpts,
+    ) -> Self {
+        let (index, empty) = Self::build_index(&store, opts);
         TokenFilter {
             store,
             cfg,
@@ -73,7 +85,18 @@ impl TokenFilter {
         store: Arc<ObjectStore>,
         cfg: crate::SimilarityConfig,
     ) -> Self {
-        let (index, empty) = Self::build_index(&store);
+        Self::build_compressed_with_opts(store, cfg, crate::BuildOpts::default())
+    }
+
+    /// Compressed serving mode with explicit build options: the
+    /// uncompressed CSR build (finalize sorts fanned out over
+    /// `opts.threads`) feeds the arena compressor unchanged.
+    pub fn build_compressed_with_opts(
+        store: Arc<ObjectStore>,
+        cfg: crate::SimilarityConfig,
+        opts: crate::BuildOpts,
+    ) -> Self {
+        let (index, empty) = Self::build_index(&store, opts);
         TokenFilter {
             store,
             cfg,
@@ -82,7 +105,10 @@ impl TokenFilter {
         }
     }
 
-    fn build_index(store: &ObjectStore) -> (InvertedIndex<u32>, Vec<ObjectId>) {
+    fn build_index(
+        store: &ObjectStore,
+        opts: crate::BuildOpts,
+    ) -> (InvertedIndex<u32>, Vec<ObjectId>) {
         let mut index: InvertedIndex<u32> = InvertedIndex::new();
         let mut empty = Vec::new();
         for (id, o) in store.iter() {
@@ -95,7 +121,7 @@ impl TokenFilter {
                 index.push(elem.token.0, id.0, bound);
             }
         }
-        index.finalize();
+        index.finalize_with_threads(opts.threads);
         (index, empty)
     }
 

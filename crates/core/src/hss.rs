@@ -44,6 +44,26 @@ struct QueueEntry {
     subset: Vec<u32>,
 }
 
+impl QueueEntry {
+    /// Entry with its priority. `Error(n)` is a finite sum of finite
+    /// squared differences by construction; the debug assertion pins
+    /// that invariant down so the `total_cmp` heap order below is the
+    /// documented deterministic one (a non-finite error would still
+    /// order totally, but not meaningfully).
+    fn new(error: f64, cell: GridCellId, rect: Rect, subset: Vec<u32>) -> Self {
+        debug_assert!(
+            error.is_finite(),
+            "Error(n) must be finite, got {error} for cell {cell:?}"
+        );
+        QueueEntry {
+            error,
+            cell,
+            rect,
+            subset,
+        }
+    }
+}
+
 impl PartialEq for QueueEntry {
     fn eq(&self, other: &Self) -> bool {
         self.cmp(other) == Ordering::Equal
@@ -57,9 +77,15 @@ impl PartialOrd for QueueEntry {
 }
 impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: the
+        // escape hatch made any non-finite error value compare Equal
+        // to everything, silently breaking the documented
+        // deterministic tie-break (Equal-by-accident entries fell
+        // through to the cell-id comparison in heap-internal order).
+        // Errors are asserted finite at construction; total_cmp keeps
+        // the order total even if that invariant were violated.
         self.error
-            .partial_cmp(&other.error)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.error)
             .then_with(|| other.cell.pack().cmp(&self.cell.pack()))
     }
 }
@@ -94,12 +120,12 @@ pub fn hss_greedy(regions: &[Rect], tree: &GridTree, budget: usize) -> Vec<Selec
     let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
     let root_len = expected_len(&root_rect, regions, &all);
     let root_error = node_error(tree, GridCellId::ROOT, root_len, regions, &all);
-    queue.push(QueueEntry {
-        error: root_error,
-        cell: GridCellId::ROOT,
-        rect: root_rect,
-        subset: all,
-    });
+    queue.push(QueueEntry::new(
+        root_error,
+        GridCellId::ROOT,
+        root_rect,
+        all,
+    ));
 
     let mut selected: Vec<SelectedCell> = Vec::new();
     while let Some(entry) = queue.pop() {
@@ -126,12 +152,7 @@ pub fn hss_greedy(regions: &[Rect], tree: &GridTree, budget: usize) -> Vec<Selec
                 .collect();
             let len = expected_len(&rect, regions, &subset);
             let error = node_error(tree, child, len, regions, &subset);
-            queue.push(QueueEntry {
-                error,
-                cell: child,
-                rect,
-                subset,
-            });
+            queue.push(QueueEntry::new(error, child, rect, subset));
         }
     }
     selected

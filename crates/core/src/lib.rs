@@ -75,7 +75,7 @@ pub mod store;
 pub mod verify;
 
 pub use engine::{FilterKind, SealEngine, SearchResult};
-pub use filters::{CandidateFilter, QueryContext};
+pub use filters::{BuildOpts, CandidateFilter, QueryContext};
 pub use object::{ObjectId, RoiObject};
 pub use query::{Query, QueryError};
 pub use simfn::{SimilarityConfig, SpatialSimFn};

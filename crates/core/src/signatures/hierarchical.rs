@@ -180,6 +180,22 @@ impl HierarchicalScheme {
     /// * `budget` — `m_t`, identical for every token here; Figure 15's
     ///   index-size sweep varies it.
     pub fn build(store: &ObjectStore, max_level: u8, budget: usize) -> Self {
+        Self::build_with_threads(store, max_level, budget, 1)
+    }
+
+    /// [`build`](Self::build) with the per-token `HSS-Greedy`
+    /// selections fanned out over `threads` workers (0 = one per
+    /// core). Each token's selection depends only on that token's
+    /// regions, so the fan-out is embarrassingly parallel and the
+    /// selected cells are **identical for every thread count** — the
+    /// work-stealing loop only changes which worker computes which
+    /// token.
+    pub fn build_with_threads(
+        store: &ObjectStore,
+        max_level: u8,
+        budget: usize,
+        threads: usize,
+    ) -> Self {
         let tree = GridTree::new(store.space(), max_level).expect("valid store space");
         // Group object regions by token.
         let mut by_token: HashMap<TokenId, Vec<Rect>> = HashMap::new();
@@ -188,30 +204,50 @@ impl HierarchicalScheme {
                 by_token.entry(t).or_default().push(o.region);
             }
         }
-        let mut per_token = HashMap::with_capacity(by_token.len());
-        for (t, regions) in by_token {
-            // "Judiciously select": a token occurring in k objects gains
-            // nothing from more than ~k grids (its inverted lists hold k
-            // postings total), so rare tokens keep coarse tilings. This
-            // is the index-size constraint of Section 5.2 applied
-            // per-token, and it is what keeps HierarchicalInv smaller
-            // than HashInv in Table 1.
-            let budget_t = budget.min(regions.len()).max(1);
-            let mut cells = hss_greedy(&regions, &tree, budget_t);
-            // Global order within the token: level asc, count asc, id.
-            cells.sort_by(|a, b| {
-                a.id.level()
-                    .cmp(&b.id.level())
-                    .then(a.objects.len().cmp(&b.objects.len()))
-                    .then(a.id.pack().cmp(&b.id.pack()))
+        let tokens: Vec<(TokenId, Vec<Rect>)> = by_token.into_iter().collect();
+        let space = store.space();
+        let grids: Vec<TokenGrids> =
+            seal_index::parallel::map_indexed(tokens.len(), threads, |i| {
+                let regions = &tokens[i].1;
+                // "Judiciously select": a token occurring in k objects
+                // gains nothing from more than ~k grids (its inverted
+                // lists hold k postings total), so rare tokens keep
+                // coarse tilings. This is the index-size constraint of
+                // Section 5.2 applied per-token, and it is what keeps
+                // HierarchicalInv smaller than HashInv in Table 1.
+                let budget_t = budget.min(regions.len()).max(1);
+                let mut cells = hss_greedy(regions, &tree, budget_t);
+                // Global order within the token: level asc, count asc, id.
+                cells.sort_by(|a, b| {
+                    a.id.level()
+                        .cmp(&b.id.level())
+                        .then(a.objects.len().cmp(&b.objects.len()))
+                        .then(a.id.pack().cmp(&b.id.pack()))
+                });
+                TokenGrids::new(cells, space)
             });
-            per_token.insert(t, TokenGrids::new(cells, store.space()));
-        }
+        let per_token: HashMap<TokenId, TokenGrids> =
+            tokens.into_iter().map(|(t, _)| t).zip(grids).collect();
         HierarchicalScheme {
             tree,
             per_token,
             budget,
         }
+    }
+
+    /// Every token's selected cells as sorted `(token, packed cell)`
+    /// pairs — a canonical fingerprint of the whole HSS selection.
+    /// Two schemes built from the same store select the same cells iff
+    /// these vectors are equal; `bench_build` and the
+    /// parallel-determinism tests compare them across thread counts.
+    pub fn selected_cells_sorted(&self) -> Vec<(u32, u64)> {
+        let mut out: Vec<(u32, u64)> = self
+            .per_token
+            .iter()
+            .flat_map(|(t, g)| g.cells.iter().map(move |c| (t.0, c.id.pack())))
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// The grid tree.

@@ -57,17 +57,41 @@ impl Default for SimilarityConfig {
     }
 }
 
+/// Rejects NaN similarity scores at the evaluation boundary — the
+/// same policy `csr::check_bound` applies to index bounds at insert
+/// time. Every score consumer (the answer predicate, `search_top_k`'s
+/// `total_cmp` ranking) assumes a NaN-free domain; a NaN that slipped
+/// through would order arbitrarily rather than fail loudly, so it is
+/// stopped here, at the one place scores are produced.
+#[inline]
+fn check_sim(s: f64, what: &str) -> f64 {
+    assert!(
+        !s.is_nan(),
+        "NaN {what} similarity rejected at the simfn boundary"
+    );
+    s
+}
+
 impl SimilarityConfig {
     /// Spatial similarity between a query and an object.
+    ///
+    /// # Panics
+    /// If the configured function evaluates to NaN (cannot happen for
+    /// the built-in Jaccard/Dice over valid rectangles; the check
+    /// guards the total-order contract downstream).
     #[inline]
     pub fn spatial_sim(&self, q: &Query, o: &RoiObject) -> f64 {
-        self.spatial.eval(&q.region, &o.region)
+        check_sim(self.spatial.eval(&q.region, &o.region), "spatial")
     }
 
     /// Textual similarity between a query and an object.
+    ///
+    /// # Panics
+    /// If the configured function evaluates to NaN (see
+    /// [`spatial_sim`](Self::spatial_sim)).
     #[inline]
     pub fn textual_sim<W: TokenWeights>(&self, q: &Query, o: &RoiObject, w: &W) -> f64 {
-        self.textual.eval(&q.tokens, &o.tokens, w)
+        check_sim(self.textual.eval(&q.tokens, &o.tokens, w), "textual")
     }
 
     /// The full answer predicate of Definition 3.

@@ -235,7 +235,7 @@ pub struct CompressedInvertedIndex<K: Ord> {
     pub(crate) posting_count: usize,
 }
 
-impl<K: Ord + Copy + std::hash::Hash> CompressedInvertedIndex<K> {
+impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
     /// Compresses a finalized [`InvertedIndex`], preserving its CSR
     /// group order.
     ///
@@ -398,7 +398,7 @@ pub struct CompressedHybridIndex<K: Ord> {
     pub(crate) posting_count: usize,
 }
 
-impl<K: Ord + Copy + std::hash::Hash> CompressedHybridIndex<K> {
+impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
     /// Compresses a finalized [`HybridIndex`], preserving its CSR
     /// group order.
     ///

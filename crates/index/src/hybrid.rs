@@ -30,7 +30,7 @@ impl<K: Eq + Hash + Ord + Copy> Default for HybridIndex<K> {
     }
 }
 
-impl<K: Eq + Hash + Ord + Copy> HybridIndex<K> {
+impl<K: Eq + Hash + Ord + Copy + Sync> HybridIndex<K> {
     /// An empty index.
     pub fn new() -> Self {
         Self::default()
@@ -51,12 +51,25 @@ impl<K: Eq + Hash + Ord + Copy> HybridIndex<K> {
 
     /// Compacts all postings into the contiguous arena (groups in
     /// descending spatial-bound order). Must be called before
-    /// querying; pushing after a finalize and re-finalizing merges the
-    /// new postings in.
+    /// querying; pushing after a finalize and re-finalizing **merges**
+    /// the new postings in — staged postings are sorted, frozen groups
+    /// merged, never re-sorted.
     pub fn finalize(&mut self) {
         self.core.finalize(|a, b| {
             crate::csr::desc_f64(a.spatial_bound, b.spatial_bound).then(a.object.cmp(&b.object))
         });
+    }
+
+    /// [`finalize`](Self::finalize) with the staged per-group sorts
+    /// fanned out over `threads` workers (0 = all cores). The result
+    /// is bit-identical for every thread count.
+    pub fn finalize_with_threads(&mut self, threads: usize) {
+        self.core.finalize_with_threads(
+            |a, b| {
+                crate::csr::desc_f64(a.spatial_bound, b.spatial_bound).then(a.object.cmp(&b.object))
+            },
+            threads,
+        );
     }
 
     /// True when every pushed posting is in the frozen arena (no

@@ -37,7 +37,7 @@ impl<K: Eq + Hash + Ord + Copy> Default for InvertedIndex<K> {
     }
 }
 
-impl<K: Eq + Hash + Ord + Copy> InvertedIndex<K> {
+impl<K: Eq + Hash + Ord + Copy + Sync> InvertedIndex<K> {
     /// An empty index.
     pub fn new() -> Self {
         Self::default()
@@ -58,10 +58,24 @@ impl<K: Eq + Hash + Ord + Copy> InvertedIndex<K> {
     /// Compacts all postings into the contiguous arena (groups in
     /// descending bound order). Must be called after the last
     /// [`push`](Self::push) and before querying; pushing after a
-    /// finalize and re-finalizing merges the new postings in.
+    /// finalize and re-finalizing **merges** the new postings in —
+    /// only the staged postings are sorted, frozen groups are merged,
+    /// never re-sorted, so streaming push → finalize cycles pay for
+    /// the delta rather than the whole index.
     pub fn finalize(&mut self) {
         self.core
             .finalize(|a, b| crate::csr::desc_f64(a.bound, b.bound).then(a.object.cmp(&b.object)));
+    }
+
+    /// [`finalize`](Self::finalize) with the staged per-group sorts
+    /// fanned out over `threads` workers (0 = all cores). The result
+    /// is bit-identical for every thread count; only build wall-clock
+    /// changes.
+    pub fn finalize_with_threads(&mut self, threads: usize) {
+        self.core.finalize_with_threads(
+            |a, b| crate::csr::desc_f64(a.bound, b.bound).then(a.object.cmp(&b.object)),
+            threads,
+        );
     }
 
     /// True when every pushed posting is in the frozen arena (no

@@ -37,6 +37,7 @@ mod csr;
 mod hybrid;
 mod inverted;
 mod list;
+pub mod parallel;
 mod posting;
 mod serialize;
 

@@ -72,7 +72,7 @@ impl fmt::Display for IndexCodecError {
 impl std::error::Error for IndexCodecError {}
 
 /// Keys that can round-trip through the codec's `u128` slot.
-pub trait IndexKey: Eq + Hash + Ord + Copy {
+pub trait IndexKey: Eq + Hash + Ord + Copy + Sync {
     /// Widens the key to 128 bits.
     fn to_u128(self) -> u128;
     /// Narrows a 128-bit value back to the key type.
