@@ -1,0 +1,226 @@
+//! Records online-ingest numbers to `BENCH_ingest.json`:
+//!
+//! 1. **Refresh latency vs fresh build** — generation 0 over 90% of
+//!    the corpus, then the remaining 10% pushed in rounds; each
+//!    `LiveEngine::refresh` (store extension + next-generation build,
+//!    HSS selections reused for untouched tokens) is timed against a
+//!    from-scratch `SealEngine::build` over the final union.
+//! 2. **Qps under churn** — `search_batch` throughput over the live
+//!    engine while a builder thread runs push → refresh cycles,
+//!    compared with the same workload against a quiescent engine.
+//!    Readers clone the generation `Arc` per batch and never block on
+//!    the builder, so retention should track CPU contention, not lock
+//!    contention.
+//!
+//! In-binary contract check: answers after the final refresh equal a
+//! fresh build over the union on the whole workload. Whether each
+//! round reused the previous generation's HSS selections is recorded
+//! in the JSON (`hss_selections_reused_every_round`), not asserted —
+//! a streamed batch that grows the space MBR legitimately forces a
+//! fresh build (the recorded run's round 1 does exactly that).
+//!
+//! ```text
+//! cargo run --release -p seal-bench --bin bench_ingest -- \
+//!     [--objects N] [--queries N] [--seed N] [--out PATH]
+//! ```
+//!
+//! The churn-retention number is only meaningful on multi-core
+//! hardware: with one core the builder and the servers time-slice one
+//! CPU, so retention dips by construction. The JSON records
+//! `available_parallelism` alongside the numbers (same caveat as the
+//! other BENCH files); refresh-vs-fresh latency and the contract
+//! checks are valid anywhere.
+
+use seal_bench::data::{dataset, raw_objects, with_thresholds, workload, BenchConfig, Which};
+use seal_bench::harness::{out_path, time_ms, write_json};
+use seal_core::{
+    BuildOpts, FilterKind, LiveEngine, ObjectStore, RoiObject, SealEngine, SimilarityConfig,
+};
+use seal_datagen::QuerySpec;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const MAX_LEVEL: u8 = 8;
+const BUDGET: usize = 16;
+const ROUNDS: usize = 5;
+
+/// `harness::batch_qps` for a `LiveEngine`: one warm-up pass, then
+/// `passes` measured runs, queries per second.
+fn live_qps(live: &LiveEngine, queries: &[seal_core::Query], threads: usize, passes: usize) -> f64 {
+    if queries.is_empty() || passes == 0 {
+        return 0.0;
+    }
+    std::hint::black_box(live.search_batch(queries, threads));
+    let start = std::time::Instant::now();
+    for _ in 0..passes {
+        std::hint::black_box(live.search_batch(queries, threads));
+    }
+    (passes * queries.len()) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let out_path = out_path("BENCH_ingest.json");
+
+    let d = dataset(Which::Twitter, &cfg);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let queries = with_thresholds(&workload(&d, QuerySpec::SmallRegion, &cfg), 0.4, 0.4);
+    let objects: Vec<RoiObject> = raw_objects(&d);
+    let initial = (objects.len() * 9 / 10).max(1);
+    let stream = objects.len() - initial;
+    let batch = (stream / ROUNDS).max(1);
+    let kind = FilterKind::Hierarchical {
+        max_level: MAX_LEVEL,
+        budget: BUDGET,
+    };
+    let sim = SimilarityConfig::default();
+
+    // --- Refresh latency per round ---------------------------------
+    let gen0 = Arc::new(ObjectStore::from_objects(
+        objects[..initial].to_vec(),
+        d.vocab_size,
+    ));
+    let (live, gen0_ms) = time_ms(|| LiveEngine::with_opts(gen0, kind, sim, BuildOpts::default()));
+    println!("generation 0: {initial} objects in {gen0_ms:.1} ms");
+
+    let mut refresh_s = Vec::new();
+    let mut reused_every_round = true;
+    let mut pushed = initial;
+    while pushed < objects.len() {
+        let end = (pushed + batch).min(objects.len());
+        live.push_all(objects[pushed..end].iter().cloned());
+        let stats = live.refresh();
+        println!(
+            "refresh: +{} objects in {:.1} ms (generation {}, reused: {})",
+            stats.merged,
+            stats.build_seconds * 1e3,
+            stats.generation,
+            stats.scheme_reused,
+        );
+        refresh_s.push(stats.build_seconds);
+        reused_every_round &= stats.scheme_reused;
+        pushed = end;
+    }
+    let mean_refresh = refresh_s.iter().sum::<f64>() / refresh_s.len().max(1) as f64;
+
+    // --- Fresh rebuild over the union, for the ratio ---------------
+    let union = Arc::new(ObjectStore::from_objects(objects.clone(), d.vocab_size));
+    let (fresh, fresh_ms) = time_ms(|| SealEngine::build(union, kind));
+    println!("fresh union build: {fresh_ms:.1} ms");
+
+    // --- Contract check: final generation ≡ fresh build ------------
+    let live_answers: Vec<Vec<seal_core::ObjectId>> = live
+        .search_batch(&queries, 1)
+        .into_iter()
+        .map(|r| r.sorted().answers)
+        .collect();
+    let fresh_answers: Vec<Vec<seal_core::ObjectId>> = fresh
+        .search_batch(&queries, 1)
+        .into_iter()
+        .map(|r| r.sorted().answers)
+        .collect();
+    assert_eq!(
+        live_answers, fresh_answers,
+        "post-refresh generation diverged from the fresh union build"
+    );
+
+    // --- Qps: quiescent vs under churn -----------------------------
+    // Idle baseline on the *live* engine (empty delta, no builder):
+    // measuring the bare SealEngine instead would fold LiveEngine's
+    // per-batch snapshot cost into the retention ratio and misreport
+    // churn cost as wrapper overhead.
+    let serve_threads = cores;
+    let qps_idle = live_qps(&live, &queries, serve_threads, 3);
+
+    // Rebuild a live engine at 90% and churn the last 10% through it
+    // while the workload loops.
+    let live = LiveEngine::with_opts(
+        Arc::new(ObjectStore::from_objects(
+            objects[..initial].to_vec(),
+            d.vocab_size,
+        )),
+        kind,
+        sim,
+        BuildOpts::default(),
+    );
+    let done = AtomicBool::new(false);
+    let mut served = 0usize;
+    let mut churn_wall = 0.0f64;
+    let mut refreshes_during_churn = 0usize;
+    std::thread::scope(|scope| {
+        let builder = scope.spawn(|| {
+            let mut n = 0usize;
+            let mut pushed = initial;
+            while pushed < objects.len() {
+                let end = (pushed + batch).min(objects.len());
+                live.push_all(objects[pushed..end].iter().cloned());
+                live.refresh();
+                n += 1;
+                pushed = end;
+            }
+            done.store(true, Ordering::Release);
+            n
+        });
+        let start = std::time::Instant::now();
+        while !done.load(Ordering::Acquire) {
+            std::hint::black_box(live.search_batch(&queries, serve_threads));
+            served += queries.len();
+        }
+        churn_wall = start.elapsed().as_secs_f64();
+        refreshes_during_churn = builder.join().expect("builder thread");
+    });
+    let qps_churn = served as f64 / churn_wall.max(1e-9);
+    let retention = qps_churn / qps_idle.max(1e-9);
+    println!(
+        "qps idle {qps_idle:.1}, under churn {qps_churn:.1} ({retention:.2}x retention, \
+         {refreshes_during_churn} refreshes in {churn_wall:.3}s)"
+    );
+
+    // --- JSON ------------------------------------------------------
+    let refresh_list = refresh_s
+        .iter()
+        .map(|s| format!("{s:.4}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"bench\": \"online ingest: generation swaps, refresh latency, qps under churn\",\n",
+    );
+    json.push_str(&format!("  \"objects\": {},\n", objects.len()));
+    json.push_str(&format!(
+        "  \"initial\": {initial},\n  \"stream\": {stream},\n  \"rounds\": {},\n",
+        refresh_s.len()
+    ));
+    json.push_str(&format!(
+        "  \"hierarchical\": {{ \"max_level\": {MAX_LEVEL}, \"budget\": {BUDGET} }},\n"
+    ));
+    json.push_str(&format!("  \"queries\": {},\n", queries.len()));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(
+        "  \"caveat\": \"churn retention time-slices one CPU when available_parallelism is 1; \
+         refresh-vs-fresh latency and the identical-answers check are valid anywhere\",\n",
+    );
+    json.push_str(&format!(
+        "  \"refresh_seconds_per_round\": [{refresh_list}],\n"
+    ));
+    json.push_str(&format!("  \"mean_refresh_seconds\": {mean_refresh:.4},\n"));
+    json.push_str(&format!(
+        "  \"fresh_rebuild_seconds\": {:.4},\n",
+        fresh_ms / 1e3
+    ));
+    json.push_str(&format!(
+        "  \"fresh_over_refresh\": {:.2},\n",
+        (fresh_ms / 1e3) / mean_refresh.max(1e-9)
+    ));
+    json.push_str(&format!(
+        "  \"hss_selections_reused_every_round\": {reused_every_round},\n"
+    ));
+    json.push_str(&format!("  \"qps_idle\": {qps_idle:.1},\n"));
+    json.push_str(&format!("  \"qps_under_churn\": {qps_churn:.1},\n"));
+    json.push_str(&format!("  \"churn_retention\": {retention:.2},\n"));
+    json.push_str("  \"identical_answers_after_final_refresh\": true\n");
+    json.push_str("}\n");
+
+    write_json(&out_path, &json);
+}

@@ -75,14 +75,23 @@ pub fn dataset(which: Which, cfg: &BenchConfig) -> Dataset {
     }
 }
 
-/// Builds the object store from a generated dataset.
-pub fn build_store(dataset: &Dataset) -> Arc<ObjectStore> {
-    let objects: Vec<RoiObject> = dataset
+/// A dataset's records as engine objects, in stream order (shared by
+/// [`build_store`] and the ingest bench, which splits the stream into
+/// generations itself).
+pub fn raw_objects(dataset: &Dataset) -> Vec<RoiObject> {
+    dataset
         .objects
         .iter()
         .map(|o| RoiObject::new(o.region, TokenSet::from_ids(o.tokens.iter().copied())))
-        .collect();
-    Arc::new(ObjectStore::from_objects(objects, dataset.vocab_size))
+        .collect()
+}
+
+/// Builds the object store from a generated dataset.
+pub fn build_store(dataset: &Dataset) -> Arc<ObjectStore> {
+    Arc::new(ObjectStore::from_objects(
+        raw_objects(dataset),
+        dataset.vocab_size,
+    ))
 }
 
 /// Generates the paper's large-region / small-region workloads.

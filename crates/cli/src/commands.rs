@@ -2,7 +2,7 @@
 
 use crate::args::{parse_region, Args};
 use seal_core::{
-    BuildOpts, FilterKind, ObjectStore, Query, RoiObject, SealEngine, SimilarityConfig,
+    BuildOpts, FilterKind, LiveEngine, ObjectStore, Query, RoiObject, SealEngine, SimilarityConfig,
 };
 use seal_datagen::{
     generate_queries, io as dio, twitter_like, usa_like, Dataset, QueryParams, QuerySpec,
@@ -33,6 +33,12 @@ commands:
   batch     --data FILE [--queries N] [--threads N] [--filter ...]
             [--tau-r F] [--tau-t F] [--spec large|small] [--seed N]
             generate a query workload and serve it in parallel
+  ingest    --data FILE [--initial N] [--batch N] [--rounds N]
+            [--queries N] [--threads N] [--filter ...] [--tau-r F]
+            [--tau-t F] [--spec large|small] [--seed N]
+            online ingest: build over the first N objects, then drive
+            push -> query -> refresh cycles (generation swaps) over
+            the rest, reporting staged visibility and refresh latency
   help      show this message";
 
 /// Entry point used by `main` (and by the tests, with captured output).
@@ -48,6 +54,7 @@ pub fn run(argv: &[String]) -> Result<(), Box<dyn Error>> {
         "index" | "build" => cmd_index(&args),
         "query" => cmd_query(&args),
         "batch" => cmd_batch(&args),
+        "ingest" => cmd_ingest(&args),
         other => Err(format!("unknown command {other:?}").into()),
     }
 }
@@ -91,13 +98,49 @@ fn load(path: &str) -> Result<(Arc<ObjectStore>, Vec<String>), Box<dyn Error>> {
     Ok((store_from(&dataset), names))
 }
 
-fn store_from(dataset: &Dataset) -> Arc<ObjectStore> {
-    let objects: Vec<RoiObject> = dataset
+/// A dataset's records as engine objects, in stream order.
+fn raw_objects(dataset: &Dataset) -> Vec<RoiObject> {
+    dataset
         .objects
         .iter()
         .map(|o| RoiObject::new(o.region, TokenSet::from_ids(o.tokens.iter().copied())))
-        .collect();
-    Arc::new(ObjectStore::from_objects(objects, dataset.vocab_size))
+        .collect()
+}
+
+fn store_from(dataset: &Dataset) -> Arc<ObjectStore> {
+    Arc::new(ObjectStore::from_objects(
+        raw_objects(dataset),
+        dataset.vocab_size,
+    ))
+}
+
+/// Parses the shared workload options (`--queries`, `--tau-r`,
+/// `--tau-t`, `--seed`, `--spec`) and generates the anchored query
+/// workload `batch` and `ingest` both serve. The spec default differs
+/// per command (batch: large regions, ingest: small), hence the
+/// parameters.
+fn parse_workload(
+    args: &Args,
+    dataset: &Dataset,
+    default_queries: usize,
+    default_spec: &str,
+) -> Result<Vec<Query>, Box<dyn Error>> {
+    let count: usize = args.parsed_or("queries", default_queries)?;
+    let tau_r: f64 = args.parsed_or("tau-r", 0.4)?;
+    let tau_t: f64 = args.parsed_or("tau-t", 0.4)?;
+    let seed: u64 = args.parsed_or("seed", 2012)?;
+    let spec = match args.optional("spec").unwrap_or(default_spec) {
+        "large" => QuerySpec::LargeRegion,
+        "small" => QuerySpec::SmallRegion,
+        other => return Err(format!("unknown query spec {other:?}").into()),
+    };
+    let raw = generate_queries(dataset, &QueryParams { spec, count, seed });
+    raw.iter()
+        .map(|r| {
+            Query::with_token_ids(r.region, r.tokens.iter().copied(), tau_r, tau_t)
+                .map_err(|e| format!("invalid thresholds: {e}").into())
+        })
+        .collect()
 }
 
 fn filter_kind(name: &str) -> Result<FilterKind, Box<dyn Error>> {
@@ -224,26 +267,9 @@ fn cmd_batch(args: &Args) -> Result<(), Box<dyn Error>> {
     let (dataset, _names) = dio::read_tsv(reader)?;
     let store = store_from(&dataset);
     let kind = filter_kind(args.optional("filter").unwrap_or("seal"))?;
-    let count: usize = args.parsed_or("queries", 200)?;
     let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads: usize = args.parsed_or("threads", default_threads)?;
-    let tau_r: f64 = args.parsed_or("tau-r", 0.4)?;
-    let tau_t: f64 = args.parsed_or("tau-t", 0.4)?;
-    let seed: u64 = args.parsed_or("seed", 2012)?;
-    let spec = match args.optional("spec").unwrap_or("large") {
-        "large" => QuerySpec::LargeRegion,
-        "small" => QuerySpec::SmallRegion,
-        other => return Err(format!("unknown query spec {other:?}").into()),
-    };
-
-    let raw = generate_queries(&dataset, &QueryParams { spec, count, seed });
-    let queries: Vec<Query> = raw
-        .iter()
-        .map(|r| {
-            Query::with_token_ids(r.region, r.tokens.iter().copied(), tau_r, tau_t)
-                .map_err(|e| format!("invalid thresholds: {e}"))
-        })
-        .collect::<Result<_, _>>()?;
+    let queries = parse_workload(args, &dataset, 200, "large")?;
 
     let t0 = std::time::Instant::now();
     // The serving thread count also drives the build-side fan-out:
@@ -269,6 +295,93 @@ fn cmd_batch(args: &Args) -> Result<(), Box<dyn Error>> {
         wall,
         answers,
         build_s,
+    );
+    Ok(())
+}
+
+/// Online ingest: generation 0 over the first `--initial` objects,
+/// then `--rounds` cycles of push a batch → serve the workload (staged
+/// objects answered from the delta overlay) → `refresh()` (generation
+/// swap), reporting per-round qps and refresh latency.
+fn cmd_ingest(args: &Args) -> Result<(), Box<dyn Error>> {
+    let path = args.required("data")?;
+    let reader = BufReader::new(File::open(path)?);
+    let (dataset, _names) = dio::read_tsv(reader)?;
+    let total = dataset.objects.len();
+    let kind = filter_kind(args.optional("filter").unwrap_or("seal"))?;
+    let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: usize = args.parsed_or("threads", default_threads)?;
+    let initial: usize = args.parsed_or("initial", (total * 9 / 10).max(1))?;
+    let initial = initial.min(total);
+    let rounds: usize = args.parsed_or("rounds", 5)?;
+    // Ceiling division: a floor here would strand up to rounds−1
+    // trailing objects outside every round, silently under-ingesting
+    // the stream the help text promises to cover.
+    let batch: usize = args.parsed_or("batch", (total - initial).div_ceil(rounds.max(1)).max(1))?;
+    let objects = raw_objects(&dataset);
+    let queries = parse_workload(args, &dataset, 100, "small")?;
+
+    let t0 = std::time::Instant::now();
+    let gen0 = Arc::new(ObjectStore::from_objects(
+        objects[..initial].to_vec(),
+        dataset.vocab_size,
+    ));
+    let live = LiveEngine::with_opts(
+        gen0,
+        kind,
+        SimilarityConfig::default(),
+        BuildOpts::with_threads(threads),
+    );
+    println!(
+        "generation 0: {} objects, {} built in {:.3}s ({} serve thread(s))",
+        initial,
+        live.engine().filter_name(),
+        t0.elapsed().as_secs_f64(),
+        threads,
+    );
+
+    let mut pushed = initial;
+    for round in 1..=rounds {
+        if pushed >= objects.len() {
+            println!("round {round}: stream exhausted");
+            break;
+        }
+        let end = (pushed + batch).min(objects.len());
+        live.push_all(objects[pushed..end].iter().cloned());
+        let staged = end - pushed;
+        pushed = end;
+
+        // Serve with the delta staged: new objects are answerable now,
+        // against the current generation's frozen weights.
+        let t1 = std::time::Instant::now();
+        let results = live.search_batch(&queries, threads);
+        let wall = t1.elapsed().as_secs_f64();
+        let answers: usize = results.iter().map(|r| r.answers.len()).sum();
+
+        let stats = live.refresh();
+        println!(
+            "round {round}: +{staged} staged, {:.1} q/s over {} queries ({answers} answers), \
+             refresh {:.3}s -> generation {} ({} objects{})",
+            queries.len() as f64 / wall.max(1e-9),
+            queries.len(),
+            stats.build_seconds,
+            stats.generation,
+            stats.total,
+            if stats.scheme_reused {
+                ", HSS selections reused"
+            } else {
+                ""
+            },
+        );
+    }
+
+    let final_results = live.search_batch(&queries, threads);
+    let final_answers: usize = final_results.iter().map(|r| r.answers.len()).sum();
+    println!(
+        "final: generation {} serving {} objects, {} answers over the workload",
+        live.generation(),
+        live.len(),
+        final_answers,
     );
     Ok(())
 }
@@ -319,6 +432,30 @@ mod tests {
              --tau-r 0.2 --tau-t 0.2 --spec small"
         )))
         .unwrap();
+        // Online ingest: 3 push → query → refresh rounds over the
+        // last 20% of the stream, generation swaps included.
+        run(&argv(&format!(
+            "ingest --data {data_s} --initial 400 --batch 30 --rounds 3 \
+             --queries 10 --threads 2 --filter seal --tau-r 0.2 --tau-t 0.2"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "ingest --data {data_s} --initial 450 --queries 5 --filter token"
+        )))
+        .unwrap();
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn ingest_rejects_bad_spec() {
+        // Spec validation fires before any dataset work beyond the read.
+        let data = temp_path("ingest-bad-spec.tsv");
+        let data_s = data.to_str().unwrap().to_string();
+        run(&argv(&format!(
+            "generate --kind twitter --objects 50 --seed 3 --out {data_s}"
+        )))
+        .unwrap();
+        assert!(run(&argv(&format!("ingest --data {data_s} --spec bogus"))).is_err());
         std::fs::remove_file(&data).ok();
     }
 

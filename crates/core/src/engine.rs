@@ -86,6 +86,18 @@ impl FilterKind {
     }
 }
 
+/// The result of [`SealEngine::build_next_generation`]: the engine
+/// plus what the rebuild managed to reuse from the previous
+/// generation (surfaced by `LiveEngine::refresh` stats and
+/// `bench_ingest`).
+pub struct GenerationBuild {
+    /// The next generation's engine.
+    pub engine: SealEngine,
+    /// True when the previous generation's per-token HSS selections
+    /// were reused (hierarchical filter, delta inside the space MBR).
+    pub scheme_reused: bool,
+}
+
 /// One answered query: the ids plus the per-step statistics.
 #[derive(Debug, Clone)]
 pub struct SearchResult {
@@ -206,6 +218,59 @@ impl SealEngine {
         SealEngine { store, filter, cfg }
     }
 
+    /// Builds the engine for the **next generation** of `prev`'s
+    /// store: `store` must be `prev`'s store with the objects
+    /// `delta_start..` appended (the shape [`ObjectStore::extended`]
+    /// produces, ids stable). Where the filter supports it, build-side
+    /// work provably unchanged by the delta is reused from `prev` —
+    /// today that is the hierarchical filter's per-token `HSS-Greedy`
+    /// selections, its dominant build cost — and the result is
+    /// **identical** to [`build_with_opts`](Self::build_with_opts)
+    /// over the union store (the generation contract `LiveEngine`
+    /// pins with proptests). Falls back to a fresh build whenever
+    /// reuse does not apply.
+    pub fn build_next_generation(
+        prev: &SealEngine,
+        store: Arc<ObjectStore>,
+        kind: FilterKind,
+        cfg: SimilarityConfig,
+        opts: crate::BuildOpts,
+        delta_start: usize,
+    ) -> GenerationBuild {
+        if let FilterKind::Hierarchical { max_level, budget } = kind {
+            if let Some(prev_h) = prev
+                .filter
+                .as_any()
+                .and_then(|a| a.downcast_ref::<HierarchicalFilter>())
+            {
+                let same_shape = prev_h.scheme().budget() == budget
+                    && prev_h.scheme().tree().max_level() == max_level;
+                if same_shape {
+                    if let Some(filter) = HierarchicalFilter::build_extended(
+                        prev_h,
+                        store.clone(),
+                        delta_start,
+                        cfg,
+                        opts,
+                    ) {
+                        return GenerationBuild {
+                            engine: SealEngine {
+                                store,
+                                filter: Box::new(filter),
+                                cfg,
+                            },
+                            scheme_reused: true,
+                        };
+                    }
+                }
+            }
+        }
+        GenerationBuild {
+            engine: SealEngine::build_with_opts(store, kind, cfg, opts),
+            scheme_reused: false,
+        }
+    }
+
     /// Answers a query: filter, then verify (Algorithm 1).
     ///
     /// Convenience path over a **thread-local** [`QueryContext`]:
@@ -238,14 +303,19 @@ impl SealEngine {
     /// threads (the LBS serving pattern: one engine, many concurrent
     /// queries). Results come back in input order.
     ///
+    /// `threads` follows the codebase-wide convention (`BuildOpts`,
+    /// `seal_index::parallel`, the CLI): `0` = one worker per core
+    /// (`available_parallelism`), anything else is literal, clamped to
+    /// the number of queries.
+    ///
     /// Workers pull query indexes from a shared atomic counter (work
     /// stealing), so skewed per-query costs cannot idle a thread the
     /// way static chunking can. Each worker owns one [`QueryContext`];
     /// the filters themselves hold no locks, so the whole read path is
-    /// contention-free. With `threads == 1` this degenerates to a
+    /// contention-free. With one worker this degenerates to a
     /// sequential loop over a single reused context.
     pub fn search_batch(&self, queries: &[Query], threads: usize) -> Vec<SearchResult> {
-        let threads = threads.clamp(1, queries.len().max(1));
+        let threads = Self::batch_workers(threads, queries.len());
         if threads == 1 || queries.len() < 2 {
             let mut ctx = QueryContext::with_capacity(self.store.len());
             return queries
@@ -277,6 +347,16 @@ impl SealEngine {
                     .expect("every query slot filled by the work loop")
             })
             .collect()
+    }
+
+    /// The effective worker count for a batch of `queries`: `0`
+    /// resolves to one worker per core, then clamps to the batch size
+    /// (and to at least one). This used to clamp `0` to a single
+    /// worker, silently sequentializing `search_batch(qs, 0)` while
+    /// every other thread knob in the codebase treated `0` as "all
+    /// cores".
+    fn batch_workers(threads: usize, queries: usize) -> usize {
+        seal_index::parallel::resolve_threads(threads).clamp(1, queries.max(1))
     }
 
     /// The store the engine serves.
@@ -505,7 +585,7 @@ mod tests {
             .iter()
             .map(|q| engine.search(q).sorted().answers)
             .collect();
-        for threads in [1usize, 2, 3, 8, 64] {
+        for threads in [0usize, 1, 2, 3, 8, 64] {
             let batch: Vec<Vec<ObjectId>> = engine
                 .search_batch(&queries, threads)
                 .into_iter()
@@ -515,6 +595,178 @@ mod tests {
         }
         // Empty batch.
         assert!(engine.search_batch(&[], 4).is_empty());
+        assert!(engine.search_batch(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn batch_workers_follow_the_zero_means_all_cores_convention() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // The regression: 0 used to clamp to a single worker instead
+        // of resolving to one worker per core like `BuildOpts` and the
+        // CLI default do.
+        assert_eq!(
+            SealEngine::batch_workers(0, 1000),
+            cores.min(1000),
+            "threads=0 must mean one worker per core"
+        );
+        assert_eq!(
+            SealEngine::batch_workers(0, 1000),
+            seal_index::parallel::resolve_threads(0).min(1000),
+        );
+        // Literal counts clamp to the batch size, never below 1.
+        assert_eq!(SealEngine::batch_workers(8, 3), 3);
+        assert_eq!(SealEngine::batch_workers(1, 100), 1);
+        assert_eq!(SealEngine::batch_workers(4, 0), 1);
+        assert_eq!(SealEngine::batch_workers(0, 0), 1);
+    }
+
+    /// A deterministic mid-sized store (no RNG dependency): varied
+    /// regions over a ~1000×1000 space with Zipf-ish token reuse.
+    fn synthetic_store(n: usize, vocab: u32) -> crate::ObjectStore {
+        use seal_geom::Rect;
+        use seal_text::{TokenId, TokenSet};
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (state >> 33) as u32
+        };
+        let objects: Vec<crate::RoiObject> = (0..n)
+            .map(|_| {
+                let x = f64::from(next() % 1000);
+                let y = f64::from(next() % 1000);
+                let w = 1.0 + f64::from(next() % 60);
+                let h = 1.0 + f64::from(next() % 60);
+                let k = 1 + (next() % 4) as usize;
+                let tokens: Vec<TokenId> = (0..k).map(|_| TokenId(next() % vocab)).collect();
+                crate::RoiObject::new(
+                    Rect::new(x, y, x + w, y + h).unwrap(),
+                    TokenSet::from_ids(tokens),
+                )
+            })
+            .collect();
+        crate::ObjectStore::from_objects(objects, vocab as usize)
+    }
+
+    #[test]
+    fn thread_local_context_survives_cross_store_and_kind_reuse() {
+        use seal_geom::Rect;
+        use seal_text::TokenId;
+        // `SealEngine::search` shares one thread-local QueryContext
+        // across every engine and store this thread touches. Warm it
+        // on a small store, then a ~100× larger one, then the small
+        // one again — across compressed and uncompressed kinds — and
+        // every answer must still match the oracle: epoch stamps and
+        // decode scratch regrow, never panic or mis-dedup.
+        let (small_store, q_small) = figure1_store();
+        let small = Arc::new(small_store);
+        let big = Arc::new(synthetic_store(800, 40));
+        let q_big = Query::with_token_ids(
+            Rect::new(100.0, 100.0, 700.0, 700.0).unwrap(),
+            [TokenId(1), TokenId(2), TokenId(3)],
+            0.05,
+            0.05,
+        )
+        .unwrap();
+        let cfg = SimilarityConfig::default();
+        let kinds = [
+            FilterKind::Token,
+            FilterKind::TokenCompressed,
+            FilterKind::TokenBasic,
+            FilterKind::Grid { side: 8 },
+            FilterKind::HashHybrid {
+                side: 8,
+                buckets: Some(64),
+            },
+            FilterKind::HashHybridCompressed {
+                side: 8,
+                buckets: Some(64),
+            },
+            FilterKind::Hierarchical {
+                max_level: 4,
+                budget: 8,
+            },
+            FilterKind::Adaptive { side: 8 },
+        ];
+        let mut expect_small = naive_search(&small, &cfg, &q_small);
+        expect_small.sort_unstable();
+        let mut expect_big = naive_search(&big, &cfg, &q_big);
+        expect_big.sort_unstable();
+        for kind in kinds {
+            let e_small = SealEngine::build(small.clone(), kind);
+            let e_big = SealEngine::build(big.clone(), kind);
+            for round in 0..2 {
+                assert_eq!(
+                    e_small.search(&q_small).sorted().answers,
+                    expect_small,
+                    "{kind:?} small store, round {round}"
+                );
+                assert_eq!(
+                    e_big.search(&q_big).sorted().answers,
+                    expect_big,
+                    "{kind:?} big store, round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_generation_engine_matches_fresh_union_build() {
+        use seal_geom::Rect;
+        use seal_text::{TokenId, TokenSet};
+        let (store, q0) = figure1_store();
+        let store = Arc::new(store);
+        let cfg = SimilarityConfig::default();
+        let kind = FilterKind::Hierarchical {
+            max_level: 4,
+            budget: 8,
+        };
+        let prev = SealEngine::build(store.clone(), kind);
+        let delta = vec![crate::RoiObject::new(
+            Rect::new(20.0, 15.0, 80.0, 42.0).unwrap(),
+            TokenSet::from_ids([TokenId(0), TokenId(1), TokenId(2)]),
+        )];
+        let union = Arc::new(store.extended(&delta));
+        let next = SealEngine::build_next_generation(
+            &prev,
+            union.clone(),
+            kind,
+            cfg,
+            crate::BuildOpts::default(),
+            store.len(),
+        );
+        assert!(
+            next.scheme_reused,
+            "delta inside the space MBR must reuse the HSS selections"
+        );
+        let fresh = SealEngine::build(union.clone(), kind);
+        for (tr, tt) in [(0.1, 0.1), (0.25, 0.3), (0.6, 0.6)] {
+            let q = q0.with_thresholds(tr, tt).unwrap();
+            assert_eq!(
+                next.engine.search(&q).sorted().answers,
+                fresh.search(&q).sorted().answers,
+                "τ=({tr},{tt})"
+            );
+        }
+        // Non-hierarchical kinds fall back to a fresh build — still
+        // correct, just nothing to reuse.
+        let prev_t = SealEngine::build(store.clone(), FilterKind::Token);
+        let next_t = SealEngine::build_next_generation(
+            &prev_t,
+            union.clone(),
+            FilterKind::Token,
+            cfg,
+            crate::BuildOpts::default(),
+            store.len(),
+        );
+        assert!(!next_t.scheme_reused);
+        let fresh_t = SealEngine::build(union, FilterKind::Token);
+        let q = q0.with_thresholds(0.2, 0.2).unwrap();
+        assert_eq!(
+            next_t.engine.search(&q).sorted().answers,
+            fresh_t.search(&q).sorted().answers,
+        );
     }
 
     #[test]

@@ -53,6 +53,57 @@ impl HierarchicalFilter {
     ) -> Self {
         let scheme =
             HierarchicalScheme::build_with_threads(&store, max_level, budget, opts.threads);
+        let (index, empty) = Self::index_over(&store, &scheme, opts.threads);
+        HierarchicalFilter {
+            store,
+            cfg,
+            scheme,
+            index,
+            empty_token_objects: empty,
+        }
+    }
+
+    /// Builds the filter for the **next generation** of `prev`'s
+    /// store, reusing `prev`'s per-token HSS selections for every
+    /// token untouched by the delta
+    /// ([`HierarchicalScheme::extend_from`]). The postings are rebuilt
+    /// in full — textual bounds carry the new generation's idf
+    /// weights — but `HSS-Greedy`, the dominant build cost, runs only
+    /// for tokens the delta actually touched. The result is identical
+    /// to [`build_with_opts`](Self::build_with_opts) over the union
+    /// store.
+    ///
+    /// `store` must be `prev`'s store with `delta_start..` appended
+    /// (ids stable). Returns `None` when the selections cannot be
+    /// reused (the delta grew the space MBR); the caller falls back to
+    /// a fresh build.
+    pub fn build_extended(
+        prev: &HierarchicalFilter,
+        store: Arc<ObjectStore>,
+        delta_start: usize,
+        cfg: crate::SimilarityConfig,
+        opts: crate::BuildOpts,
+    ) -> Option<Self> {
+        let scheme =
+            HierarchicalScheme::extend_from(&prev.scheme, &store, delta_start, opts.threads)?;
+        let (index, empty) = Self::index_over(&store, &scheme, opts.threads);
+        Some(HierarchicalFilter {
+            store,
+            cfg,
+            scheme,
+            index,
+            empty_token_objects: empty,
+        })
+    }
+
+    /// Pushes every object's hybrid signature postings over `scheme`
+    /// and freezes the index — shared by the fresh and
+    /// generation-extending builds.
+    fn index_over(
+        store: &ObjectStore,
+        scheme: &HierarchicalScheme,
+        threads: usize,
+    ) -> (HybridIndex<u128>, Vec<ObjectId>) {
         let mut index: HybridIndex<u128> = HybridIndex::new();
         let mut empty = Vec::new();
         for (id, o) in store.iter() {
@@ -72,14 +123,8 @@ impl HierarchicalFilter {
                 }
             }
         }
-        index.finalize_with_threads(opts.threads);
-        HierarchicalFilter {
-            store,
-            cfg,
-            scheme,
-            index,
-            empty_token_objects: empty,
-        }
+        index.finalize_with_threads(threads);
+        (index, empty)
     }
 
     /// The hierarchical scheme (per-token grids).
@@ -139,6 +184,10 @@ impl CandidateFilter for HierarchicalFilter {
         self.index.size_bytes()
             + self.scheme.total_cells() * (std::mem::size_of::<u128>() + std::mem::size_of::<f64>())
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +234,60 @@ mod tests {
         let c1 = coarse.candidates(&q, &mut s1).len();
         let c2 = fine.candidates(&q, &mut s2).len();
         assert!(c2 <= c1, "budget 16 gave {c2} > budget 1's {c1}");
+    }
+
+    #[test]
+    fn build_extended_equals_fresh_union_build() {
+        use seal_geom::Rect;
+        use seal_text::{TokenId, TokenSet};
+        let (store, q0) = figure1_store();
+        let store = Arc::new(store);
+        let cfg = SimilarityConfig::default();
+        let prev = HierarchicalFilter::build_with_opts(
+            store.clone(),
+            4,
+            8,
+            cfg,
+            crate::BuildOpts::default(),
+        );
+        let delta = vec![
+            crate::RoiObject::new(
+                Rect::new(25.0, 20.0, 60.0, 42.0).unwrap(),
+                TokenSet::from_ids([TokenId(0), TokenId(1), TokenId(2)]),
+            ),
+            crate::RoiObject::new(
+                Rect::new(90.0, 10.0, 118.0, 30.0).unwrap(),
+                TokenSet::from_ids([TokenId(4)]),
+            ),
+        ];
+        let union = Arc::new(store.extended(&delta));
+        let extended = HierarchicalFilter::build_extended(
+            &prev,
+            union.clone(),
+            store.len(),
+            cfg,
+            crate::BuildOpts::default(),
+        )
+        .expect("space unchanged");
+        let fresh = HierarchicalFilter::build_with_config(union.clone(), 4, 8, cfg);
+        assert_eq!(
+            extended.scheme().selected_cells_sorted(),
+            fresh.scheme().selected_cells_sorted(),
+        );
+        assert_eq!(
+            extended.index().posting_count(),
+            fresh.index().posting_count(),
+        );
+        // And end to end: identical answers, including for the new ids.
+        for (tr, tt) in [(0.1, 0.1), (0.25, 0.3), (0.6, 0.6)] {
+            let q = q0.with_thresholds(tr, tt).unwrap();
+            let mut s1 = SearchStats::new();
+            let mut s2 = SearchStats::new();
+            let a = verify(&union, &cfg, &q, &extended.candidates(&q, &mut s1), &mut s1);
+            let b = verify(&union, &cfg, &q, &fresh.candidates(&q, &mut s2), &mut s2);
+            assert_eq!(a, b, "τ=({tr},{tt})");
+            assert_eq!(a, naive_search(&union, &cfg, &q));
+        }
     }
 
     #[test]

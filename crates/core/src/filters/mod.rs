@@ -148,6 +148,15 @@ pub trait CandidateFilter: Send + Sync {
     /// Approximate heap bytes of the filter's index structures
     /// (Table 1's index-size rows).
     fn index_bytes(&self) -> usize;
+
+    /// The concrete filter as [`Any`](std::any::Any), for
+    /// generation-reusing rebuild paths
+    /// (`SealEngine::build_next_generation`) to probe. Defaults to
+    /// `None`; only filters with a cross-generation reuse path
+    /// ([`HierarchicalFilter`]) return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Caller-owned per-query scratch: everything a filter needs beyond

@@ -57,6 +57,7 @@
 //! | [`hss`] | §5.2 | `HSS-Greedy` (Figure 11) |
 //! | [`granularity`] | §4.3 | cost model & level selection |
 //! | [`engine`] | §3.1 | the `SealSig` facade |
+//! | [`live`] | — | generation-swapping online ingest (`LiveEngine`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,6 +67,7 @@ pub mod engine;
 pub mod filters;
 pub mod granularity;
 pub mod hss;
+pub mod live;
 mod object;
 mod query;
 pub mod signatures;
@@ -74,8 +76,9 @@ mod stats;
 pub mod store;
 pub mod verify;
 
-pub use engine::{FilterKind, SealEngine, SearchResult};
+pub use engine::{FilterKind, GenerationBuild, SealEngine, SearchResult};
 pub use filters::{BuildOpts, CandidateFilter, QueryContext};
+pub use live::{LiveEngine, RefreshStats};
 pub use object::{ObjectId, RoiObject};
 pub use query::{Query, QueryError};
 pub use simfn::{SimilarityConfig, SpatialSimFn};

@@ -100,6 +100,29 @@ impl TokenGrids {
     }
 }
 
+/// One token's `HSS-Greedy` selection in the token's global order — a
+/// pure function of (the token's regions in id order, the tree, the
+/// budget), which is what makes per-token reuse across store
+/// generations ([`HierarchicalScheme::extend_from`]) sound.
+///
+/// "Judiciously select": a token occurring in k objects gains nothing
+/// from more than ~k grids (its inverted lists hold k postings total),
+/// so rare tokens keep coarse tilings. This is the index-size
+/// constraint of Section 5.2 applied per-token, and it is what keeps
+/// HierarchicalInv smaller than HashInv in Table 1.
+fn select_token_grids(regions: &[Rect], tree: &GridTree, budget: usize, space: Rect) -> TokenGrids {
+    let budget_t = budget.min(regions.len()).max(1);
+    let mut cells = hss_greedy(regions, tree, budget_t);
+    // Global order within the token: level asc, count asc, id.
+    cells.sort_by(|a, b| {
+        a.id.level()
+            .cmp(&b.id.level())
+            .then(a.objects.len().cmp(&b.objects.len()))
+            .then(a.id.pack().cmp(&b.id.pack()))
+    });
+    TokenGrids::new(cells, space)
+}
+
 /// The rectangle of `child` given its parent's rectangle (quadrant
 /// split; exact halves, matching `GridTree::cell_rect` up to the FP
 /// identity of repeated halving).
@@ -165,10 +188,15 @@ impl HierSignature {
 }
 
 /// The corpus-level hierarchical scheme: per-token grids.
+///
+/// Grids live behind `Arc` so cloning a scheme — and, more to the
+/// point, reusing untouched tokens across store generations in
+/// [`extend_from`](Self::extend_from) — is a refcount bump per token,
+/// not a deep copy of every selected cell's object list.
 #[derive(Debug, Clone)]
 pub struct HierarchicalScheme {
     tree: GridTree,
-    per_token: HashMap<TokenId, TokenGrids>,
+    per_token: HashMap<TokenId, std::sync::Arc<TokenGrids>>,
     budget: usize,
 }
 
@@ -208,31 +236,84 @@ impl HierarchicalScheme {
         let space = store.space();
         let grids: Vec<TokenGrids> =
             seal_index::parallel::map_indexed(tokens.len(), threads, |i| {
-                let regions = &tokens[i].1;
-                // "Judiciously select": a token occurring in k objects
-                // gains nothing from more than ~k grids (its inverted
-                // lists hold k postings total), so rare tokens keep
-                // coarse tilings. This is the index-size constraint of
-                // Section 5.2 applied per-token, and it is what keeps
-                // HierarchicalInv smaller than HashInv in Table 1.
-                let budget_t = budget.min(regions.len()).max(1);
-                let mut cells = hss_greedy(regions, &tree, budget_t);
-                // Global order within the token: level asc, count asc, id.
-                cells.sort_by(|a, b| {
-                    a.id.level()
-                        .cmp(&b.id.level())
-                        .then(a.objects.len().cmp(&b.objects.len()))
-                        .then(a.id.pack().cmp(&b.id.pack()))
-                });
-                TokenGrids::new(cells, space)
+                select_token_grids(&tokens[i].1, &tree, budget, space)
             });
-        let per_token: HashMap<TokenId, TokenGrids> =
-            tokens.into_iter().map(|(t, _)| t).zip(grids).collect();
+        let per_token: HashMap<TokenId, std::sync::Arc<TokenGrids>> = tokens
+            .into_iter()
+            .map(|(t, _)| t)
+            .zip(grids.into_iter().map(std::sync::Arc::new))
+            .collect();
         HierarchicalScheme {
             tree,
             per_token,
             budget,
         }
+    }
+
+    /// Builds the scheme for the **next generation** of a store by
+    /// reusing `prev`'s per-token selections wherever they are
+    /// provably unchanged.
+    ///
+    /// A token's `HSS-Greedy` selection is a pure function of (the
+    /// regions of the objects containing it, the grid tree, the
+    /// budget). `store` must be `prev`'s store with `delta_start..`
+    /// appended (ids stable); then a token absent from the delta has
+    /// exactly the regions it had, so its selection is reused
+    /// verbatim, and only tokens occurring in the delta are
+    /// re-selected (over their full region list, so the result is
+    /// *identical* to [`build_with_threads`] over the union — the
+    /// generation contract).
+    ///
+    /// Returns `None` when the reuse precondition fails: the delta
+    /// extended the space MBR, so the grid tree — and with it every
+    /// selection — changed, and the caller must fall back to a fresh
+    /// build.
+    ///
+    /// [`build_with_threads`]: Self::build_with_threads
+    pub fn extend_from(
+        prev: &HierarchicalScheme,
+        store: &ObjectStore,
+        delta_start: usize,
+        threads: usize,
+    ) -> Option<Self> {
+        let tree = GridTree::new(store.space(), prev.tree.max_level()).ok()?;
+        if tree != prev.tree {
+            return None;
+        }
+        // Tokens occurring in the delta gained regions: re-select them
+        // over their full (old + new) region lists, in id order — the
+        // exact input a fresh build would hand `hss_greedy`.
+        let delta = &store.objects()[delta_start..];
+        let touched: HashSet<TokenId> = delta.iter().flat_map(|o| o.tokens.iter()).collect();
+        if touched.is_empty() {
+            return Some(prev.clone());
+        }
+        let mut by_token: HashMap<TokenId, Vec<Rect>> =
+            touched.iter().map(|&t| (t, Vec::new())).collect();
+        for o in store.objects() {
+            for t in o.tokens.iter() {
+                if let Some(regions) = by_token.get_mut(&t) {
+                    regions.push(o.region);
+                }
+            }
+        }
+        let tokens: Vec<(TokenId, Vec<Rect>)> = by_token.into_iter().collect();
+        let space = store.space();
+        let budget = prev.budget;
+        let grids: Vec<TokenGrids> =
+            seal_index::parallel::map_indexed(tokens.len(), threads, |i| {
+                select_token_grids(&tokens[i].1, &tree, budget, space)
+            });
+        // Untouched tokens: a refcount bump each, never a cell copy.
+        let mut per_token = prev.per_token.clone();
+        for ((t, _), g) in tokens.into_iter().zip(grids) {
+            per_token.insert(t, std::sync::Arc::new(g));
+        }
+        Some(HierarchicalScheme {
+            tree,
+            per_token,
+            budget,
+        })
     }
 
     /// Every token's selected cells as sorted `(token, packed cell)`
@@ -265,7 +346,7 @@ impl HierarchicalScheme {
     /// The grids selected for a token (None if the token occurs in no
     /// object — probing it can produce no candidates).
     pub fn token_grids(&self, t: TokenId) -> Option<&TokenGrids> {
-        self.per_token.get(&t)
+        self.per_token.get(&t).map(|g| g.as_ref())
     }
 
     /// Total selected cells across tokens (index-size accounting).
@@ -349,6 +430,62 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(b, c);
+    }
+
+    #[test]
+    fn extend_from_matches_fresh_build() {
+        use crate::RoiObject;
+        use seal_text::TokenSet;
+        let (store, _q) = figure1_store();
+        let prev = HierarchicalScheme::build(&store, 4, 8);
+        // Delta inside the existing space: reuse applies.
+        let delta = vec![
+            RoiObject::new(
+                Rect::new(30.0, 30.0, 55.0, 55.0).unwrap(),
+                TokenSet::from_ids([TokenId(0), TokenId(3)]),
+            ),
+            RoiObject::new(
+                Rect::new(100.0, 100.0, 110.0, 115.0).unwrap(),
+                TokenSet::from_ids([TokenId(3)]),
+            ),
+        ];
+        let union = store.extended(&delta);
+        for threads in [1usize, 2, 0] {
+            let extended = HierarchicalScheme::extend_from(&prev, &union, store.len(), threads)
+                .expect("space unchanged: reuse applies");
+            let fresh = HierarchicalScheme::build(&union, 4, 8);
+            assert_eq!(
+                extended.selected_cells_sorted(),
+                fresh.selected_cells_sorted(),
+                "threads={threads}: extended scheme diverged from the fresh build"
+            );
+            assert_eq!(extended.total_cells(), fresh.total_cells());
+        }
+    }
+
+    #[test]
+    fn extend_from_refuses_when_space_grows() {
+        use crate::RoiObject;
+        use seal_text::TokenSet;
+        let (store, _q) = figure1_store();
+        let prev = HierarchicalScheme::build(&store, 4, 8);
+        let delta = vec![RoiObject::new(
+            Rect::new(-50.0, -50.0, -40.0, -40.0).unwrap(), // outside the MBR
+            TokenSet::from_ids([TokenId(0)]),
+        )];
+        let union = store.extended(&delta);
+        assert!(
+            HierarchicalScheme::extend_from(&prev, &union, store.len(), 1).is_none(),
+            "grown space must force a fresh build"
+        );
+    }
+
+    #[test]
+    fn extend_from_with_empty_delta_is_identity() {
+        let (store, _q) = figure1_store();
+        let prev = HierarchicalScheme::build(&store, 4, 8);
+        let same = HierarchicalScheme::extend_from(&prev, &store, store.len(), 1).unwrap();
+        assert_eq!(same.selected_cells_sorted(), prev.selected_cells_sorted());
     }
 
     #[test]

@@ -19,8 +19,10 @@ pub struct StoreStats {
     pub avg_token_count: f64,
     /// Number of distinct tokens.
     pub vocab_size: usize,
-    /// Approximate heap bytes of the raw data (regions + token ids) —
-    /// Table 1's "Data size" row.
+    /// Heap bytes of the raw data (regions + token-id allocations) —
+    /// Table 1's "Data size" row. **Capacity**-based like the index
+    /// size accounting, so live stores with staged capacity are not
+    /// undercounted.
     pub data_bytes: usize,
 }
 
@@ -57,6 +59,36 @@ impl ObjectStore {
             vocab_size,
             dictionary: None,
         }
+    }
+
+    /// Builds the **next generation** of this store: the same objects
+    /// (ids unchanged) with `delta` appended after them, and every
+    /// corpus-level artifact — the space MBR, the idf weights, the
+    /// global token order — recomputed over the union. The result is
+    /// indistinguishable from [`ObjectStore::from_objects`] over the
+    /// concatenated object list, which is what lets a generation swap
+    /// serve answers identical to a from-scratch build.
+    ///
+    /// Delta objects receive the ids `self.len()..self.len() +
+    /// delta.len()` in push order — the same ids a live engine's delta
+    /// overlay advertises before the swap, so ids are stable across a
+    /// refresh. Tokens unseen by this store grow the vocabulary; the
+    /// dictionary (if any) is carried over unchanged, so ids beyond it
+    /// simply have no string form yet.
+    pub fn extended(&self, delta: &[RoiObject]) -> Self {
+        let mut objects = Vec::with_capacity(self.objects.len() + delta.len());
+        objects.extend_from_slice(&self.objects);
+        objects.extend_from_slice(delta);
+        let vocab = delta
+            .iter()
+            .flat_map(|o| o.tokens.iter())
+            .map(|t| t.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.vocab_size);
+        let mut next = ObjectStore::from_objects(objects, vocab);
+        next.dictionary = self.dictionary.clone();
+        next
     }
 
     /// Builds a store from `(region, tokens-as-strings)` pairs, interning
@@ -151,8 +183,12 @@ impl ObjectStore {
         let n = self.objects.len();
         let area_sum: f64 = self.objects.iter().map(|o| o.region.area()).sum();
         let token_sum: usize = self.objects.iter().map(|o| o.tokens.len()).sum();
-        let data_bytes =
-            n * std::mem::size_of::<Rect>() + token_sum * std::mem::size_of::<seal_text::TokenId>();
+        // Capacity-based, like the index-side size accounting: each
+        // token set owns its Vec's whole allocation, so counting
+        // payload by length undercounts live stores whose sets carry
+        // staged capacity (e.g. built via sort-and-dedup).
+        let token_bytes: usize = self.objects.iter().map(|o| o.tokens.heap_bytes()).sum();
+        let data_bytes = n * std::mem::size_of::<Rect>() + token_bytes;
         StoreStats {
             objects: n,
             avg_region_area: if n == 0 { 0.0 } else { area_sum / n as f64 },
@@ -316,6 +352,82 @@ mod tests {
         assert!((s.avg_token_count - 17.0 / 7.0).abs() < 1e-12);
         assert!(s.data_bytes > 0);
         assert!(s.space_area >= s.avg_region_area);
+    }
+
+    #[test]
+    fn extended_store_equals_fresh_union_build() {
+        let (store, _q) = figure1_store();
+        let delta = vec![
+            // Reuses existing tokens and adds a brand-new one (id 5),
+            // growing the vocabulary.
+            RoiObject::new(
+                Rect::new(50.0, 50.0, 70.0, 70.0).unwrap(),
+                TokenSet::from_ids([TokenId(0), TokenId(5)]),
+            ),
+            RoiObject::new(
+                Rect::new(-10.0, 0.0, 5.0, 5.0).unwrap(), // extends the space MBR
+                TokenSet::from_ids([TokenId(1)]),
+            ),
+        ];
+        let next = store.extended(&delta);
+        let mut union: Vec<RoiObject> = store.objects().to_vec();
+        union.extend_from_slice(&delta);
+        let fresh = ObjectStore::from_objects(union, 6);
+
+        assert_eq!(next.len(), fresh.len());
+        assert_eq!(next.vocab_size(), fresh.vocab_size());
+        assert_eq!(next.space(), fresh.space(), "space MBR recomputed");
+        for t in 0..6u32 {
+            assert_eq!(
+                next.weights().weight(TokenId(t)),
+                fresh.weights().weight(TokenId(t)),
+                "idf weight of t{t} diverged"
+            );
+            assert_eq!(
+                next.token_order().rank(TokenId(t)),
+                fresh.token_order().rank(TokenId(t)),
+                "global order of t{t} diverged"
+            );
+        }
+        // Existing ids unchanged; delta ids appended in push order.
+        assert_eq!(next.get(ObjectId(1)), store.get(ObjectId(1)));
+        assert_eq!(next.get(ObjectId(7)), &delta[0]);
+        assert_eq!(next.get(ObjectId(8)), &delta[1]);
+    }
+
+    #[test]
+    fn extended_with_empty_delta_preserves_everything() {
+        let (store, _q) = figure1_store();
+        let next = store.extended(&[]);
+        assert_eq!(next.len(), store.len());
+        assert_eq!(next.vocab_size(), store.vocab_size());
+        assert_eq!(next.space(), store.space());
+        let w = store.weights().weight(TokenId(3));
+        assert_eq!(next.weights().weight(TokenId(3)), w);
+    }
+
+    #[test]
+    fn data_bytes_covers_token_capacity() {
+        // A token set built from a duplicate-heavy list keeps the
+        // pre-dedup capacity; data_bytes must cover the allocation,
+        // not just the surviving length.
+        let dup_heavy: Vec<TokenId> = (0..64).map(|i| TokenId(i % 4)).collect();
+        let o = RoiObject::new(
+            Rect::new(0.0, 0.0, 1.0, 1.0).unwrap(),
+            TokenSet::from_ids(dup_heavy),
+        );
+        let token_alloc = o.tokens.heap_bytes();
+        assert!(
+            token_alloc > o.tokens.len() * std::mem::size_of::<TokenId>(),
+            "fixture must carry staged capacity"
+        );
+        let store = ObjectStore::from_objects(vec![o], 4);
+        let s = store.stats();
+        assert!(
+            s.data_bytes >= std::mem::size_of::<Rect>() + token_alloc,
+            "data_bytes {} undercounts the token allocation {token_alloc}",
+            s.data_bytes
+        );
     }
 
     #[test]

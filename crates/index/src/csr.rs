@@ -125,6 +125,11 @@ pub(crate) struct CsrCore<K: Eq + Hash + Ord, P> {
     /// All postings, grouped by key.
     arena: Vec<P>,
     posting_count: usize,
+    /// Which frozen arena is being served: bumped by every finalize
+    /// that folds staged postings in, untouched by no-op finalizes.
+    /// Generation-swapping callers (online ingest) use this to tell
+    /// "the arena I captured" from "the arena after the next freeze".
+    generation: u64,
 }
 
 impl<K: Eq + Hash + Ord + Copy, P: Copy> Default for CsrCore<K, P> {
@@ -135,6 +140,7 @@ impl<K: Eq + Hash + Ord + Copy, P: Copy> Default for CsrCore<K, P> {
             offsets: vec![0],
             arena: Vec::new(),
             posting_count: 0,
+            generation: 0,
         }
     }
 }
@@ -246,11 +252,20 @@ impl<K: Eq + Hash + Ord + Copy, P: Copy> CsrCore<K, P> {
         self.keys = keys;
         self.offsets = offsets;
         self.arena = arena;
+        self.generation += 1;
     }
 
     /// True when every pushed posting is in the frozen arena.
     pub(crate) fn is_finalized(&self) -> bool {
         self.staging.is_empty()
+    }
+
+    /// The generation of the frozen arena: 0 before the first
+    /// finalize, then +1 per finalize that folded staged postings.
+    /// No-op finalizes (nothing staged) do not bump it, so equal
+    /// generations mean byte-identical frozen state.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The frozen posting group for `key` (None if absent or only in
@@ -515,6 +530,23 @@ mod tests {
         assert!(c.size_bytes() >= one);
         let staged_bytes = c.staging[&1].capacity() * std::mem::size_of::<u32>();
         assert!(c.size_bytes() >= staged_bytes);
+    }
+
+    #[test]
+    fn generation_counts_folding_finalizes_only() {
+        let mut c: CsrCore<u64, u32> = CsrCore::default();
+        assert_eq!(c.generation(), 0);
+        c.finalize(by_value); // nothing staged: no-op, no bump
+        assert_eq!(c.generation(), 0);
+        c.push(1, 1);
+        c.finalize(by_value);
+        assert_eq!(c.generation(), 1);
+        c.finalize(by_value); // idempotent freeze: still generation 1
+        assert_eq!(c.generation(), 1);
+        c.push(2, 2);
+        c.push(1, 3);
+        c.finalize(by_value);
+        assert_eq!(c.generation(), 2);
     }
 
     #[test]

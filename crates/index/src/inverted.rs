@@ -84,6 +84,35 @@ impl<K: Eq + Hash + Ord + Copy + Sync> InvertedIndex<K> {
         self.core.is_finalized()
     }
 
+    /// The generation of the frozen arena: 0 before the first
+    /// finalize, then +1 for every finalize that folded staged
+    /// postings in (no-op finalizes do not count). Generation-swapping
+    /// serving layers use this to name the arena a reader snapshot
+    /// captured.
+    pub fn generation(&self) -> u64 {
+        self.core.generation()
+    }
+
+    /// Generation-aware re-finalize: merges any staged postings into
+    /// the frozen arena ([`finalize_with_threads`]
+    /// semantics — staged-only sorts, frozen groups merged, never
+    /// re-sorted) and returns the generation now being served.
+    ///
+    /// The streaming entry point for callers whose posting bounds do
+    /// **not** shift with the corpus (externally managed weights,
+    /// uniform weights, raw spatial areas): push a delta, call this,
+    /// and the returned generation names the new frozen arena. The
+    /// engine-level `LiveEngine` cannot use it for its signature
+    /// indexes — idf-derived bounds change with every corpus change,
+    /// so its refresh rebuilds postings — but its generation counter
+    /// follows the same "one bump per folding freeze" convention.
+    ///
+    /// [`finalize_with_threads`]: Self::finalize_with_threads
+    pub fn refinalize_generation(&mut self, threads: usize) -> u64 {
+        self.finalize_with_threads(threads);
+        self.core.generation()
+    }
+
     /// The full list for a key, if any (descending bound order).
     pub fn list(&self, key: &K) -> Option<&[Posting]> {
         self.core.group(key)
@@ -233,6 +262,21 @@ mod tests {
     fn nan_bound_rejected_at_insert() {
         let mut idx: InvertedIndex<u64> = InvertedIndex::new();
         idx.push(1, 0, f64::NAN);
+    }
+
+    #[test]
+    fn refinalize_generation_tracks_folding_freezes() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        assert_eq!(idx.generation(), 0);
+        idx.push(1, 0, 1.0);
+        assert_eq!(idx.refinalize_generation(1), 1);
+        // Nothing staged: the freeze is a no-op and the generation —
+        // and therefore the served arena — is unchanged.
+        assert_eq!(idx.refinalize_generation(4), 1);
+        idx.push(1, 1, 2.0);
+        assert_eq!(idx.refinalize_generation(0), 2);
+        assert_eq!(idx.generation(), 2);
+        assert_eq!(idx.list_len(&1), 2);
     }
 
     #[test]

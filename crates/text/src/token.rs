@@ -80,6 +80,15 @@ impl TokenSet {
         &self.ids
     }
 
+    /// Heap bytes owned by this set. **Capacity**-based: a `Vec` owns
+    /// its whole growth-doubled allocation, not just the initialized
+    /// prefix, so length-based accounting undercounts live sets whose
+    /// capacity exceeds their length (e.g. after `from_ids` deduped).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<TokenId>()
+    }
+
     /// Iterates over the token ids.
     pub fn iter(&self) -> impl Iterator<Item = TokenId> + '_ {
         self.ids.iter().copied()
@@ -189,6 +198,16 @@ mod tests {
         let o1 = ts(&[1, 2]);
         assert_eq!(q.intersection_size(&o1), 2);
         assert_eq!(q.union_size(&o1), 3);
+    }
+
+    #[test]
+    fn heap_bytes_is_capacity_based() {
+        // from_ids dedups after collecting, so capacity can exceed len;
+        // the heap report must cover the full allocation.
+        let s = ts(&[5, 1, 3, 1, 5, 3, 1]);
+        assert_eq!(s.len(), 3);
+        assert!(s.heap_bytes() >= s.len() * std::mem::size_of::<TokenId>());
+        assert_eq!(TokenSet::empty().heap_bytes(), 0);
     }
 
     #[test]
