@@ -1,0 +1,257 @@
+//! Probe-only microbenchmarks for the SoA bound scan, recorded to
+//! `BENCH_scan.json`: the qualifying cut (and cut + prefix-copy) cost
+//! of the array-of-structs baseline (`partition_point` over
+//! interleaved `Posting` structs — the pre-SoA layout) versus the SoA
+//! bound column (`partition_point` over a dense `f64` column) versus
+//! the chunked branch-free scan (`seal_index::bound_cut`, the
+//! production entry point).
+//!
+//! ```text
+//! cargo run --release -p seal-bench --bin bench_scan -- \
+//!     [--iters N] [--out PATH]
+//! ```
+//!
+//! No engine, no store: this isolates exactly what the SoA refactor
+//! changed — the memory each probe touches. Every configuration
+//! cross-checks that all three cut implementations return identical
+//! counts before timing anything. The JSON records
+//! `available_parallelism` and the same 1-core caveat the other
+//! `BENCH_*.json` files carry: probes are single-threaded either way,
+//! but the numbers should be re-recorded on a ≥8-core box alongside
+//! the rest (see ROADMAP).
+
+use seal_bench::harness::{out_path, print_header, print_row, write_json};
+use seal_index::{bound_cut, Posting};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Lists probed round-robin per configuration, so consecutive probes
+/// touch different memory (as real per-key probes do) instead of
+/// rewarming one list in L1.
+const LISTS: usize = 64;
+
+/// Deterministic xorshift — the bin avoids the rand shim on purpose
+/// (it is a dev-dependency of the bench crate).
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Thresholds cycled per probe of one list: real queries hit a key
+/// with a different `c` every time, so a fixed threshold would let the
+/// binary search's branch history memorize the exact probe path — an
+/// unrealistically friendly baseline.
+const THRESHOLDS: usize = 32;
+
+/// One synthetic posting list in both layouts, plus per-probe
+/// thresholds centered on the requested selectivity.
+struct Fixture {
+    ids: Vec<u32>,
+    bounds: Vec<f64>,
+    aos: Vec<Posting>,
+    thresholds: Vec<f64>,
+}
+
+fn fixtures(len: usize, selectivity: f64, rng: &mut Rng) -> Vec<Fixture> {
+    (0..LISTS)
+        .map(|_| {
+            let mut bounds: Vec<f64> = (0..len).map(|_| rng.next_f64() * 1000.0).collect();
+            bounds.sort_by(|a, b| b.total_cmp(a));
+            let ids: Vec<u32> = (0..len as u32)
+                .map(|i| i.wrapping_mul(2_654_435_761))
+                .collect();
+            let aos: Vec<Posting> = ids
+                .iter()
+                .zip(&bounds)
+                .map(|(&id, &b)| Posting::new(id, b))
+                .collect();
+            // Thresholds at bounds that make ~selectivity·len rows
+            // qualify, jittered ±50% so consecutive probes of the same
+            // list cut at different depths (clamped inside the list).
+            let thresholds: Vec<f64> = (0..THRESHOLDS)
+                .map(|_| {
+                    let s = selectivity * (0.5 + rng.next_f64());
+                    let at = ((len as f64 * s) as usize).min(len.saturating_sub(1));
+                    if len == 0 {
+                        0.0
+                    } else {
+                        bounds[at]
+                    }
+                })
+                .collect();
+            Fixture {
+                ids,
+                bounds,
+                aos,
+                thresholds,
+            }
+        })
+        .collect()
+}
+
+/// Times `op` over `iters` round-robin probes with cycling
+/// thresholds, returning ns/probe.
+fn time_probe(
+    fixtures: &[Fixture],
+    iters: usize,
+    mut op: impl FnMut(&Fixture, f64) -> usize,
+) -> f64 {
+    // Warm-up pass.
+    for f in fixtures {
+        black_box(op(f, f.thresholds[0]));
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        // Decorrelate list and threshold choice (LISTS and THRESHOLDS
+        // share factors, so `i % n` on both would pin each list to one
+        // threshold and hand the binary search a memorizable path).
+        let f = &fixtures[i % fixtures.len()];
+        black_box(op(f, f.thresholds[(i / fixtures.len()) % THRESHOLDS]));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters: usize = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--iters N"))
+        .unwrap_or(200_000);
+    let out = out_path("BENCH_scan.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut rng = Rng(0x5EA1_5CA4);
+    let mut rows = Vec::new();
+    let mut chunked_summary = None;
+    let mut fallback_summary = None;
+
+    print_header(
+        &[
+            "len", "sel", "aos_pp", "soa_pp", "chunked", "aos+copy", "soa+copy",
+        ],
+        &[8, 6, 10, 10, 10, 10, 10],
+    );
+    for &len in &[64usize, 128, 256, 1024, 16384] {
+        for &selectivity in &[0.02f64, 0.25, 0.75] {
+            let fx = fixtures(len, selectivity, &mut rng);
+            // Correctness cross-check before timing: all three cuts
+            // must agree on every list.
+            for f in &fx {
+                for &c in &f.thresholds {
+                    let oracle = f.bounds.partition_point(|&b| b >= c);
+                    assert_eq!(
+                        bound_cut(&f.bounds, c),
+                        oracle,
+                        "chunked cut diverged at len {len}"
+                    );
+                    assert_eq!(
+                        f.aos.partition_point(|p| p.bound >= c),
+                        oracle,
+                        "AoS cut diverged at len {len}"
+                    );
+                }
+            }
+
+            let aos_pp = time_probe(&fx, iters, |f, c| f.aos.partition_point(|p| p.bound >= c));
+            let soa_pp = time_probe(&fx, iters, |f, c| f.bounds.partition_point(|&b| b >= c));
+            let chunked = time_probe(&fx, iters, |f, c| bound_cut(&f.bounds, c));
+
+            // Cut + qualifying-prefix copy (what a candidate-collecting
+            // probe pays): the AoS baseline strides over interleaved
+            // structs pulling out ids; SoA memcpys an id-column prefix.
+            let mut scratch: Vec<u32> = Vec::with_capacity(len);
+            let aos_copy = time_probe(&fx, iters, |f, c| {
+                let cut = f.aos.partition_point(|p| p.bound >= c);
+                scratch.clear();
+                for p in &f.aos[..cut] {
+                    scratch.push(p.object);
+                }
+                scratch.len()
+            });
+            let mut scratch2: Vec<u32> = Vec::with_capacity(len);
+            let soa_copy = time_probe(&fx, iters, |f, c| {
+                let cut = bound_cut(&f.bounds, c);
+                scratch2.clear();
+                scratch2.extend_from_slice(&f.ids[..cut]);
+                scratch2.len()
+            });
+
+            print_row(
+                &[
+                    format!("{len}"),
+                    format!("{selectivity}"),
+                    format!("{aos_pp:.1}"),
+                    format!("{soa_pp:.1}"),
+                    format!("{chunked:.1}"),
+                    format!("{aos_copy:.1}"),
+                    format!("{soa_copy:.1}"),
+                ],
+                &[8, 6, 10, 10, 10, 10, 10],
+            );
+            // `bound_cut` is the chunked scan only up to its 256-row
+            // cutover; beyond that it is the SoA partition_point
+            // fallback — the field name says which code actually ran.
+            let cut_field = if len <= 256 {
+                "soa_chunked_ns"
+            } else {
+                "soa_bound_cut_fallback_ns"
+            };
+            rows.push(format!(
+                "    {{ \"len\": {len}, \"selectivity\": {selectivity}, \
+                 \"aos_partition_point_ns\": {aos_pp:.2}, \
+                 \"soa_partition_point_ns\": {soa_pp:.2}, \
+                 \"{cut_field}\": {chunked:.2}, \
+                 \"aos_cut_copy_ns\": {aos_copy:.2}, \
+                 \"soa_cut_copy_ns\": {soa_copy:.2} }}"
+            ));
+            // The acceptance rows. "chunked": the largest list the
+            // chunked scan actually serves (256 rows — a dense per-key
+            // group) at a selective threshold, the regime per-key
+            // probes live in. "fallback": the densest list measured,
+            // where bound_cut is the SoA partition_point fallback —
+            // still a win over the AoS baseline, but a column-layout
+            // win, not a chunked-scan one.
+            if len == 256 && selectivity == 0.02 {
+                chunked_summary = Some(format!(
+                    "    \"chunked\": {{ \"len\": {len}, \"selectivity\": {selectivity}, \
+                     \"chunked_speedup_vs_aos_partition_point\": {:.2}, \
+                     \"soa_copy_speedup_vs_aos_copy\": {:.2} }}",
+                    aos_pp / chunked.max(1e-9),
+                    aos_copy / soa_copy.max(1e-9),
+                ));
+            }
+            if len == 16384 && selectivity == 0.25 {
+                fallback_summary = Some(format!(
+                    "    \"partition_point_fallback\": {{ \"len\": {len}, \"selectivity\": {selectivity}, \
+                     \"bound_cut_speedup_vs_aos_partition_point\": {:.2}, \
+                     \"soa_copy_speedup_vs_aos_copy\": {:.2} }}",
+                    aos_pp / chunked.max(1e-9),
+                    aos_copy / soa_copy.max(1e-9),
+                ));
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"probe-only bound-scan microbench: qualifying cut and cut+prefix-copy, \
+         AoS partition_point baseline vs SoA partition_point vs chunked SoA scan (ns/probe)\",\n  \
+         \"iters\": {iters},\n  \"lists_per_config\": {LISTS},\n  \
+         \"available_parallelism\": {cores},\n  \
+         \"caveat\": \"recorded on a 1-core container when available_parallelism is 1; probes are \
+         single-threaded so the relative numbers hold, but re-record on a >=8-core box alongside \
+         the other BENCH_*.json baselines (see ROADMAP) before quoting absolute ns\",\n  \
+         \"dense_summary\": {{\n{},\n{}\n  }},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        chunked_summary.expect("chunked dense config measured"),
+        fallback_summary.expect("fallback dense config measured"),
+        rows.join(",\n"),
+    );
+    write_json(&out, &json);
+}

@@ -71,10 +71,10 @@ impl CandidateFilter for KeywordFirst {
         ctx.touched.clear();
         for t in q.tokens.iter() {
             stats.lists_probed += 1;
-            if let Some(postings) = self.index.list(&t.0) {
-                stats.postings_scanned += postings.len();
-                for p in postings {
-                    ctx.acc.add(p.object, p.bound, &mut ctx.touched); // = w(t)
+            if let Some(list) = self.index.list(&t.0) {
+                stats.postings_scanned += list.len();
+                for (&o, &w) in list.ids.iter().zip(list.bounds) {
+                    ctx.acc.add(o, w, &mut ctx.touched); // = w(t)
                 }
             }
         }

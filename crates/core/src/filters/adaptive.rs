@@ -102,7 +102,7 @@ impl AdaptiveFilter {
         let grid_cost: usize = gsig
             .prefix(c_r)
             .iter()
-            .map(|e| self.grid.index().qualifying(&e.cell, c_r).len())
+            .map(|e| self.grid.index().qualifying_len(&e.cell, c_r))
             .sum();
 
         let route = if token_cost <= grid_cost {

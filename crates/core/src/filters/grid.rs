@@ -86,11 +86,13 @@ impl CandidateFilter for GridFilter {
         ctx.dedup.begin(self.n_objects);
         for elem in sig.prefix(c_r) {
             stats.lists_probed += 1;
-            let postings = self.index.qualifying(&elem.cell, c_r);
-            stats.postings_scanned += postings.len();
-            for p in postings {
-                if ctx.dedup.insert(p.object) {
-                    ctx.candidates.push(ObjectId(p.object));
+            // The qualifying prefix comes back as an in-place slice of
+            // the arena's id column.
+            let ids = self.index.qualifying(&elem.cell, c_r);
+            stats.postings_scanned += ids.len();
+            for &o in ids {
+                if ctx.dedup.insert(o) {
+                    ctx.candidates.push(ObjectId(o));
                 }
             }
         }

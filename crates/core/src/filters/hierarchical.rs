@@ -169,10 +169,10 @@ impl CandidateFilter for HierarchicalFilter {
             for gelem in hsig.prefix(c_r) {
                 let key = HierarchicalScheme::key(telem.token, gelem.cell);
                 stats.lists_probed += 1;
-                for p in self.index.qualifying(&key, c_r, c_t) {
+                for o in self.index.qualifying(&key, c_r, c_t) {
                     stats.postings_scanned += 1;
-                    if ctx.dedup.insert(p.object) {
-                        ctx.candidates.push(ObjectId(p.object));
+                    if ctx.dedup.insert(o) {
+                        ctx.candidates.push(ObjectId(o));
                     }
                 }
             }

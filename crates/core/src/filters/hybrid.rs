@@ -198,19 +198,19 @@ impl CandidateFilter for HybridFilter {
                 stats.lists_probed += 1;
                 match &self.storage {
                     HybridStorage::Arena(index) => {
-                        for p in index.qualifying(&key, c_r, c_t) {
+                        for o in index.qualifying(&key, c_r, c_t) {
                             stats.postings_scanned += 1;
-                            if ctx.dedup.insert(p.object) {
-                                ctx.candidates.push(ObjectId(p.object));
+                            if ctx.dedup.insert(o) {
+                                ctx.candidates.push(ObjectId(o));
                             }
                         }
                     }
                     HybridStorage::Compressed(index) => {
-                        let postings = index.qualifying_into(&key, c_r, c_t, &mut ctx.decode_dual);
-                        stats.postings_scanned += postings.len();
-                        for p in postings {
-                            if ctx.dedup.insert(p.object) {
-                                ctx.candidates.push(ObjectId(p.object));
+                        let ids = index.qualifying_into(&key, c_r, c_t, &mut ctx.decode);
+                        stats.postings_scanned += ids.len();
+                        for &o in ids {
+                            if ctx.dedup.insert(o) {
+                                ctx.candidates.push(ObjectId(o));
                             }
                         }
                     }

@@ -40,10 +40,12 @@
 //!   clears `ctx.candidates` (and whatever scratch it uses) before
 //!   writing, so contexts may be freely reused across filters, engines
 //!   and stores of different sizes — buffers only ever grow.
-//! * **Compressed decode buffers are per-probe.** The compressed
-//!   filters decode each qualifying prefix into the context's decode
-//!   scratch and consume it before the next list probe; nothing in the
-//!   context outlives the query it served.
+//! * **The compressed decode buffer is per-probe.** The compressed
+//!   filters decode each qualifying prefix's *object ids* into the
+//!   context's decode scratch and consume them before the next list
+//!   probe; nothing in the context outlives the query it served.
+//!   (Uncompressed probes need no decode at all — they return id-column
+//!   slices in place.)
 //!
 //! ```
 //! use seal_core::{CandidateFilter, ObjectStore, Query, QueryContext, SearchStats};
@@ -183,13 +185,14 @@ pub struct QueryContext {
     pub(crate) candidates: Vec<ObjectId>,
     /// Object ids touched by the accumulator this query.
     pub(crate) touched: Vec<u32>,
-    /// Decode scratch for compressed single-bound arenas: qualifying
-    /// prefixes are varint-decoded here, so the compressed serving
-    /// path allocates nothing once this has grown to the largest
-    /// qualifying prefix.
-    pub(crate) decode: Vec<seal_index::Posting>,
-    /// Decode scratch for compressed dual-bound arenas.
-    pub(crate) decode_dual: Vec<seal_index::DualPosting>,
+    /// Decode scratch for compressed arenas: qualifying prefixes'
+    /// object ids are varint-decoded here (single- and dual-bound
+    /// arenas both decode ids only — bounds are cut in the quantized
+    /// domain and never materialized), so the compressed serving path
+    /// allocates nothing once this has grown to the largest
+    /// qualifying prefix. Sized off the id column, like every other
+    /// per-probe buffer.
+    pub(crate) decode: Vec<seal_index::ObjId>,
 }
 
 impl QueryContext {
@@ -221,12 +224,12 @@ impl QueryContext {
         &mut self.candidates
     }
 
-    /// Current capacities of the compressed-arena decode buffers
-    /// (single-bound, dual-bound). Once a context is warm these stop
-    /// changing — tests use this to assert the compressed serving
-    /// path performs no further allocations.
-    pub fn decode_capacities(&self) -> (usize, usize) {
-        (self.decode.capacity(), self.decode_dual.capacity())
+    /// Current capacity of the compressed-arena id-decode buffer.
+    /// Once a context is warm this stops changing — tests use it to
+    /// assert the compressed serving path performs no further
+    /// allocations.
+    pub fn decode_capacity(&self) -> usize {
+        self.decode.capacity()
     }
 }
 

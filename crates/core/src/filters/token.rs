@@ -148,7 +148,7 @@ impl TokenFilter {
     /// adaptive router). Works in both serving modes.
     pub fn qualifying_len(&self, token: u32, c: f64) -> usize {
         match &self.storage {
-            TokenStorage::Arena(i) => i.qualifying(&token, c).len(),
+            TokenStorage::Arena(i) => i.qualifying_len(&token, c),
             TokenStorage::Compressed(i) => i.qualifying_len(&token, c),
         }
     }
@@ -178,16 +178,19 @@ impl CandidateFilter for TokenFilter {
         ctx.dedup.begin(store.len());
         for elem in sig.prefix(c_t) {
             stats.lists_probed += 1;
-            let postings = match &self.storage {
+            // Both storage modes share one contract: the qualifying
+            // probe yields an id slice — in place from the arena's id
+            // column, or varint-decoded into the context scratch.
+            let ids = match &self.storage {
                 TokenStorage::Arena(index) => index.qualifying(&elem.token.0, c_t),
                 TokenStorage::Compressed(index) => {
                     index.qualifying_into(&elem.token.0, c_t, &mut ctx.decode)
                 }
             };
-            stats.postings_scanned += postings.len();
-            for p in postings {
-                if ctx.dedup.insert(p.object) {
-                    ctx.candidates.push(ObjectId(p.object));
+            stats.postings_scanned += ids.len();
+            for &o in ids {
+                if ctx.dedup.insert(o) {
+                    ctx.candidates.push(ObjectId(o));
                 }
             }
         }
@@ -265,10 +268,10 @@ impl CandidateFilter for TokenFilterBasic {
         ctx.touched.clear();
         for t in q.tokens.iter() {
             stats.lists_probed += 1;
-            if let Some(postings) = self.index.list(&t.0) {
-                stats.postings_scanned += postings.len();
-                for p in postings {
-                    ctx.acc.add(p.object, p.bound, &mut ctx.touched); // bound slot = w(t)
+            if let Some(list) = self.index.list(&t.0) {
+                stats.postings_scanned += list.len();
+                for (&o, &w) in list.ids.iter().zip(list.bounds) {
+                    ctx.acc.add(o, w, &mut ctx.touched); // bound slot = w(t)
                 }
             }
         }

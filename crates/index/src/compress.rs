@@ -1,7 +1,7 @@
 //! Compressed posting arenas served **in place**: delta-free varint
 //! object ids plus quantized bound columns, laid out exactly like the
-//! uncompressed CSR form so queries run directly off the compressed
-//! bytes.
+//! uncompressed columnar CSR form so queries run directly off the
+//! compressed bytes.
 //!
 //! Table 1 is an index-size study: the paper's inverted lists live on
 //! disk and their footprint is a first-class metric. Earlier revisions
@@ -12,7 +12,11 @@
 //! sorted key/offset table** — and serves [`qualifying_into`] probes
 //! straight off the arena through a caller-owned scratch buffer.
 //! Compressed indexes are a serving mode, not just a storage
-//! artifact.
+//! artifact. Since the uncompressed arenas are themselves columnar
+//! (structure-of-arrays), the compressor reads the id and bound
+//! columns directly — quantizing one dense `f64` run and
+//! varint-encoding one dense `u32` run per group, never striding over
+//! interleaved structs.
 //!
 //! # Arena layout (the index-layout contract)
 //!
@@ -33,10 +37,15 @@
 //!
 //! Because the postings keep the descending-bound order *and* the
 //! quantization map is monotone, the `u16` bound column is itself
-//! non-increasing — so the Lemma 3 qualifying cut is a binary search
-//! over the **fixed-width compressed column**, with zero decoding of
-//! postings that fail the threshold. Only the qualifying prefix's ids
-//! are varint-decoded, into the caller's scratch buffer (`seal-core`
+//! non-increasing — so the Lemma 3 qualifying cut runs entirely in the
+//! **quantized domain**: the `f64` threshold is lifted once per group
+//! to the smallest qualifying `u16` step (`Quantizer::
+//! quantize_threshold`) and the cut is the same chunked scan the
+//! uncompressed arenas use ([`bound_cut`](crate::bound_cut)'s `u16`
+//! twin), with zero
+//! dequantization per comparison and zero decoding of postings that
+//! fail the threshold. Only the qualifying prefix's **ids** are
+//! varint-decoded, into the caller's id scratch buffer (`seal-core`
 //! hangs one off its `QueryContext`, keeping the warm serving path
 //! allocation-free and mutex-free).
 //!
@@ -55,8 +64,8 @@
 //! [`qualifying_into`]: CompressedInvertedIndex::qualifying_into
 //! [`compress`]: CompressedInvertedIndex::compress
 
-use crate::csr::group_range;
-use crate::{DualPosting, HybridIndex, InvertedIndex, ObjId, Posting};
+use crate::csr::{bound_cut_u16, column_u16, group_range};
+use crate::{HybridIndex, InvertedIndex, ObjId};
 use bytes::{BufMut, Bytes, BytesMut};
 
 /// Number of quantization steps for bounds (u16 range).
@@ -92,12 +101,6 @@ fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
         }
         shift += 7;
     }
-}
-
-/// Reads the `j`-th entry of a little-endian `u16` column.
-#[inline]
-fn column_u16(col: &[u8], j: usize) -> u16 {
-    u16::from_le_bytes([col[2 * j], col[2 * j + 1]])
 }
 
 /// Per-group bound quantizer: maps `[0, scale]` onto `0..=65535`,
@@ -160,6 +163,43 @@ impl Quantizer {
     pub(crate) fn dequantize(&self, q: u16) -> f64 {
         f64::from(q) / QUANT_STEPS * self.scale
     }
+
+    /// Lifts a query threshold into the quantized domain: the smallest
+    /// step `qc` with `dequantize(qc) >= c`, so that
+    /// `entry >= qc ⟺ dequantize(entry) >= c` (dequantization is
+    /// strictly monotone) and the whole cut can run on raw `u16`s.
+    /// `None` when no step qualifies (`c` above the group's scale, or
+    /// a NaN threshold) — the qualifying set is empty.
+    ///
+    /// Exactness matters: the initial ceil estimate can land one step
+    /// off in `f64` arithmetic, so it is nudged until minimality holds
+    /// exactly — the cut must match the reference
+    /// `dequantize(entry) >= c` comparison bit-for-bit.
+    #[inline]
+    pub(crate) fn quantize_threshold(&self, c: f64) -> Option<u16> {
+        if c.is_nan() {
+            return None;
+        }
+        if c <= 0.0 {
+            return Some(0);
+        }
+        if c > self.scale {
+            return None;
+        }
+        let mut q = ((c / self.scale) * QUANT_STEPS)
+            .ceil()
+            .clamp(0.0, QUANT_STEPS) as u16;
+        while q > 0 && self.dequantize(q - 1) >= c {
+            q -= 1;
+        }
+        while self.dequantize(q) < c {
+            if q == QUANT_STEPS as u16 {
+                return None;
+            }
+            q += 1;
+        }
+        Some(q)
+    }
 }
 
 /// Directory entry for one single-bound group.
@@ -182,22 +222,15 @@ pub(crate) struct DualGroupMeta {
     pub(crate) textual: Quantizer,
 }
 
-/// Binary search over a non-increasing dequantized bound column:
-/// returns the qualifying-prefix length (first index whose bound drops
-/// below `c`).
+/// The qualifying cut of one compressed group: threshold lifted into
+/// the quantized domain once, then the shared chunked `u16` column
+/// scan. Zero dequantization per comparison.
 #[inline]
-fn column_cut(col: &[u8], len: usize, quant: Quantizer, c: f64) -> usize {
-    let mut lo = 0usize;
-    let mut hi = len;
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if quant.dequantize(column_u16(col, mid)) >= c {
-            lo = mid + 1;
-        } else {
-            hi = mid;
-        }
+fn quantized_cut(col: &[u8], len: usize, quant: Quantizer, c: f64) -> usize {
+    match quant.quantize_threshold(c) {
+        Some(qc) => bound_cut_u16(col, len, qc),
+        None => 0,
     }
-    lo
 }
 
 /// A fully compressed single-bound inverted index, served in place.
@@ -218,8 +251,7 @@ fn column_cut(col: &[u8], len: usize, quant: Quantizer, c: f64) -> usize {
 /// let compressed = CompressedInvertedIndex::compress(&idx);
 /// let mut scratch = Vec::new(); // caller-owned; reuse across probes
 /// let hits = compressed.qualifying_into(&7, 1.5, &mut scratch);
-/// assert_eq!(hits.iter().map(|p| p.object).collect::<Vec<_>>(), vec![0]);
-/// assert!(hits[0].bound >= 2.0, "bounds only ever round up");
+/// assert_eq!(hits, &[0]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct CompressedInvertedIndex<K: Ord> {
@@ -237,7 +269,9 @@ pub struct CompressedInvertedIndex<K: Ord> {
 
 impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
     /// Compresses a finalized [`InvertedIndex`], preserving its CSR
-    /// group order.
+    /// group order. Reads the arena's bound and id columns directly —
+    /// one dense `f64` run quantized, one dense `u32` run
+    /// varint-encoded per group.
     ///
     /// # Panics
     /// If postings are staged (push without finalize) — the underlying
@@ -250,22 +284,22 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
         let mut buf = BytesMut::with_capacity(index.posting_count() * 4);
         offsets.push(0);
         let mut posting_count = 0usize;
-        for (key, postings) in index.iter() {
-            let max = postings.iter().map(|p| p.bound).fold(0.0f64, f64::max);
+        for (key, group) in index.iter() {
+            let max = group.bounds.iter().copied().fold(0.0f64, f64::max);
             let quant = Quantizer::for_max(max);
-            for p in postings {
-                buf.put_u16_le(quant.quantize(p.bound));
+            for &b in group.bounds {
+                buf.put_u16_le(quant.quantize(b));
             }
-            for p in postings {
-                put_varint(&mut buf, u64::from(p.object));
+            for &id in group.ids {
+                put_varint(&mut buf, u64::from(id));
             }
             keys.push(key);
             offsets.push(buf.len());
             meta.push(GroupMeta {
-                len: postings.len() as u32,
+                len: group.len() as u32,
                 quant,
             });
-            posting_count += postings.len();
+            posting_count += group.len();
         }
         CompressedInvertedIndex {
             keys,
@@ -303,7 +337,7 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
     }
 
     /// Number of postings that would qualify at threshold `c` — the
-    /// binary-searched column cut alone, no decoding. This is the
+    /// quantized column cut alone, no decoding. This is the
     /// cost-model probe (`|I_c(s)|`) at compressed-column price.
     pub fn qualifying_len(&self, key: &K, c: f64) -> usize {
         match group_range(&self.keys, &self.offsets, key) {
@@ -311,29 +345,28 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
                 let m = self.meta[i];
                 let len = m.len as usize;
                 let bounds = &self.arena.as_slice()[range.start..range.start + 2 * len];
-                column_cut(bounds, len, m.quant, c)
+                quantized_cut(bounds, len, m.quant, c)
             }
             None => 0,
         }
     }
 
-    /// Decodes the qualifying postings `I_c(key)` into `scratch`
-    /// (cleared first) and returns them as a slice.
+    /// Decodes the object ids of the qualifying postings `I_c(key)`
+    /// into `scratch` (cleared first) and returns them as a slice —
+    /// the same id-slice contract as the uncompressed
+    /// [`InvertedIndex::qualifying`], with a varint decode standing in
+    /// for the in-place column suffix.
     ///
-    /// The cut is a binary search over the compressed bound column;
-    /// only the qualifying prefix's ids are varint-decoded. Once
+    /// The cut runs over the compressed bound column in the quantized
+    /// domain; only the qualifying prefix's ids are varint-decoded
+    /// (bounds are never dequantized — candidates need ids only). Once
     /// `scratch` has grown to the largest qualifying prefix it is only
     /// reused — the warm path performs **zero heap allocations**.
-    /// Returned bounds are the dequantized (rounded-up) values, so the
-    /// result is a superset of the uncompressed index's qualifying set
-    /// (never missing an answer; each bound inflated by at most one
+    /// Because quantized bounds only ever round up, the result is a
+    /// superset of the uncompressed index's qualifying set (never
+    /// missing an answer; each bound inflated by at most one
     /// quantization step).
-    pub fn qualifying_into<'a>(
-        &self,
-        key: &K,
-        c: f64,
-        scratch: &'a mut Vec<Posting>,
-    ) -> &'a [Posting] {
+    pub fn qualifying_into<'a>(&self, key: &K, c: f64, scratch: &'a mut Vec<ObjId>) -> &'a [ObjId] {
         scratch.clear();
         let Some((i, range)) = group_range(&self.keys, &self.offsets, key) else {
             return &[];
@@ -342,33 +375,31 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
         let len = m.len as usize;
         let group = &self.arena.as_slice()[range];
         let bounds = &group[..2 * len];
-        let cut = column_cut(bounds, len, m.quant, c);
+        let cut = quantized_cut(bounds, len, m.quant, c);
         let ids = &group[2 * len..];
         let mut pos = 0usize;
-        for j in 0..cut {
+        for _ in 0..cut {
             let id = get_varint(ids, &mut pos).expect("arena validated at construction");
-            scratch.push(Posting::new(
-                id as ObjId,
-                m.quant.dequantize(column_u16(bounds, j)),
-            ));
+            scratch.push(id as ObjId);
         }
         &scratch[..]
     }
 
-    /// Decodes the full list for `key` into `scratch` (descending
-    /// bound order), if present.
-    pub fn list_into<'a>(&self, key: &K, scratch: &'a mut Vec<Posting>) -> &'a [Posting] {
-        self.qualifying_into(key, f64::NEG_INFINITY, scratch)
-    }
-
-    /// Decompresses the whole index back to the uncompressed CSR form
-    /// (bounds come back rounded up by at most one quantization step).
+    /// Decompresses the whole index back to the uncompressed columnar
+    /// CSR form (bounds come back rounded up by at most one
+    /// quantization step).
     pub fn decompress(&self) -> InvertedIndex<K> {
         let mut out = InvertedIndex::new();
-        let mut scratch = Vec::new();
-        for key in &self.keys {
-            for p in self.list_into(key, &mut scratch) {
-                out.push(*key, p.object, p.bound);
+        for (i, key) in self.keys.iter().enumerate() {
+            let m = self.meta[i];
+            let len = m.len as usize;
+            let group = &self.arena.as_slice()[self.offsets[i]..self.offsets[i + 1]];
+            let bounds = &group[..2 * len];
+            let ids = &group[2 * len..];
+            let mut pos = 0usize;
+            for j in 0..len {
+                let id = get_varint(ids, &mut pos).expect("arena validated at construction");
+                out.push(*key, id as ObjId, m.quant.dequantize(column_u16(bounds, j)));
             }
         }
         out.finalize();
@@ -382,8 +413,10 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
 /// Same arena + directory shape as [`CompressedInvertedIndex`], with
 /// two quantized bound columns per group: postings keep the
 /// descending-*spatial*-bound order of [`HybridIndex::finalize`], the
-/// spatial column is binary-search cut, and the textual bound is
-/// checked per surviving posting during the prefix decode.
+/// spatial column is cut in the quantized domain, and the textual
+/// bound is checked per surviving posting — also as a raw `u16`
+/// compare against the lifted textual threshold — during the prefix
+/// decode.
 #[derive(Debug, Clone)]
 pub struct CompressedHybridIndex<K: Ord> {
     /// Sorted keys (one per non-empty group).
@@ -400,7 +433,7 @@ pub struct CompressedHybridIndex<K: Ord> {
 
 impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
     /// Compresses a finalized [`HybridIndex`], preserving its CSR
-    /// group order.
+    /// group order. Reads the three arena columns directly.
     ///
     /// # Panics
     /// If postings are staged, or any bound is non-finite.
@@ -411,34 +444,28 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
         let mut buf = BytesMut::with_capacity(index.posting_count() * 6);
         offsets.push(0);
         let mut posting_count = 0usize;
-        for (key, postings) in index.iter() {
-            let smax = postings
-                .iter()
-                .map(|p| p.spatial_bound)
-                .fold(0.0f64, f64::max);
-            let tmax = postings
-                .iter()
-                .map(|p| p.textual_bound)
-                .fold(0.0f64, f64::max);
+        for (key, group) in index.iter() {
+            let smax = group.spatial_bounds.iter().copied().fold(0.0f64, f64::max);
+            let tmax = group.textual_bounds.iter().copied().fold(0.0f64, f64::max);
             let spatial = Quantizer::for_max(smax);
             let textual = Quantizer::for_max(tmax);
-            for p in postings {
-                buf.put_u16_le(spatial.quantize(p.spatial_bound));
+            for &sb in group.spatial_bounds {
+                buf.put_u16_le(spatial.quantize(sb));
             }
-            for p in postings {
-                buf.put_u16_le(textual.quantize(p.textual_bound));
+            for &tb in group.textual_bounds {
+                buf.put_u16_le(textual.quantize(tb));
             }
-            for p in postings {
-                put_varint(&mut buf, u64::from(p.object));
+            for &id in group.ids {
+                put_varint(&mut buf, u64::from(id));
             }
             keys.push(key);
             offsets.push(buf.len());
             meta.push(DualGroupMeta {
-                len: postings.len() as u32,
+                len: group.len() as u32,
                 spatial,
                 textual,
             });
-            posting_count += postings.len();
+            posting_count += group.len();
         }
         CompressedHybridIndex {
             keys,
@@ -475,18 +502,19 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
         }
     }
 
-    /// Decodes the postings qualifying under both thresholds,
-    /// `I_{c_R, c_T}(key)`, into `scratch` (cleared first): a
-    /// binary-searched cut over the compressed spatial column, then a
-    /// per-posting textual check during the prefix decode. Warm calls
-    /// allocate nothing once `scratch` has grown.
+    /// Decodes the object ids of the postings qualifying under both
+    /// thresholds, `I_{c_R, c_T}(key)`, into `scratch` (cleared
+    /// first): a quantized-domain cut over the compressed spatial
+    /// column, then a raw `u16` textual check per posting during the
+    /// prefix decode. Warm calls allocate nothing once `scratch` has
+    /// grown.
     pub fn qualifying_into<'a>(
         &self,
         key: &K,
         c_spatial: f64,
         c_textual: f64,
-        scratch: &'a mut Vec<DualPosting>,
-    ) -> &'a [DualPosting] {
+        scratch: &'a mut Vec<ObjId>,
+    ) -> &'a [ObjId] {
         scratch.clear();
         let Some((i, range)) = group_range(&self.keys, &self.offsets, key) else {
             return &[];
@@ -496,34 +524,44 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
         let group = &self.arena.as_slice()[range];
         let sbounds = &group[..2 * len];
         let tbounds = &group[2 * len..4 * len];
-        let cut = column_cut(sbounds, len, m.spatial, c_spatial);
+        let cut = quantized_cut(sbounds, len, m.spatial, c_spatial);
+        // Lift the textual threshold once; no step qualifies ⇒ empty.
+        let Some(qt) = m.textual.quantize_threshold(c_textual) else {
+            return &[];
+        };
         let ids = &group[4 * len..];
         let mut pos = 0usize;
         for j in 0..cut {
             let id = get_varint(ids, &mut pos).expect("arena validated at construction");
-            let tb = m.textual.dequantize(column_u16(tbounds, j));
-            if tb >= c_textual {
-                scratch.push(DualPosting::new(
-                    id as ObjId,
-                    m.spatial.dequantize(column_u16(sbounds, j)),
-                    tb,
-                ));
+            if column_u16(tbounds, j) >= qt {
+                scratch.push(id as ObjId);
             }
         }
         &scratch[..]
     }
 
-    /// Decompresses the whole index back to the uncompressed CSR form
-    /// (both bounds rounded up by at most one quantization step).
+    /// Decompresses the whole index back to the uncompressed columnar
+    /// CSR form (both bounds rounded up by at most one quantization
+    /// step).
     pub fn decompress(&self) -> HybridIndex<K> {
         let mut out = HybridIndex::new();
-        let mut scratch = Vec::new();
-        for key in &self.keys {
-            for p in self.qualifying_into(key, f64::NEG_INFINITY, f64::NEG_INFINITY, &mut scratch) {
-                out.push(*key, p.object, p.spatial_bound, p.textual_bound);
+        for (i, key) in self.keys.iter().enumerate() {
+            let m = self.meta[i];
+            let len = m.len as usize;
+            let group = &self.arena.as_slice()[self.offsets[i]..self.offsets[i + 1]];
+            let sbounds = &group[..2 * len];
+            let tbounds = &group[2 * len..4 * len];
+            let ids = &group[4 * len..];
+            let mut pos = 0usize;
+            for j in 0..len {
+                let id = get_varint(ids, &mut pos).expect("arena validated at construction");
+                out.push(
+                    *key,
+                    id as ObjId,
+                    m.spatial.dequantize(column_u16(sbounds, j)),
+                    m.textual.dequantize(column_u16(tbounds, j)),
+                );
             }
-            // borrow of scratch ends each iteration; qualifying_into
-            // clears it on entry.
         }
         out.finalize();
         out
@@ -635,6 +673,31 @@ mod tests {
     }
 
     #[test]
+    fn quantize_threshold_is_the_exact_minimal_step() {
+        // The quantized-domain cut is correct iff quantize_threshold
+        // returns the *smallest* q with dequantize(q) >= c — check
+        // minimality and sufficiency across awkward scales.
+        for scale_bits in 1..500u32 {
+            let scale = f64::from(scale_bits) * 733.13 + 0.000_7;
+            let quant = Quantizer::for_max(scale);
+            for frac in [0.0, 1e-9, 0.1, 0.30815, 0.5, 0.77777, 0.9999, 1.0] {
+                let c = scale * frac;
+                let qc = quant.quantize_threshold(c).expect("c <= scale");
+                assert!(quant.dequantize(qc) >= c, "insufficient step");
+                if qc > 0 {
+                    assert!(quant.dequantize(qc - 1) < c, "not minimal");
+                }
+            }
+        }
+        let quant = Quantizer::for_max(100.0);
+        assert_eq!(quant.quantize_threshold(-5.0), Some(0));
+        assert_eq!(quant.quantize_threshold(0.0), Some(0));
+        assert_eq!(quant.quantize_threshold(100.0), Some(QUANT_STEPS as u16));
+        assert_eq!(quant.quantize_threshold(100.1), None, "above scale");
+        assert_eq!(quant.quantize_threshold(f64::NAN), None, "NaN threshold");
+    }
+
+    #[test]
     fn arena_is_single_and_contiguous() {
         let idx = sample_index(200, 50.0);
         let c = CompressedInvertedIndex::compress(&idx);
@@ -656,20 +719,17 @@ mod tests {
             let step = 50.0 / QUANT_STEPS + 1e-9;
             for thr in [0.0, 1.0, 10.0, 25.0, 49.9] {
                 let orig: std::collections::BTreeSet<ObjId> =
-                    idx.qualifying(&key, thr).iter().map(|p| p.object).collect();
+                    idx.qualifying(&key, thr).iter().copied().collect();
                 let got: std::collections::BTreeSet<ObjId> = c
                     .qualifying_into(&key, thr, &mut scratch)
                     .iter()
-                    .map(|p| p.object)
+                    .copied()
                     .collect();
                 assert!(orig.is_subset(&got), "key {key} thr {thr}: lost postings");
                 // Anything extra is within one quantization step of the
                 // threshold.
-                let relaxed: std::collections::BTreeSet<ObjId> = idx
-                    .qualifying(&key, thr - step)
-                    .iter()
-                    .map(|p| p.object)
-                    .collect();
+                let relaxed: std::collections::BTreeSet<ObjId> =
+                    idx.qualifying(&key, thr - step).iter().copied().collect();
                 assert!(
                     got.is_subset(&relaxed),
                     "key {key} thr {thr}: over-admitted"
@@ -702,8 +762,8 @@ mod tests {
         let idx = sample_index(500, 10.0);
         let c = CompressedInvertedIndex::compress(&idx);
         let mut scratch = Vec::new();
-        // Warm: decode the largest list once.
-        let _ = c.list_into(&0, &mut scratch);
+        // Warm: decode the largest list once (threshold 0 ⇒ full list).
+        let _ = c.qualifying_into(&0, 0.0, &mut scratch);
         let cap = scratch.capacity();
         assert!(cap >= 500);
         for key in 0u64..8 {
@@ -841,11 +901,11 @@ mod dual_tests {
                 let k = key(t, g);
                 for (cr, ct) in [(0.0, 0.0), (1000.0, 0.5), (4000.0, 1.5), (6000.0, 0.1)] {
                     let orig: std::collections::BTreeSet<ObjId> =
-                        idx.qualifying(&k, cr, ct).map(|p| p.object).collect();
+                        idx.qualifying(&k, cr, ct).collect();
                     let got: std::collections::BTreeSet<ObjId> = c
                         .qualifying_into(&k, cr, ct, &mut scratch)
                         .iter()
-                        .map(|p| p.object)
+                        .copied()
                         .collect();
                     assert!(
                         orig.is_subset(&got),
@@ -869,18 +929,14 @@ mod dual_tests {
         idx.finalize();
         let c = CompressedHybridIndex::compress(&idx);
         let mut scratch = Vec::new();
-        let got: Vec<ObjId> = c
-            .qualifying_into(&key(1, 14), 600.0, 0.57, &mut scratch)
-            .iter()
-            .map(|p| p.object)
-            .collect();
-        assert_eq!(got, vec![0]);
-        let got: Vec<ObjId> = c
-            .qualifying_into(&key(1, 10), 600.0, 0.57, &mut scratch)
-            .iter()
-            .map(|p| p.object)
-            .collect();
-        assert_eq!(got, vec![0, 1]);
+        assert_eq!(
+            c.qualifying_into(&key(1, 14), 600.0, 0.57, &mut scratch),
+            &[0]
+        );
+        assert_eq!(
+            c.qualifying_into(&key(1, 10), 600.0, 0.57, &mut scratch),
+            &[0, 1]
+        );
     }
 
     #[test]
@@ -890,8 +946,8 @@ mod dual_tests {
         assert_eq!(back.posting_count(), idx.posting_count());
         for t in 0u64..4 {
             let k = key(t, 0);
-            let orig: Vec<ObjId> = idx.qualifying(&k, 0.0, 0.0).map(|p| p.object).collect();
-            let rest: Vec<ObjId> = back.qualifying(&k, 0.0, 0.0).map(|p| p.object).collect();
+            let orig: Vec<ObjId> = idx.qualifying(&k, 0.0, 0.0).collect();
+            let rest: Vec<ObjId> = back.qualifying(&k, 0.0, 0.0).collect();
             assert_eq!(orig, rest, "full-list order must survive");
         }
     }
@@ -906,6 +962,18 @@ mod dual_tests {
             c.size_bytes(),
             idx.size_bytes()
         );
+    }
+
+    #[test]
+    fn dual_textual_threshold_above_scale_prunes_everything() {
+        let idx = sample_hybrid(40);
+        let c = CompressedHybridIndex::compress(&idx);
+        let mut scratch = Vec::new();
+        // Textual bounds max out below 2.0 in the sample; a threshold
+        // far above every scale must lift to None and return nothing.
+        assert!(c
+            .qualifying_into(&key(0, 0), 0.0, 1e9, &mut scratch)
+            .is_empty());
     }
 }
 
@@ -933,14 +1001,37 @@ mod proptests {
             let mut scratch = Vec::new();
             for key in 0u64..16 {
                 let orig: std::collections::BTreeSet<ObjId> =
-                    idx.qualifying(&key, c).iter().map(|p| p.object).collect();
+                    idx.qualifying(&key, c).iter().copied().collect();
                 let got: std::collections::BTreeSet<ObjId> = compressed
                     .qualifying_into(&key, c, &mut scratch)
                     .iter()
-                    .map(|p| p.object)
+                    .copied()
                     .collect();
                 prop_assert!(orig.is_subset(&got));
             }
+        }
+
+        #[test]
+        fn quantized_cut_equals_dequantized_reference(
+            bounds in proptest::collection::vec(0.0f64..1e5, 1..300),
+            frac in 0.0f64..1.2,
+        ) {
+            // The quantized-domain cut must agree bit-for-bit with the
+            // reference comparison `dequantize(entry) >= c`.
+            let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+            for (i, b) in bounds.iter().enumerate() {
+                idx.push(1, i as u32, *b);
+            }
+            idx.finalize();
+            let compressed = CompressedInvertedIndex::compress(&idx);
+            let m = compressed.meta[0];
+            let len = m.len as usize;
+            let col = &compressed.arena.as_slice()[..2 * len];
+            let c = m.quant.scale() * frac;
+            let reference = (0..len)
+                .take_while(|&j| m.quant.dequantize(column_u16(col, j)) >= c)
+                .count();
+            prop_assert_eq!(compressed.qualifying_len(&1, c), reference);
         }
     }
 }

@@ -1,6 +1,8 @@
-//! Keyed hybrid index over dual-bounded postings (Section 5), stored in
-//! a single contiguous arena (CSR layout) once finalized.
+//! Keyed hybrid index over dual-bounded postings (Section 5), stored
+//! as parallel id/spatial/textual columns in a single contiguous arena
+//! (columnar CSR layout) once finalized.
 
+use crate::columns::{DualColumns, DualPostingsView};
 use crate::csr::CsrCore;
 use crate::{DualPosting, ObjId};
 use serde::{Deserialize, Serialize};
@@ -13,13 +15,16 @@ use std::hash::Hash;
 /// `u128 = (token as u128) << 64 | cell`.
 ///
 /// A thin wrapper over the same frozen-CSR container as
-/// [`crate::InvertedIndex`]. Each group is sorted
-/// by descending *spatial* bound — the axis with the most distinct
-/// values, so the binary-searched cut is deepest on average — and the
-/// textual bound is checked per surviving posting.
+/// [`crate::InvertedIndex`], with one id column and **two** bound
+/// columns. Each group is sorted by descending *spatial* bound — the
+/// axis with the most distinct values, so the cut is deepest on
+/// average — and the textual bound column is checked row-by-row for
+/// the surviving prefix. The probe touches the spatial column for the
+/// cut, the textual column for the per-row check, and the id column
+/// for the survivors; never an interleaved struct.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HybridIndex<K: Eq + Hash + Ord> {
-    core: CsrCore<K, DualPosting>,
+    core: CsrCore<K, DualColumns>,
 }
 
 impl<K: Eq + Hash + Ord + Copy> Default for HybridIndex<K> {
@@ -28,6 +33,10 @@ impl<K: Eq + Hash + Ord + Copy> Default for HybridIndex<K> {
             core: CsrCore::default(),
         }
     }
+}
+
+fn cmp_dual(a: &DualPosting, b: &DualPosting) -> std::cmp::Ordering {
+    crate::csr::desc_f64(a.spatial_bound, b.spatial_bound).then(a.object.cmp(&b.object))
 }
 
 impl<K: Eq + Hash + Ord + Copy + Sync> HybridIndex<K> {
@@ -49,27 +58,29 @@ impl<K: Eq + Hash + Ord + Copy + Sync> HybridIndex<K> {
             .push(key, DualPosting::new(object, spatial_bound, textual_bound));
     }
 
-    /// Compacts all postings into the contiguous arena (groups in
-    /// descending spatial-bound order). Must be called before
-    /// querying; pushing after a finalize and re-finalizing **merges**
-    /// the new postings in — staged postings are sorted, frozen groups
-    /// merged, never re-sorted.
+    /// Compacts all postings into the contiguous columnar arena
+    /// (groups in descending spatial-bound order). Must be called
+    /// before querying; pushing after a finalize and re-finalizing
+    /// **merges** the new postings in — staged postings are sorted,
+    /// frozen groups merged, never re-sorted.
     pub fn finalize(&mut self) {
-        self.core.finalize(|a, b| {
-            crate::csr::desc_f64(a.spatial_bound, b.spatial_bound).then(a.object.cmp(&b.object))
-        });
+        self.core.finalize(cmp_dual);
     }
 
     /// [`finalize`](Self::finalize) with the staged per-group sorts
     /// fanned out over `threads` workers (0 = all cores). The result
     /// is bit-identical for every thread count.
     pub fn finalize_with_threads(&mut self, threads: usize) {
-        self.core.finalize_with_threads(
-            |a, b| {
-                crate::csr::desc_f64(a.spatial_bound, b.spatial_bound).then(a.object.cmp(&b.object))
-            },
-            threads,
-        );
+        self.core.finalize_with_threads(cmp_dual, threads);
+    }
+
+    /// Rebuilds a frozen index from validated columnar parts (the SoA
+    /// codec's direct load path — `crate::serialize` has already
+    /// checked every CSR invariant).
+    pub(crate) fn from_frozen_parts(keys: Vec<K>, offsets: Vec<usize>, arena: DualColumns) -> Self {
+        HybridIndex {
+            core: CsrCore::from_frozen(keys, offsets, arena),
+        }
     }
 
     /// True when every pushed posting is in the frozen arena (no
@@ -95,28 +106,59 @@ impl<K: Eq + Hash + Ord + Copy + Sync> HybridIndex<K> {
         self.core.generation()
     }
 
-    /// The full list for a key, if any (descending spatial-bound
-    /// order).
-    pub fn list(&self, key: &K) -> Option<&[DualPosting]> {
-        self.core.group(key)
+    /// The full list for a key, if any, as a columnar view (descending
+    /// spatial-bound order).
+    pub fn list(&self, key: &K) -> Option<DualPostingsView<'_>> {
+        let span = self.core.group_span(key)?;
+        let a = self.core.arena();
+        Some(DualPostingsView {
+            ids: &a.ids[span.clone()],
+            spatial_bounds: &a.spatial[span.clone()],
+            textual_bounds: &a.textual[span],
+        })
     }
 
-    /// Iterates the postings qualifying under both thresholds,
-    /// `I_{c_R, c_T}(key)`: a binary-searched spatial cut, then a
-    /// textual-bound check per surviving posting.
+    /// Iterates the object ids qualifying under both thresholds,
+    /// `I_{c_R, c_T}(key)`: one [`bound_cut`](crate::bound_cut) over
+    /// the spatial column, then a textual-column check per surviving
+    /// row, yielding ids from the id column.
     #[inline]
     pub fn qualifying<'a>(
         &'a self,
         key: &K,
         c_spatial: f64,
         c_textual: f64,
-    ) -> impl Iterator<Item = &'a DualPosting> + 'a {
+    ) -> impl Iterator<Item = ObjId> + 'a {
         debug_assert!(self.core.is_finalized(), "query on non-finalized index");
-        let group = self.core.group(key).unwrap_or(&[]);
-        let cut = group.partition_point(|p| p.spatial_bound >= c_spatial);
-        group[..cut]
+        let (ids, spatial, textual) = match self.core.group_span(key) {
+            Some(span) => {
+                let a = self.core.arena();
+                (
+                    &a.ids[span.clone()],
+                    &a.spatial[span.clone()],
+                    &a.textual[span],
+                )
+            }
+            None => (&[][..], &[][..], &[][..]),
+        };
+        let cut = crate::csr::bound_cut(spatial, c_spatial);
+        ids[..cut]
             .iter()
-            .filter(move |p| p.textual_bound >= c_textual)
+            .zip(&textual[..cut])
+            .filter(move |&(_, &tb)| tb >= c_textual)
+            .map(|(&id, _)| id)
+    }
+
+    /// `|I_{c_R}(key)|` before the textual check — the spatial-cut
+    /// length alone, costed without touching the id or textual
+    /// columns.
+    #[inline]
+    pub fn qualifying_len(&self, key: &K, c_spatial: f64) -> usize {
+        debug_assert!(self.core.is_finalized(), "query on non-finalized index");
+        match self.core.group_span(key) {
+            Some(span) => crate::csr::bound_cut(&self.core.arena().spatial[span], c_spatial),
+            None => 0,
+        }
     }
 
     /// Number of distinct keys (hash buckets actually populated).
@@ -129,20 +171,30 @@ impl<K: Eq + Hash + Ord + Copy + Sync> HybridIndex<K> {
         self.core.posting_count()
     }
 
-    /// Exact heap size in bytes of the frozen layout (arena + key
-    /// table + offsets, plus any staged postings).
+    /// Exact heap size in bytes of the frozen layout (the three
+    /// columns + key table + offsets, plus any staged postings).
     pub fn size_bytes(&self) -> usize {
         self.core.size_bytes()
     }
 
-    /// Iterates `(key, postings)` groups in ascending key order.
+    /// Iterates `(key, group view)` in ascending key order.
     ///
     /// # Panics
     /// If postings are staged (push without a following
     /// [`finalize`](Self::finalize)): iteration sees only the frozen
     /// arena and would silently drop the staged postings.
-    pub fn iter(&self) -> impl Iterator<Item = (K, &[DualPosting])> + '_ {
-        self.core.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (K, DualPostingsView<'_>)> + '_ {
+        let a = self.core.arena();
+        self.core.iter_spans().map(move |(k, span)| {
+            (
+                k,
+                DualPostingsView {
+                    ids: &a.ids[span.clone()],
+                    spatial_bounds: &a.spatial[span.clone()],
+                    textual_bounds: &a.textual[span],
+                },
+            )
+        })
     }
 }
 
@@ -172,23 +224,19 @@ mod tests {
         // cR = 600, cT = 0.57: the (t1,g14) list returns only o1, as the
         // paper notes ("the inverted list of element (t1, g14) only
         // returns o1").
-        let got: Vec<ObjId> = idx
-            .qualifying(&key(1, 14), 600.0, 0.57)
-            .map(|p| p.object)
-            .collect();
+        let got: Vec<ObjId> = idx.qualifying(&key(1, 14), 600.0, 0.57).collect();
         assert_eq!(got, vec![0]);
 
         // (t1,g10): o1's textual bound 1.1 ≥ 0.57 and o2 1.9 ≥ 0.57 —
         // both qualify spatially too.
-        let got: Vec<ObjId> = idx
-            .qualifying(&key(1, 10), 600.0, 0.57)
-            .map(|p| p.object)
-            .collect();
+        let got: Vec<ObjId> = idx.qualifying(&key(1, 10), 600.0, 0.57).collect();
         assert_eq!(got, vec![0, 1]);
 
         assert_eq!(idx.key_count(), 3);
         assert_eq!(idx.posting_count(), 6);
         assert_eq!(idx.qualifying(&key(9, 9), 0.0, 0.0).count(), 0);
+        assert_eq!(idx.qualifying_len(&key(1, 10), 600.0), 2);
+        assert_eq!(idx.qualifying_len(&key(9, 9), 0.0), 0);
     }
 
     #[test]
@@ -198,16 +246,23 @@ mod tests {
         idx.push(key(1, 1), 4, 1100.0, 1.7);
         idx.push(key(1, 1), 0, 1075.0, 1.9);
         idx.finalize();
-        let got: Vec<ObjId> = idx
-            .qualifying(&key(1, 1), 600.0, 1.8)
-            .map(|p| p.object)
-            .collect();
+        let got: Vec<ObjId> = idx.qualifying(&key(1, 1), 600.0, 1.8).collect();
         assert_eq!(got, vec![0], "o5's textual bound 1.7 < 1.8 is pruned");
-        let got: Vec<ObjId> = idx
-            .qualifying(&key(1, 1), 1090.0, 0.0)
-            .map(|p| p.object)
-            .collect();
+        let got: Vec<ObjId> = idx.qualifying(&key(1, 1), 1090.0, 0.0).collect();
         assert_eq!(got, vec![4], "spatial cut drops o1");
+    }
+
+    #[test]
+    fn list_view_columns_are_row_aligned() {
+        let mut idx: HybridIndex<u128> = HybridIndex::new();
+        idx.push(key(1, 1), 4, 1100.0, 1.7);
+        idx.push(key(1, 1), 0, 1075.0, 1.9);
+        idx.finalize();
+        let v = idx.list(&key(1, 1)).unwrap();
+        assert_eq!(v.ids, &[4, 0]);
+        assert_eq!(v.spatial_bounds, &[1100.0, 1075.0]);
+        assert_eq!(v.textual_bounds, &[1.7, 1.9]);
+        assert_eq!(v.get(1), DualPosting::new(0, 1075.0, 1.9));
     }
 
     #[test]
@@ -251,7 +306,7 @@ mod tests {
         idx.push(key(3, 4), 1, 1.0, 1.0);
         idx.finalize();
         assert_eq!(idx.iter().count(), 2);
-        let total: usize = idx.iter().map(|(_, ps)| ps.len()).sum();
+        let total: usize = idx.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(total, idx.posting_count(), "arena holds every posting");
     }
 }

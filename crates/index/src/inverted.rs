@@ -1,6 +1,8 @@
-//! Keyed inverted index over threshold-bounded postings, stored in a
-//! single contiguous arena (CSR layout) once finalized.
+//! Keyed inverted index over threshold-bounded postings, stored as
+//! parallel id/bound columns in a single contiguous arena (columnar
+//! CSR layout) once finalized.
 
+use crate::columns::{PostingsView, SingleColumns};
 use crate::csr::CsrCore;
 use crate::{ObjId, Posting};
 use serde::{Deserialize, Serialize};
@@ -12,13 +14,15 @@ use std::hash::Hash;
 ///
 /// # Layout
 ///
-/// A thin wrapper over the shared frozen-CSR container:
-/// one contiguous [`Posting`] arena plus a sorted key table.
-/// [`finalize`](InvertedIndex::finalize) sorts each per-key group in
-/// **descending bound order** (ties broken by object id for
-/// determinism), so the qualifying prefix `I_c(k)` of Lemma 3 is a
-/// `partition_point` cut of one slice: a probe is one binary search
-/// over the keys plus one over the group.
+/// A thin wrapper over the shared frozen-CSR container: one id column
+/// and one bound column (structure-of-arrays), plus a sorted key table
+/// with row offsets. [`finalize`](InvertedIndex::finalize) sorts each
+/// per-key group in **descending bound order** (ties broken by object
+/// id for determinism), so the qualifying prefix `I_c(k)` of Lemma 3
+/// is one [`bound_cut`](crate::bound_cut) of the group's span of the
+/// bound column, and [`qualifying`](InvertedIndex::qualifying) returns
+/// the matching span of the **id column** — the probe never touches a
+/// byte it does not use.
 ///
 /// The paper keeps inverted lists on disk with an in-memory offset map;
 /// we keep everything in memory but report exact byte sizes of the
@@ -26,7 +30,7 @@ use std::hash::Hash;
 /// Table 1's relative index sizes can be reproduced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InvertedIndex<K: Eq + Hash + Ord> {
-    core: CsrCore<K, Posting>,
+    core: CsrCore<K, SingleColumns>,
 }
 
 impl<K: Eq + Hash + Ord + Copy> Default for InvertedIndex<K> {
@@ -35,6 +39,10 @@ impl<K: Eq + Hash + Ord + Copy> Default for InvertedIndex<K> {
             core: CsrCore::default(),
         }
     }
+}
+
+fn cmp_posting(a: &Posting, b: &Posting) -> std::cmp::Ordering {
+    crate::csr::desc_f64(a.bound, b.bound).then(a.object.cmp(&b.object))
 }
 
 impl<K: Eq + Hash + Ord + Copy + Sync> InvertedIndex<K> {
@@ -48,23 +56,22 @@ impl<K: Eq + Hash + Ord + Copy + Sync> InvertedIndex<K> {
     ///
     /// # Panics
     /// If `bound` is NaN: a NaN bound would poison the descending sort
-    /// and break every `partition_point` cut, so it is rejected here,
-    /// at insert time, rather than corrupting queries later.
+    /// and break every bound cut, so it is rejected here, at insert
+    /// time, rather than corrupting queries later.
     pub fn push(&mut self, key: K, object: ObjId, bound: f64) {
         crate::csr::check_bound(bound, "bound");
         self.core.push(key, Posting::new(object, bound));
     }
 
-    /// Compacts all postings into the contiguous arena (groups in
-    /// descending bound order). Must be called after the last
-    /// [`push`](Self::push) and before querying; pushing after a
+    /// Compacts all postings into the contiguous columnar arena
+    /// (groups in descending bound order). Must be called after the
+    /// last [`push`](Self::push) and before querying; pushing after a
     /// finalize and re-finalizing **merges** the new postings in —
     /// only the staged postings are sorted, frozen groups are merged,
     /// never re-sorted, so streaming push → finalize cycles pay for
     /// the delta rather than the whole index.
     pub fn finalize(&mut self) {
-        self.core
-            .finalize(|a, b| crate::csr::desc_f64(a.bound, b.bound).then(a.object.cmp(&b.object)));
+        self.core.finalize(cmp_posting);
     }
 
     /// [`finalize`](Self::finalize) with the staged per-group sorts
@@ -72,10 +79,20 @@ impl<K: Eq + Hash + Ord + Copy + Sync> InvertedIndex<K> {
     /// is bit-identical for every thread count; only build wall-clock
     /// changes.
     pub fn finalize_with_threads(&mut self, threads: usize) {
-        self.core.finalize_with_threads(
-            |a, b| crate::csr::desc_f64(a.bound, b.bound).then(a.object.cmp(&b.object)),
-            threads,
-        );
+        self.core.finalize_with_threads(cmp_posting, threads);
+    }
+
+    /// Rebuilds a frozen index from validated columnar parts (the SoA
+    /// codec's direct load path — `crate::serialize` has already
+    /// checked every CSR invariant).
+    pub(crate) fn from_frozen_parts(
+        keys: Vec<K>,
+        offsets: Vec<usize>,
+        arena: SingleColumns,
+    ) -> Self {
+        InvertedIndex {
+            core: CsrCore::from_frozen(keys, offsets, arena),
+        }
     }
 
     /// True when every pushed posting is in the frozen arena (no
@@ -113,22 +130,43 @@ impl<K: Eq + Hash + Ord + Copy + Sync> InvertedIndex<K> {
         self.core.generation()
     }
 
-    /// The full list for a key, if any (descending bound order).
-    pub fn list(&self, key: &K) -> Option<&[Posting]> {
-        self.core.group(key)
+    /// The full list for a key, if any, as a columnar view
+    /// (descending bound order).
+    pub fn list(&self, key: &K) -> Option<PostingsView<'_>> {
+        let span = self.core.group_span(key)?;
+        let a = self.core.arena();
+        Some(PostingsView {
+            ids: &a.ids[span.clone()],
+            bounds: &a.bounds[span],
+        })
     }
 
-    /// The qualifying postings `I_c(key)` (empty slice if the key is
-    /// absent).
+    /// The object ids of the qualifying postings `I_c(key)` (empty
+    /// slice if the key is absent): one [`bound_cut`](crate::bound_cut)
+    /// over the group's bound column, then the matching prefix of the
+    /// id column — returned in place, no copy, no struct striding.
     #[inline]
-    pub fn qualifying(&self, key: &K, c: f64) -> &[Posting] {
+    pub fn qualifying(&self, key: &K, c: f64) -> &[ObjId] {
         debug_assert!(self.core.is_finalized(), "query on non-finalized index");
-        match self.core.group(key) {
-            Some(group) => {
-                let cut = group.partition_point(|p| p.bound >= c);
-                &group[..cut]
+        match self.core.group_span(key) {
+            Some(span) => {
+                let a = self.core.arena();
+                let cut = crate::csr::bound_cut(&a.bounds[span.clone()], c);
+                &a.ids[span.start..span.start + cut]
             }
             None => &[],
+        }
+    }
+
+    /// `|I_c(key)|` — the qualifying-prefix length without touching
+    /// the id column at all (the §4.3 cost-model probe): the chunked
+    /// [`bound_cut`](crate::bound_cut) over the bound column alone.
+    #[inline]
+    pub fn qualifying_len(&self, key: &K, c: f64) -> usize {
+        debug_assert!(self.core.is_finalized(), "query on non-finalized index");
+        match self.core.group_span(key) {
+            Some(span) => crate::csr::bound_cut(&self.core.arena().bounds[span], c),
+            None => 0,
         }
     }
 
@@ -148,24 +186,33 @@ impl<K: Eq + Hash + Ord + Copy + Sync> InvertedIndex<K> {
     /// [`finalize`](Self::finalize) are not counted, because
     /// [`qualifying`](Self::qualifying) cannot return them.
     pub fn list_len(&self, key: &K) -> usize {
-        self.core.group(key).map(<[Posting]>::len).unwrap_or(0)
+        self.core.group_span(key).map(|s| s.len()).unwrap_or(0)
     }
 
-    /// Exact heap size in bytes of the frozen layout: the postings
-    /// arena plus the key table and CSR offsets (plus any staged
+    /// Exact heap size in bytes of the frozen layout: the id and bound
+    /// columns plus the key table and CSR offsets (plus any staged
     /// postings not yet folded in).
     pub fn size_bytes(&self) -> usize {
         self.core.size_bytes()
     }
 
-    /// Iterates `(key, postings)` groups in ascending key order.
+    /// Iterates `(key, group view)` in ascending key order.
     ///
     /// # Panics
     /// If postings are staged (push without a following
     /// [`finalize`](Self::finalize)): iteration sees only the frozen
     /// arena and would silently drop the staged postings.
-    pub fn iter(&self) -> impl Iterator<Item = (K, &[Posting])> + '_ {
-        self.core.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (K, PostingsView<'_>)> + '_ {
+        let a = self.core.arena();
+        self.core.iter_spans().map(move |(k, span)| {
+            (
+                k,
+                PostingsView {
+                    ids: &a.ids[span.clone()],
+                    bounds: &a.bounds[span],
+                },
+            )
+        })
     }
 }
 
@@ -189,10 +236,10 @@ mod tests {
         assert_eq!(idx.posting_count(), 5);
         assert_eq!(idx.list_len(&4), 2);
         assert_eq!(idx.list_len(&99), 0);
-        let q = idx.qualifying(&1, 1.8);
-        let ids: Vec<ObjId> = q.iter().map(|p| p.object).collect();
-        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(idx.qualifying(&1, 1.8), &[0, 1]);
+        assert_eq!(idx.qualifying_len(&1, 1.8), 2);
         assert!(idx.qualifying(&99, 0.0).is_empty());
+        assert_eq!(idx.qualifying_len(&99, 0.0), 0);
     }
 
     #[test]
@@ -225,20 +272,37 @@ mod tests {
             }
         }
         idx.finalize();
-        // Groups come back in key order with descending bounds.
-        let groups: Vec<(u64, Vec<f64>)> = idx
-            .iter()
-            .map(|(k, ps)| (k, ps.iter().map(|p| p.bound).collect()))
-            .collect();
+        // Groups come back in key order with descending bounds, and
+        // every view's columns are row-aligned.
+        let groups: Vec<(u64, Vec<f64>)> =
+            idx.iter().map(|(k, v)| (k, v.bounds.to_vec())).collect();
         assert_eq!(groups.len(), 3);
         assert_eq!(groups[0].0, 1);
         assert_eq!(groups[2].0, 3);
         for (_, bounds) in &groups {
             assert!(bounds.windows(2).all(|w| w[0] >= w[1]));
         }
-        // Total arena size equals the posting count: one allocation.
-        let total: usize = idx.iter().map(|(_, ps)| ps.len()).sum();
+        for (_, v) in idx.iter() {
+            assert_eq!(v.ids.len(), v.bounds.len(), "columns row-aligned");
+        }
+        // Total column size equals the posting count: one arena.
+        let total: usize = idx.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(total, idx.posting_count());
+    }
+
+    #[test]
+    fn qualifying_returns_the_id_column_prefix() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(1, 9, 3.0);
+        idx.push(1, 4, 2.0);
+        idx.push(1, 7, 1.0);
+        idx.finalize();
+        let view = idx.list(&1).unwrap();
+        assert_eq!(view.ids, &[9, 4, 7]);
+        assert_eq!(view.bounds, &[3.0, 2.0, 1.0]);
+        let q = idx.qualifying(&1, 2.0);
+        assert_eq!(q, &view.ids[..2], "prefix of the id column, in place");
+        assert_eq!(idx.qualifying_len(&1, 2.0), q.len());
     }
 
     #[test]
@@ -253,8 +317,11 @@ mod tests {
         idx.finalize();
         assert_eq!(idx.key_count(), 2);
         assert_eq!(idx.posting_count(), 3);
-        let ids: Vec<ObjId> = idx.qualifying(&1, 0.0).iter().map(|p| p.object).collect();
-        assert_eq!(ids, vec![1, 0], "merged list re-sorted by bound");
+        assert_eq!(
+            idx.qualifying(&1, 0.0),
+            &[1, 0],
+            "merged list re-sorted by bound"
+        );
     }
 
     #[test]

@@ -12,19 +12,25 @@
 //!
 //! The crate provides:
 //!
-//! * [`Posting`] / [`BoundedPostingList`] — single-bound lists for the
-//!   textual filter (`TokenInv`) and the grid filter (`GridInv`).
-//! * [`DualPosting`] — the hybrid postings of Section 5.1 (`HashInv`,
-//!   `HierarchicalInv`) carrying both a spatial and a textual bound;
-//!   pruned if *either* falls below its threshold.
-//! * [`InvertedIndex`] / [`HybridIndex`] — keyed collections of the
-//!   above with byte-level size accounting (Table 1 reports index
-//!   sizes) and binary serialization.
+//! * [`InvertedIndex`] / [`HybridIndex`] — keyed posting collections
+//!   frozen into **columnar (structure-of-arrays) arenas**: one id
+//!   column plus one (or two) bound columns per arena, so the
+//!   qualifying cut scans a dense bound column ([`bound_cut`], chunked
+//!   and auto-vectorizable) and returns ids straight from the id
+//!   column. Byte-level size accounting (Table 1 reports index sizes)
+//!   and binary serialization included.
+//! * [`Posting`] / [`DualPosting`] — the logical posting structs, used
+//!   for staging/sorting and as materialized rows of the columnar
+//!   views ([`PostingsView`] / [`DualPostingsView`]).
+//! * [`BoundedPostingList`] — a standalone single-bound list in the
+//!   same columnar form.
 //! * [`CompressedInvertedIndex`] / [`CompressedHybridIndex`] — the
-//!   same lists in one compressed arena (quantized bound columns +
-//!   varint ids), served in place through a caller-owned scratch
-//!   buffer; see [`compress`] for the layout
-//!   contract.
+//!   same lists in one compressed arena (quantized `u16` bound
+//!   columns + varint ids), served in place through a caller-owned id
+//!   scratch buffer; see [`compress`] for the layout contract.
+//! * [`bound_cut`] — the one shared qualifying-cut path: every probe
+//!   (uncompressed, compressed, standalone list) goes through it or
+//!   its quantized twin.
 //!
 //! Object identifiers are bare `u32`s here ([`ObjId`]); the `seal-core`
 //! crate wraps them in its typed `ObjectId`.
@@ -32,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod columns;
 pub mod compress;
 mod csr;
 mod hybrid;
@@ -41,7 +48,9 @@ pub mod parallel;
 mod posting;
 mod serialize;
 
+pub use columns::{DualPostingsView, PostingsView};
 pub use compress::{CompressedHybridIndex, CompressedInvertedIndex};
+pub use csr::bound_cut;
 pub use hybrid::HybridIndex;
 pub use inverted::InvertedIndex;
 pub use list::BoundedPostingList;

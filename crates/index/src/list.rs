@@ -1,19 +1,30 @@
-//! Posting lists sorted by threshold bound.
+//! A standalone posting list sorted by threshold bound, stored as
+//! parallel id/bound columns (the same SoA contract as the CSR
+//! arenas).
 
-use crate::{ObjId, Posting};
+use crate::ObjId;
 use serde::{Deserialize, Serialize};
 
 /// A posting list sorted in descending bound order (Section 4.2: "We
 /// store bound c_s(o) for each object o in inverted list I(s), and sort
 /// the objects in descending order of the bounds").
 ///
+/// Stored as two parallel columns — `ids` and `bounds` — so the read
+/// path never materializes posting structs: the qualifying cut runs
+/// over the bound column alone ([`crate::bound_cut`], the chunked scan
+/// shared with the CSR arenas) and [`qualifying`] returns the matching
+/// prefix of the id column in place.
+///
 /// Build with [`push`](BoundedPostingList::push) +
 /// [`finalize`](BoundedPostingList::finalize); query with
-/// [`qualifying`](BoundedPostingList::qualifying), which binary-searches
-/// the cut point so probing costs `O(log n + |I_c(s)|)`.
+/// [`qualifying`], which costs `O(log n + |I_c(s)|)` (or one chunked
+/// scan for short lists).
+///
+/// [`qualifying`]: BoundedPostingList::qualifying
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BoundedPostingList {
-    postings: Vec<Posting>,
+    ids: Vec<ObjId>,
+    bounds: Vec<f64>,
     finalized: bool,
 }
 
@@ -30,50 +41,73 @@ impl BoundedPostingList {
     /// the shared CSR core's invariants).
     pub fn push(&mut self, object: ObjId, bound: f64) {
         crate::csr::check_bound(bound, "bound");
-        self.postings.push(Posting::new(object, bound));
+        self.ids.push(object);
+        self.bounds.push(bound);
         self.finalized = false;
     }
 
     /// Sorts postings by descending bound (ties broken by object id for
-    /// determinism) and marks the list queryable.
+    /// determinism) and marks the list queryable. The sort runs over a
+    /// permutation, then gathers both columns once.
     pub fn finalize(&mut self) {
-        self.postings
-            .sort_by(|a, b| crate::csr::desc_f64(a.bound, b.bound).then(a.object.cmp(&b.object)));
+        let mut perm: Vec<u32> = (0..self.ids.len() as u32).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            crate::csr::desc_f64(self.bounds[a as usize], self.bounds[b as usize])
+                .then(self.ids[a as usize].cmp(&self.ids[b as usize]))
+        });
+        self.ids = perm.iter().map(|&i| self.ids[i as usize]).collect();
+        self.bounds = perm.iter().map(|&i| self.bounds[i as usize]).collect();
         self.finalized = true;
     }
 
     /// Number of postings.
     #[inline]
     pub fn len(&self) -> usize {
-        self.postings.len()
+        self.ids.len()
     }
 
     /// True if no postings.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.postings.is_empty()
+        self.ids.is_empty()
     }
 
-    /// All postings (descending bound order once finalized).
+    /// The object id column (descending bound order once finalized).
     #[inline]
-    pub fn postings(&self) -> &[Posting] {
-        &self.postings
+    pub fn ids(&self) -> &[ObjId] {
+        &self.ids
     }
 
-    /// The qualifying prefix `I_c(s) = {o | c_s(o) ≥ c}` (Lemma 3).
+    /// The bound column, row-aligned with [`ids`](Self::ids)
+    /// (non-increasing once finalized).
+    #[inline]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// The object ids of the qualifying prefix
+    /// `I_c(s) = {o | c_s(o) ≥ c}` (Lemma 3), returned in place from
+    /// the id column.
     ///
     /// # Panics
     /// In debug builds, if the list was not finalized.
-    pub fn qualifying(&self, c: f64) -> &[Posting] {
+    pub fn qualifying(&self, c: f64) -> &[ObjId] {
         debug_assert!(self.finalized, "query on non-finalized posting list");
-        // Descending order: find first index with bound < c.
-        let cut = self.postings.partition_point(|p| p.bound >= c);
-        &self.postings[..cut]
+        let cut = crate::bound_cut(&self.bounds, c);
+        &self.ids[..cut]
     }
 
-    /// Heap bytes used by the postings (index-size accounting).
+    /// `|I_c(s)|` — the qualifying-prefix length, from the bound
+    /// column alone.
+    pub fn qualifying_len(&self, c: f64) -> usize {
+        debug_assert!(self.finalized, "query on non-finalized posting list");
+        crate::bound_cut(&self.bounds, c)
+    }
+
+    /// Heap bytes used by the two columns (index-size accounting).
     pub fn size_bytes(&self) -> usize {
-        self.postings.len() * std::mem::size_of::<Posting>()
+        self.ids.len() * std::mem::size_of::<ObjId>()
+            + self.bounds.len() * std::mem::size_of::<f64>()
     }
 }
 
@@ -88,13 +122,14 @@ mod tests {
         l.push(1, 550.0);
         l.push(0, 900.0);
         l.finalize();
-        assert_eq!(l.postings()[0].object, 0, "descending bound order");
+        assert_eq!(l.ids()[0], 0, "descending bound order");
+        assert_eq!(l.bounds(), &[900.0, 550.0]);
         let q = l.qualifying(600.0);
-        assert_eq!(q.len(), 1);
-        assert_eq!(q[0].object, 0);
+        assert_eq!(q, &[0]);
         assert_eq!(l.qualifying(550.0).len(), 2, "bounds are inclusive");
         assert_eq!(l.qualifying(901.0).len(), 0);
         assert_eq!(l.qualifying(0.0).len(), 2);
+        assert_eq!(l.qualifying_len(600.0), 1);
     }
 
     #[test]
@@ -104,8 +139,7 @@ mod tests {
         l.push(3, 5.0);
         l.push(6, 5.0);
         l.finalize();
-        let ids: Vec<ObjId> = l.postings().iter().map(|p| p.object).collect();
-        assert_eq!(ids, vec![3, 6, 9]);
+        assert_eq!(l.ids(), &[3, 6, 9]);
     }
 
     #[test]
@@ -123,7 +157,10 @@ mod tests {
         let mut l = BoundedPostingList::new();
         l.push(0, 1.0);
         l.push(1, 2.0);
-        assert_eq!(l.size_bytes(), 2 * std::mem::size_of::<Posting>());
+        assert_eq!(
+            l.size_bytes(),
+            2 * (std::mem::size_of::<ObjId>() + std::mem::size_of::<f64>())
+        );
     }
 }
 
@@ -144,7 +181,7 @@ mod proptests {
             }
             l.finalize();
             let fast: std::collections::BTreeSet<ObjId> =
-                l.qualifying(c).iter().map(|p| p.object).collect();
+                l.qualifying(c).iter().copied().collect();
             let slow: std::collections::BTreeSet<ObjId> = bounds
                 .iter()
                 .enumerate()
@@ -163,8 +200,8 @@ mod proptests {
                 l.push(i as ObjId, *b);
             }
             l.finalize();
-            let ps = l.postings();
-            prop_assert!(ps.windows(2).all(|w| w[0].bound >= w[1].bound));
+            prop_assert!(l.bounds().windows(2).all(|w| w[0] >= w[1]));
+            prop_assert_eq!(l.ids().len(), l.bounds().len());
         }
     }
 }

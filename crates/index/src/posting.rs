@@ -1,4 +1,10 @@
-//! Posting entries.
+//! Posting entries — the *logical* posting structs.
+//!
+//! Since the SoA refactor these are the staging/sort unit and the
+//! materialized row of the columnar views, **not** the frozen storage
+//! format: finalized arenas keep parallel id/bound columns (see
+//! [`crate::InvertedIndex`]) and the probe path reads columns, never
+//! structs.
 
 use crate::ObjId;
 use serde::{Deserialize, Serialize};

@@ -6,7 +6,13 @@
 //!
 //! ```text
 //! magic:u32  version:u8  kind:u8  key_count:u64
-//! kind 1 (single) / 2 (dual), exact:
+//! kind 5 (SoA single) / 6 (SoA dual) — the current write format:
+//!   posting_count:u64
+//!   directory, repeat key_count times:  key:u128  len:u64
+//!   id column:      object:u32  ×posting_count
+//!   bound column:   bound:f64   ×posting_count
+//!   [kind 6 adds a second bound column: spatial ×n, then textual ×n]
+//! kind 1 (legacy AoS single) / 2 (legacy AoS dual), read-only:
 //!   repeat key_count times:
 //!     key:u128  len:u64
 //!     repeat len times:
@@ -20,11 +26,25 @@
 //!   by the validation walk at load time)
 //! ```
 //!
-//! The compressed kinds persist the serving form **as-is**: encoding
-//! is a directory dump plus one arena memcpy, and decoding revalidates
-//! every group (bound columns in order, varints well-formed and
-//! `u32`-sized) so the in-place probe path stays infallible.
+//! The SoA kinds persist the serving form **as-is**: whole columns are
+//! dumped in group order (the arena's column layout), and loading
+//! rebuilds the frozen arena directly — no per-posting re-push, no
+//! re-sort — after a full validation walk (keys strictly ascending,
+//! offsets consistent, bounds NaN-free and in finalize order) so the
+//! probe path stays infallible. The legacy AoS kinds (the pre-SoA
+//! write format) still **load**: their interleaved records are
+//! transposed into columns on read via the ordinary push + finalize
+//! path, so indexes serialized by older builds keep answering
+//! identically under the SoA engine. [`InvertedIndex::to_bytes_aos`] /
+//! [`HybridIndex::to_bytes_aos`] keep the legacy writer available for
+//! migration tests and downgrade paths.
+//!
+//! The compressed kinds likewise persist their serving form as-is:
+//! encoding is a directory dump plus one arena memcpy, and decoding
+//! revalidates every group (bound columns in order, varints
+//! well-formed and `u32`-sized).
 
+use crate::columns::{DualColumns, SingleColumns};
 use crate::compress::{
     validate_group, CompressedHybridIndex, CompressedInvertedIndex, DualGroupMeta, GroupMeta,
     Quantizer,
@@ -40,6 +60,8 @@ const KIND_SINGLE: u8 = 1;
 const KIND_DUAL: u8 = 2;
 const KIND_COMPRESSED_SINGLE: u8 = 3;
 const KIND_COMPRESSED_DUAL: u8 = 4;
+const KIND_SOA_SINGLE: u8 = 5;
+const KIND_SOA_DUAL: u8 = 6;
 
 /// Errors produced when decoding serialized indexes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,8 +74,9 @@ pub enum IndexCodecError {
     BadKind(u8),
     /// The buffer ended before the declared contents.
     Truncated,
-    /// A compressed payload failed validation (out-of-order bound
-    /// column, malformed or oversized varint, misaligned group).
+    /// A payload failed validation (out-of-order bound column, NaN
+    /// bound, inconsistent counts, malformed or oversized varint,
+    /// misaligned group).
     Corrupt,
 }
 
@@ -64,7 +87,7 @@ impl fmt::Display for IndexCodecError {
             IndexCodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
             IndexCodecError::BadKind(k) => write!(f, "unexpected index kind {k}"),
             IndexCodecError::Truncated => write!(f, "buffer truncated"),
-            IndexCodecError::Corrupt => write!(f, "compressed payload corrupt"),
+            IndexCodecError::Corrupt => write!(f, "payload corrupt"),
         }
     }
 }
@@ -114,8 +137,93 @@ fn check_remaining(buf: &impl Buf, need: usize) -> Result<(), IndexCodecError> {
     }
 }
 
+/// Reads and validates the shared header, returning `(kind,
+/// key_count)` for the caller to dispatch on.
+fn read_header(buf: &mut impl Buf) -> Result<(u8, u64), IndexCodecError> {
+    check_remaining(buf, 4 + 1 + 1 + 8)?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(IndexCodecError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(IndexCodecError::BadVersion(version));
+    }
+    let kind = buf.get_u8();
+    Ok((kind, buf.get_u64_le()))
+}
+
+fn check_header(buf: &mut impl Buf, expect_kind: u8) -> Result<u64, IndexCodecError> {
+    let (kind, key_count) = read_header(buf)?;
+    if kind != expect_kind {
+        return Err(IndexCodecError::BadKind(kind));
+    }
+    Ok(key_count)
+}
+
+/// Reads the SoA directory shared by kinds 5/6: keys + per-group lens,
+/// returning `(keys, offsets)` with every count overflow-checked (a
+/// corrupt header must error, not abort on a huge allocation) and the
+/// strictly-ascending key invariant verified.
+fn read_soa_directory<K: IndexKey>(
+    buf: &mut impl Buf,
+    key_count: usize,
+    posting_count: usize,
+) -> Result<(Vec<K>, Vec<usize>), IndexCodecError> {
+    let directory = key_count
+        .checked_mul(16 + 8)
+        .ok_or(IndexCodecError::Truncated)?;
+    check_remaining(buf, directory)?;
+    let mut keys = Vec::with_capacity(key_count);
+    let mut offsets = Vec::with_capacity(key_count + 1);
+    offsets.push(0usize);
+    let mut total = 0usize;
+    for _ in 0..key_count {
+        keys.push(K::from_u128(buf.get_u128_le()));
+        let len = usize::try_from(buf.get_u64_le()).map_err(|_| IndexCodecError::Corrupt)?;
+        total = total.checked_add(len).ok_or(IndexCodecError::Corrupt)?;
+        offsets.push(total);
+    }
+    if !keys.windows(2).all(|w| w[0] < w[1]) {
+        return Err(IndexCodecError::Corrupt);
+    }
+    if total != posting_count {
+        return Err(IndexCodecError::Corrupt);
+    }
+    Ok((keys, offsets))
+}
+
+/// Validates one loaded group against the finalize order the probe
+/// path depends on: the primary bound column non-increasing under
+/// `total_cmp`, ties in ascending-id order, no NaN anywhere in either
+/// bound column (`extra` is the dual form's unordered second column).
+fn validate_soa_group(
+    ids: &[ObjId],
+    primary: &[f64],
+    extra: Option<&[f64]>,
+    span: std::ops::Range<usize>,
+) -> Result<(), IndexCodecError> {
+    for j in span.clone() {
+        if primary[j].is_nan() || extra.is_some_and(|col| col[j].is_nan()) {
+            return Err(IndexCodecError::Corrupt);
+        }
+        if j > span.start {
+            match primary[j - 1].total_cmp(&primary[j]) {
+                std::cmp::Ordering::Less => return Err(IndexCodecError::Corrupt),
+                std::cmp::Ordering::Equal if ids[j - 1] > ids[j] => {
+                    return Err(IndexCodecError::Corrupt)
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
 impl<K: IndexKey> InvertedIndex<K> {
-    /// Serializes the index to bytes.
+    /// Serializes the index in the SoA column format (kind 5): the
+    /// directory, then the id column, then the bound column — the
+    /// frozen arena's own layout, so loading is a validation walk plus
+    /// bulk column reads rather than a re-sort.
     ///
     /// # Panics
     /// If postings have been pushed since the last
@@ -127,35 +235,113 @@ impl<K: IndexKey> InvertedIndex<K> {
             self.is_finalized(),
             "InvertedIndex::to_bytes requires finalize() after the last push"
         );
-        let mut buf = BytesMut::with_capacity(64 + self.posting_count() * 12);
+        let mut buf =
+            BytesMut::with_capacity(64 + self.key_count() * 24 + self.posting_count() * 12);
         buf.put_u32_le(MAGIC);
         buf.put_u8(VERSION);
-        buf.put_u8(KIND_SINGLE);
+        buf.put_u8(KIND_SOA_SINGLE);
         buf.put_u64_le(self.key_count() as u64);
-        for (key, postings) in self.iter() {
+        buf.put_u64_le(self.posting_count() as u64);
+        for (key, group) in self.iter() {
             buf.put_u128_le(key.to_u128());
-            buf.put_u64_le(postings.len() as u64);
-            for p in postings {
-                buf.put_u32_le(p.object);
-                buf.put_f64_le(p.bound);
+            buf.put_u64_le(group.len() as u64);
+        }
+        // Groups are arena-contiguous in key order, so these loops
+        // emit each column exactly as it sits in memory.
+        for (_, group) in self.iter() {
+            for &id in group.ids {
+                buf.put_u32_le(id);
+            }
+        }
+        for (_, group) in self.iter() {
+            for &b in group.bounds {
+                buf.put_f64_le(b);
             }
         }
         buf.freeze()
     }
 
-    /// Decodes an index from bytes; the result is finalized and ready to
-    /// query.
+    /// Serializes in the legacy interleaved (AoS) format (kind 1) —
+    /// the pre-SoA write format, kept for migration tests and
+    /// downgrade paths. [`from_bytes`](Self::from_bytes) reads both.
+    ///
+    /// # Panics
+    /// If postings are staged (same contract as
+    /// [`to_bytes`](Self::to_bytes)).
+    pub fn to_bytes_aos(&self) -> Bytes {
+        assert!(
+            self.is_finalized(),
+            "InvertedIndex::to_bytes_aos requires finalize() after the last push"
+        );
+        let mut buf = BytesMut::with_capacity(64 + self.posting_count() * 12);
+        buf.put_u32_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(KIND_SINGLE);
+        buf.put_u64_le(self.key_count() as u64);
+        for (key, group) in self.iter() {
+            buf.put_u128_le(key.to_u128());
+            buf.put_u64_le(group.len() as u64);
+            for (&id, &b) in group.ids.iter().zip(group.bounds) {
+                buf.put_u32_le(id);
+                buf.put_f64_le(b);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes an index from bytes; the result is finalized and ready
+    /// to query. Accepts the SoA format (kind 5, loaded directly into
+    /// the frozen arena after validation) and the legacy AoS format
+    /// (kind 1, transposed into columns on read).
     pub fn from_bytes(mut buf: impl Buf) -> Result<Self, IndexCodecError> {
-        let key_count = check_header(&mut buf, KIND_SINGLE)?;
+        let (kind, key_count) = read_header(&mut buf)?;
+        match kind {
+            KIND_SOA_SINGLE => Self::decode_soa(buf, key_count as usize),
+            KIND_SINGLE => Self::decode_aos(buf, key_count),
+            other => Err(IndexCodecError::BadKind(other)),
+        }
+    }
+
+    fn decode_soa(mut buf: impl Buf, key_count: usize) -> Result<Self, IndexCodecError> {
+        check_remaining(&buf, 8)?;
+        let posting_count =
+            usize::try_from(buf.get_u64_le()).map_err(|_| IndexCodecError::Corrupt)?;
+        let (keys, offsets) = read_soa_directory::<K>(&mut buf, key_count, posting_count)?;
+        let column_bytes = posting_count
+            .checked_mul(4 + 8)
+            .ok_or(IndexCodecError::Truncated)?;
+        check_remaining(&buf, column_bytes)?;
+        let mut ids = Vec::with_capacity(posting_count);
+        for _ in 0..posting_count {
+            ids.push(buf.get_u32_le());
+        }
+        let mut bounds = Vec::with_capacity(posting_count);
+        for _ in 0..posting_count {
+            bounds.push(buf.get_f64_le());
+        }
+        for w in offsets.windows(2) {
+            validate_soa_group(&ids, &bounds, None, w[0]..w[1])?;
+        }
+        Ok(InvertedIndex::from_frozen_parts(
+            keys,
+            offsets,
+            SingleColumns { ids, bounds },
+        ))
+    }
+
+    fn decode_aos(mut buf: impl Buf, key_count: u64) -> Result<Self, IndexCodecError> {
         let mut idx = InvertedIndex::new();
         for _ in 0..key_count {
             check_remaining(&buf, 16 + 8)?;
             let key = K::from_u128(buf.get_u128_le());
             let len = buf.get_u64_le() as usize;
-            check_remaining(&buf, len * 12)?;
+            check_remaining(&buf, len.checked_mul(12).ok_or(IndexCodecError::Truncated)?)?;
             for _ in 0..len {
                 let object: ObjId = buf.get_u32_le();
                 let bound = buf.get_f64_le();
+                if bound.is_nan() {
+                    return Err(IndexCodecError::Corrupt);
+                }
                 idx.push(key, object, bound);
             }
         }
@@ -165,7 +351,8 @@ impl<K: IndexKey> InvertedIndex<K> {
 }
 
 impl<K: IndexKey> HybridIndex<K> {
-    /// Serializes the hybrid index to bytes.
+    /// Serializes the hybrid index in the SoA column format (kind 6):
+    /// directory, id column, spatial column, textual column.
     ///
     /// # Panics
     /// If postings have been pushed since the last
@@ -177,58 +364,134 @@ impl<K: IndexKey> HybridIndex<K> {
             self.is_finalized(),
             "HybridIndex::to_bytes requires finalize() after the last push"
         );
+        let mut buf =
+            BytesMut::with_capacity(64 + self.key_count() * 24 + self.posting_count() * 20);
+        buf.put_u32_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(KIND_SOA_DUAL);
+        buf.put_u64_le(self.key_count() as u64);
+        buf.put_u64_le(self.posting_count() as u64);
+        for (key, group) in self.iter() {
+            buf.put_u128_le(key.to_u128());
+            buf.put_u64_le(group.len() as u64);
+        }
+        for (_, group) in self.iter() {
+            for &id in group.ids {
+                buf.put_u32_le(id);
+            }
+        }
+        for (_, group) in self.iter() {
+            for &sb in group.spatial_bounds {
+                buf.put_f64_le(sb);
+            }
+        }
+        for (_, group) in self.iter() {
+            for &tb in group.textual_bounds {
+                buf.put_f64_le(tb);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Serializes in the legacy interleaved (AoS) format (kind 2) —
+    /// kept for migration tests and downgrade paths.
+    ///
+    /// # Panics
+    /// If postings are staged.
+    pub fn to_bytes_aos(&self) -> Bytes {
+        assert!(
+            self.is_finalized(),
+            "HybridIndex::to_bytes_aos requires finalize() after the last push"
+        );
         let mut buf = BytesMut::with_capacity(64 + self.posting_count() * 20);
         buf.put_u32_le(MAGIC);
         buf.put_u8(VERSION);
         buf.put_u8(KIND_DUAL);
         buf.put_u64_le(self.key_count() as u64);
-        for (key, postings) in self.iter() {
+        for (key, group) in self.iter() {
             buf.put_u128_le(key.to_u128());
-            buf.put_u64_le(postings.len() as u64);
-            for p in postings {
-                buf.put_u32_le(p.object);
-                buf.put_f64_le(p.spatial_bound);
-                buf.put_f64_le(p.textual_bound);
+            buf.put_u64_le(group.len() as u64);
+            for ((&id, &sb), &tb) in group
+                .ids
+                .iter()
+                .zip(group.spatial_bounds)
+                .zip(group.textual_bounds)
+            {
+                buf.put_u32_le(id);
+                buf.put_f64_le(sb);
+                buf.put_f64_le(tb);
             }
         }
         buf.freeze()
     }
 
     /// Decodes a hybrid index from bytes (finalized, ready to query).
+    /// Accepts the SoA format (kind 6) and the legacy AoS format
+    /// (kind 2, transposed on read).
     pub fn from_bytes(mut buf: impl Buf) -> Result<Self, IndexCodecError> {
-        let key_count = check_header(&mut buf, KIND_DUAL)?;
+        let (kind, key_count) = read_header(&mut buf)?;
+        match kind {
+            KIND_SOA_DUAL => Self::decode_soa(buf, key_count as usize),
+            KIND_DUAL => Self::decode_aos(buf, key_count),
+            other => Err(IndexCodecError::BadKind(other)),
+        }
+    }
+
+    fn decode_soa(mut buf: impl Buf, key_count: usize) -> Result<Self, IndexCodecError> {
+        check_remaining(&buf, 8)?;
+        let posting_count =
+            usize::try_from(buf.get_u64_le()).map_err(|_| IndexCodecError::Corrupt)?;
+        let (keys, offsets) = read_soa_directory::<K>(&mut buf, key_count, posting_count)?;
+        let column_bytes = posting_count
+            .checked_mul(4 + 8 + 8)
+            .ok_or(IndexCodecError::Truncated)?;
+        check_remaining(&buf, column_bytes)?;
+        let mut ids = Vec::with_capacity(posting_count);
+        for _ in 0..posting_count {
+            ids.push(buf.get_u32_le());
+        }
+        let mut spatial = Vec::with_capacity(posting_count);
+        for _ in 0..posting_count {
+            spatial.push(buf.get_f64_le());
+        }
+        let mut textual = Vec::with_capacity(posting_count);
+        for _ in 0..posting_count {
+            textual.push(buf.get_f64_le());
+        }
+        for w in offsets.windows(2) {
+            validate_soa_group(&ids, &spatial, Some(&textual), w[0]..w[1])?;
+        }
+        Ok(HybridIndex::from_frozen_parts(
+            keys,
+            offsets,
+            DualColumns {
+                ids,
+                spatial,
+                textual,
+            },
+        ))
+    }
+
+    fn decode_aos(mut buf: impl Buf, key_count: u64) -> Result<Self, IndexCodecError> {
         let mut idx = HybridIndex::new();
         for _ in 0..key_count {
             check_remaining(&buf, 16 + 8)?;
             let key = K::from_u128(buf.get_u128_le());
             let len = buf.get_u64_le() as usize;
-            check_remaining(&buf, len * 20)?;
+            check_remaining(&buf, len.checked_mul(20).ok_or(IndexCodecError::Truncated)?)?;
             for _ in 0..len {
                 let object: ObjId = buf.get_u32_le();
                 let sb = buf.get_f64_le();
                 let tb = buf.get_f64_le();
+                if sb.is_nan() || tb.is_nan() {
+                    return Err(IndexCodecError::Corrupt);
+                }
                 idx.push(key, object, sb, tb);
             }
         }
         idx.finalize();
         Ok(idx)
     }
-}
-
-fn check_header(buf: &mut impl Buf, expect_kind: u8) -> Result<u64, IndexCodecError> {
-    check_remaining(buf, 4 + 1 + 1 + 8)?;
-    if buf.get_u32_le() != MAGIC {
-        return Err(IndexCodecError::BadMagic);
-    }
-    let version = buf.get_u8();
-    if version != VERSION {
-        return Err(IndexCodecError::BadVersion(version));
-    }
-    let kind = buf.get_u8();
-    if kind != expect_kind {
-        return Err(IndexCodecError::BadKind(kind));
-    }
-    Ok(buf.get_u64_le())
 }
 
 /// A deserialized quantizer scale, rejected unless finite and positive.
@@ -403,7 +666,9 @@ mod tests {
         assert_eq!(back.posting_count(), 3);
         assert_eq!(back.qualifying(&7, 2.0).len(), 1);
         assert_eq!(back.qualifying(&7, 0.0).len(), 2);
-        assert_eq!(back.qualifying(&42, 9.0)[0].object, 2);
+        assert_eq!(back.qualifying(&42, 9.0), &[2]);
+        assert!(back.is_finalized());
+        assert_eq!(back.generation(), 1);
     }
 
     #[test]
@@ -413,11 +678,49 @@ mod tests {
         idx.push(1u128 << 70, 1, 550.0, 1.9);
         idx.finalize();
         let back: HybridIndex<u128> = HybridIndex::from_bytes(idx.to_bytes()).unwrap();
-        let got: Vec<u32> = back
-            .qualifying(&(1u128 << 70), 600.0, 0.5)
-            .map(|p| p.object)
-            .collect();
+        let got: Vec<u32> = back.qualifying(&(1u128 << 70), 600.0, 0.5).collect();
         assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn legacy_aos_bytes_load_and_answer_identically() {
+        // The migration contract: kind 1/2 files written by the AoS
+        // writer load under the SoA engine and serve the same answers
+        // as the SoA codec.
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        for key in 0u64..6 {
+            for obj in 0..40u32 {
+                idx.push(key, obj * 7 % 41, f64::from(obj % 13) * 1.5);
+            }
+        }
+        idx.finalize();
+        let from_aos: InvertedIndex<u64> = InvertedIndex::from_bytes(idx.to_bytes_aos()).unwrap();
+        let from_soa: InvertedIndex<u64> = InvertedIndex::from_bytes(idx.to_bytes()).unwrap();
+        assert_eq!(from_aos.posting_count(), from_soa.posting_count());
+        for key in 0u64..6 {
+            for thr in [0.0, 3.0, 9.0, 100.0] {
+                assert_eq!(
+                    from_aos.qualifying(&key, thr),
+                    from_soa.qualifying(&key, thr),
+                    "key {key} thr {thr}"
+                );
+                assert_eq!(from_aos.qualifying(&key, thr), idx.qualifying(&key, thr));
+            }
+        }
+
+        let mut h: HybridIndex<u64> = HybridIndex::new();
+        for key in 0u64..4 {
+            for obj in 0..25u32 {
+                h.push(key, obj, f64::from(obj % 7) * 10.0, f64::from(obj % 3));
+            }
+        }
+        h.finalize();
+        let from_aos: HybridIndex<u64> = HybridIndex::from_bytes(h.to_bytes_aos()).unwrap();
+        for key in 0u64..4 {
+            let a: Vec<ObjId> = from_aos.qualifying(&key, 30.0, 1.0).collect();
+            let b: Vec<ObjId> = h.qualifying(&key, 30.0, 1.0).collect();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]
@@ -458,9 +761,12 @@ mod tests {
         let mut idx: InvertedIndex<u64> = InvertedIndex::new();
         idx.push(1, 0, 1.0);
         idx.finalize();
-        let bytes = idx.to_bytes();
         assert_eq!(
-            HybridIndex::<u64>::from_bytes(bytes).unwrap_err(),
+            HybridIndex::<u64>::from_bytes(idx.to_bytes()).unwrap_err(),
+            IndexCodecError::BadKind(KIND_SOA_SINGLE)
+        );
+        assert_eq!(
+            HybridIndex::<u64>::from_bytes(idx.to_bytes_aos()).unwrap_err(),
             IndexCodecError::BadKind(KIND_SINGLE)
         );
     }
@@ -472,11 +778,96 @@ mod tests {
             idx.push(1, i, f64::from(i));
         }
         idx.finalize();
+        for bytes in [idx.to_bytes(), idx.to_bytes_aos()] {
+            let cut = bytes.slice(..bytes.len() - 5);
+            assert_eq!(
+                InvertedIndex::<u64>::from_bytes(cut).unwrap_err(),
+                IndexCodecError::Truncated
+            );
+        }
+    }
+
+    #[test]
+    fn soa_rejects_out_of_order_and_nan_bounds() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(1, 0, 5.0);
+        idx.push(1, 1, 3.0);
+        idx.finalize();
         let bytes = idx.to_bytes();
-        let cut = bytes.slice(..bytes.len() - 5);
+        // Bound column starts after header(14) + posting_count(8) +
+        // directory(24) + id column(2×4). Swap the two bounds so the
+        // column increases.
+        let col_at = 14 + 8 + 24 + 8;
+        let mut raw = bytes.as_slice().to_vec();
+        let (a, b) = (col_at, col_at + 8);
+        for i in 0..8 {
+            raw.swap(a + i, b + i);
+        }
         assert_eq!(
-            InvertedIndex::<u64>::from_bytes(cut).unwrap_err(),
+            InvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
+            IndexCodecError::Corrupt,
+            "increasing bound column must be rejected"
+        );
+        // NaN bound in an otherwise ordered column.
+        let mut raw = bytes.as_slice().to_vec();
+        raw[col_at..col_at + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            InvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
+            IndexCodecError::Corrupt,
+            "NaN bound must be rejected"
+        );
+    }
+
+    #[test]
+    fn soa_rejects_tie_order_violation() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        idx.push(1, 0, 5.0);
+        idx.push(1, 1, 5.0);
+        idx.finalize();
+        let bytes = idx.to_bytes();
+        // Equal bounds: ids must be ascending. Swap the two u32 ids.
+        let ids_at = 14 + 8 + 24;
+        let mut raw = bytes.as_slice().to_vec();
+        let (a, b) = (ids_at, ids_at + 4);
+        for i in 0..4 {
+            raw.swap(a + i, b + i);
+        }
+        assert_eq!(
+            InvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
+            IndexCodecError::Corrupt
+        );
+    }
+
+    #[test]
+    fn soa_rejects_inconsistent_counts_without_allocating() {
+        // A huge declared key/posting count must error out before any
+        // allocation sized from it.
+        let mut raw = Vec::new();
+        raw.put_u32_le(MAGIC);
+        raw.put_u8(VERSION);
+        raw.put_u8(KIND_SOA_SINGLE);
+        raw.put_u64_le(1u64 << 60); // key_count
+        raw.put_u64_le(0); // posting_count
+        assert_eq!(
+            InvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
             IndexCodecError::Truncated
+        );
+        // Directory says 2 postings, header says 1.
+        let mut raw = Vec::new();
+        raw.put_u32_le(MAGIC);
+        raw.put_u8(VERSION);
+        raw.put_u8(KIND_SOA_SINGLE);
+        raw.put_u64_le(1);
+        raw.put_u64_le(1);
+        raw.put_u128_le(9);
+        raw.put_u64_le(2);
+        raw.put_u32_le(0);
+        raw.put_u32_le(1);
+        raw.put_f64_le(1.0);
+        raw.put_f64_le(0.5);
+        assert_eq!(
+            InvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
+            IndexCodecError::Corrupt
         );
     }
 
@@ -485,6 +876,8 @@ mod tests {
         let mut idx: InvertedIndex<u32> = InvertedIndex::new();
         idx.finalize();
         let back: InvertedIndex<u32> = InvertedIndex::from_bytes(idx.to_bytes()).unwrap();
+        assert_eq!(back.key_count(), 0);
+        let back: InvertedIndex<u32> = InvertedIndex::from_bytes(idx.to_bytes_aos()).unwrap();
         assert_eq!(back.key_count(), 0);
     }
 

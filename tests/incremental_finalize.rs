@@ -205,17 +205,11 @@ fn streaming_ingest_serves_correct_answers_after_each_refinalize() {
         fresh.finalize();
         for key in 0u32..40 {
             for thr in [0.0, 10.0, 50.0, 96.0] {
-                let a: Vec<u32> = streaming
-                    .qualifying(&key, thr)
-                    .iter()
-                    .map(|p| p.object)
-                    .collect();
-                let b: Vec<u32> = fresh
-                    .qualifying(&key, thr)
-                    .iter()
-                    .map(|p| p.object)
-                    .collect();
-                assert_eq!(a, b, "key {key} thr {thr} diverged mid-stream");
+                assert_eq!(
+                    streaming.qualifying(&key, thr),
+                    fresh.qualifying(&key, thr),
+                    "key {key} thr {thr} diverged mid-stream"
+                );
             }
         }
     }

@@ -30,9 +30,11 @@ fn token_index_roundtrips_through_bytes() {
     // Spot-check qualifying sets for a sample of keys and thresholds.
     for (key, _) in idx.iter().take(50) {
         for c in [0.0, 0.5, 2.0, 10.0] {
-            let a: Vec<u32> = idx.qualifying(&key, c).iter().map(|p| p.object).collect();
-            let b: Vec<u32> = back.qualifying(&key, c).iter().map(|p| p.object).collect();
-            assert_eq!(a, b, "key {key} threshold {c}");
+            assert_eq!(
+                idx.qualifying(&key, c),
+                back.qualifying(&key, c),
+                "key {key} threshold {c}"
+            );
         }
     }
 }
@@ -74,8 +76,8 @@ fn hybrid_index_roundtrips_through_bytes() {
     assert_eq!(back.posting_count(), idx.posting_count());
     assert_eq!(back.key_count(), idx.key_count());
     for (key, _) in idx.iter().take(25) {
-        let a: Vec<u32> = idx.qualifying(&key, 10.0, 0.5).map(|p| p.object).collect();
-        let b: Vec<u32> = back.qualifying(&key, 10.0, 0.5).map(|p| p.object).collect();
+        let a: Vec<u32> = idx.qualifying(&key, 10.0, 0.5).collect();
+        let b: Vec<u32> = back.qualifying(&key, 10.0, 0.5).collect();
         assert_eq!(a, b);
     }
 }
