@@ -1,0 +1,115 @@
+//! Records `.seal` container persistence numbers to
+//! `BENCH_persist.json`:
+//!
+//! 1. **Save latency and container size** — `SealEngine::save` (the
+//!    atomic temp-file + fsync + rename protocol) per filter kind.
+//! 2. **Load latency** — `SealEngine::load_with_threads` with one CRC
+//!    worker and with one per core, so the parallel section
+//!    verification shows up as a ratio.
+//!
+//! In-binary contract check: for every kind measured, the loaded
+//! engine answers the whole workload identically to the in-memory
+//! engine it was saved from.
+//!
+//! ```text
+//! cargo run --release -p seal-bench --bin bench_persist -- \
+//!     [--objects N] [--queries N] [--seed N] [--out PATH]
+//! ```
+//!
+//! The parallel-load speed-up is only meaningful on multi-core
+//! hardware: with one core the CRC workers time-slice one CPU. The
+//! JSON records `available_parallelism` alongside the numbers (same
+//! caveat as the other BENCH files); sizes, single-thread latencies
+//! and the contract check are valid anywhere.
+
+use seal_bench::data::{build_store, dataset, with_thresholds, workload, BenchConfig, Which};
+use seal_bench::harness::{out_path, time_ms, write_json};
+use seal_core::{FilterKind, ObjectId, Query, SealEngine};
+use seal_datagen::QuerySpec;
+
+fn answers(engine: &SealEngine, queries: &[Query]) -> Vec<Vec<ObjectId>> {
+    engine
+        .search_batch(queries, 1)
+        .into_iter()
+        .map(|r| r.sorted().answers)
+        .collect()
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let out = out_path("BENCH_persist.json");
+
+    let d = dataset(Which::Twitter, &cfg);
+    let store = build_store(&d);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let queries = with_thresholds(&workload(&d, QuerySpec::SmallRegion, &cfg), 0.4, 0.4);
+
+    let kinds: [(&str, FilterKind); 3] = [
+        (
+            "seal",
+            FilterKind::Hierarchical {
+                max_level: 8,
+                budget: 16,
+            },
+        ),
+        ("token", FilterKind::Token),
+        ("token-compressed", FilterKind::TokenCompressed),
+    ];
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("seal-bench-persist-{}.seal", std::process::id()));
+
+    let mut rows = Vec::new();
+    for (name, kind) in kinds {
+        let engine = SealEngine::build(store.clone(), kind);
+        let expect = answers(&engine, &queries);
+
+        let (saved, save_ms) = time_ms(|| engine.save(&path).expect("save must succeed"));
+        let (loaded, load_ms) =
+            time_ms(|| SealEngine::load(&path).expect("single-thread load must succeed"));
+        let (loaded_par, load_par_ms) = time_ms(|| {
+            SealEngine::load_with_threads(&path, 0).expect("parallel load must succeed")
+        });
+        assert_eq!(
+            answers(&loaded, &queries),
+            expect,
+            "{name}: loaded engine diverged from the in-memory engine"
+        );
+        assert_eq!(
+            answers(&loaded_par, &queries),
+            expect,
+            "{name}: parallel-loaded engine diverged from the in-memory engine"
+        );
+
+        println!(
+            "{name}: {:.2} MB saved in {save_ms:.1} ms, loaded in {load_ms:.1} ms \
+             (1 thread) / {load_par_ms:.1} ms ({cores} threads)",
+            saved as f64 / (1024.0 * 1024.0),
+        );
+        rows.push(format!(
+            "    {{ \"filter\": \"{name}\", \"container_bytes\": {saved}, \
+             \"save_ms\": {save_ms:.2}, \"load_ms\": {load_ms:.2}, \
+             \"load_ms_parallel\": {load_par_ms:.2} }}"
+        ));
+    }
+    std::fs::remove_file(&path).ok();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \".seal container persistence: atomic save, checksummed load\",\n");
+    json.push_str(&format!("  \"objects\": {},\n", store.len()));
+    json.push_str(&format!("  \"queries\": {},\n", queries.len()));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(
+        "  \"caveat\": \"the parallel-load ratio time-slices one CPU when \
+         available_parallelism is 1; sizes, single-thread latencies and the \
+         identical-answers check are valid anywhere\",\n",
+    );
+    json.push_str("  \"per_filter\": [\n");
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"identical_answers_after_load\": true\n");
+    json.push_str("}\n");
+
+    write_json(&out, &json);
+}

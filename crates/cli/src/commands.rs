@@ -39,6 +39,13 @@ commands:
             online ingest: build over the first N objects, then drive
             push -> query -> refresh cycles (generation swaps) over
             the rest, reporting staged visibility and refresh latency
+  save      --data FILE --out FILE.seal [--filter ...] [--threads N]
+            build an index and persist data + index as one atomic,
+            checksummed .seal container
+  load      --index FILE.seal [--threads N] [--region x0,y0,x1,y1
+            --tokens a,b,c [--tau-r F] [--tau-t F]]
+            load a .seal container (fully validated before use) and
+            optionally answer one query from it
   help      show this message";
 
 /// Entry point used by `main` (and by the tests, with captured output).
@@ -55,6 +62,8 @@ pub fn run(argv: &[String]) -> Result<(), Box<dyn Error>> {
         "query" => cmd_query(&args),
         "batch" => cmd_batch(&args),
         "ingest" => cmd_ingest(&args),
+        "save" => cmd_save(&args),
+        "load" => cmd_load(&args),
         other => Err(format!("unknown command {other:?}").into()),
     }
 }
@@ -112,6 +121,32 @@ fn store_from(dataset: &Dataset) -> Arc<ObjectStore> {
         raw_objects(dataset),
         dataset.vocab_size,
     ))
+}
+
+/// A dataset's records as an object store built over token *names*,
+/// so the store interns a dictionary and a saved `.seal` container
+/// carries it — `load` then resolves query tokens by name without the
+/// original TSV.
+fn labeled_store_from(
+    dataset: &Dataset,
+    names: &[String],
+) -> Result<Arc<ObjectStore>, Box<dyn Error>> {
+    let mut items = Vec::with_capacity(dataset.objects.len());
+    for o in &dataset.objects {
+        let mut tokens = Vec::with_capacity(o.tokens.len());
+        for t in &o.tokens {
+            let name = names.get(t.0 as usize).ok_or_else(|| {
+                format!(
+                    "token id {} out of range of the name table ({} names)",
+                    t.0,
+                    names.len()
+                )
+            })?;
+            tokens.push(name.as_str());
+        }
+        items.push((o.region, tokens));
+    }
+    Ok(Arc::new(ObjectStore::from_labeled(items)))
 }
 
 /// Parses the shared workload options (`--queries`, `--tau-r`,
@@ -386,6 +421,105 @@ fn cmd_ingest(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Builds an index over the dataset and persists data + index as one
+/// atomic, checksummed `.seal` container.
+fn cmd_save(args: &Args) -> Result<(), Box<dyn Error>> {
+    let data = args.required("data")?;
+    let out = args.required("out")?;
+    let kind = filter_kind(args.optional("filter").unwrap_or("seal"))?;
+    let threads: usize = args.parsed_or("threads", 1)?;
+    let reader = BufReader::new(File::open(data)?);
+    let (dataset, names) = dio::read_tsv(reader)?;
+    let store = labeled_store_from(&dataset, &names)?;
+
+    let t0 = std::time::Instant::now();
+    let engine = SealEngine::build_with_opts(
+        store,
+        kind,
+        SimilarityConfig::default(),
+        BuildOpts::with_threads(threads),
+    );
+    let build_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let bytes = engine.save(std::path::Path::new(out))?;
+    println!(
+        "saved {} over {} objects to {out}: {:.2} MB in {:.3}s (built in {build_s:.3}s)",
+        engine.filter_name(),
+        engine.store().len(),
+        bytes as f64 / (1024.0 * 1024.0),
+        t1.elapsed().as_secs_f64(),
+    );
+    Ok(())
+}
+
+/// Loads a `.seal` container — every section CRC-verified and every
+/// count validated before the engine is constructed — and optionally
+/// answers one query from it, resolving tokens through the persisted
+/// dictionary.
+fn cmd_load(args: &Args) -> Result<(), Box<dyn Error>> {
+    let path = args.required("index")?;
+    let threads: usize = args.parsed_or("threads", 1)?;
+    let t0 = std::time::Instant::now();
+    let engine = SealEngine::load_with_threads(std::path::Path::new(path), threads)?;
+    println!(
+        "loaded {} over {} objects from {path} in {:.3}s (index {:.2} MB)",
+        engine.filter_name(),
+        engine.store().len(),
+        t0.elapsed().as_secs_f64(),
+        engine.index_bytes() as f64 / (1024.0 * 1024.0),
+    );
+
+    let (Some(region), Some(tokens)) = (args.optional("region"), args.optional("tokens")) else {
+        return Ok(());
+    };
+    let region = parse_region(region)?;
+    let tau_r: f64 = args.parsed_or("tau-r", 0.4)?;
+    let tau_t: f64 = args.parsed_or("tau-t", 0.4)?;
+    let dict = engine.store().dictionary();
+    let mut ids: Vec<TokenId> = Vec::new();
+    let mut unknown: Vec<&str> = Vec::new();
+    for t in tokens.split(',').map(str::trim) {
+        if t.is_empty() {
+            continue;
+        }
+        match dict.and_then(|d| d.get(t)) {
+            Some(id) => ids.push(id),
+            None => unknown.push(t),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!("note: tokens not in the saved dictionary: {unknown:?}");
+    }
+    let q = Query::with_token_ids(region, ids, tau_r, tau_t)
+        .map_err(|e| format!("invalid thresholds: {e}"))?;
+    let result = engine.search(&q).sorted();
+    println!(
+        "{} answers ({} candidates, filter {:?}, verify {:?})",
+        result.answers.len(),
+        result.stats.candidates,
+        result.stats.filter_time,
+        result.stats.verify_time,
+    );
+    for id in result.answers.iter().take(20) {
+        let o = engine.store().get(*id);
+        let toks: Vec<&str> = o
+            .tokens
+            .iter()
+            .filter_map(|t| dict.and_then(|d| d.name(t)))
+            .collect();
+        println!(
+            "  object {:>8}  area {:.3}  tokens {}",
+            id.0,
+            o.region.area(),
+            toks.join(",")
+        );
+    }
+    if result.answers.len() > 20 {
+        println!("  … and {} more", result.answers.len() - 20);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +578,46 @@ mod tests {
         )))
         .unwrap();
         std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_corruption() {
+        let data = temp_path("persist.tsv");
+        let data_s = data.to_str().unwrap().to_string();
+        let seal = temp_path("persist.seal");
+        let seal_s = seal.to_str().unwrap().to_string();
+        run(&argv(&format!(
+            "generate --kind twitter --objects 300 --seed 11 --out {data_s}"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "save --data {data_s} --out {seal_s} --filter adaptive --threads 2"
+        )))
+        .unwrap();
+        run(&argv(&format!("load --index {seal_s} --threads 2"))).unwrap();
+        // Query the loaded container; tokens resolve through the
+        // persisted dictionary (tok0 exists, zzz is reported unknown).
+        run(&argv(&format!(
+            "load --index {seal_s} --region 0,0,40000,40000 --tokens tok0,zzz \
+             --tau-r 0.01 --tau-t 0.01"
+        )))
+        .unwrap();
+
+        // A missing container is an error, not a panic.
+        assert!(run(&argv("load --index /nonexistent-container.seal")).is_err());
+        // A flipped byte anywhere trips a CRC: error, not a panic.
+        let pristine = std::fs::read(&seal).unwrap();
+        let mut bytes = pristine.clone();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&seal, &bytes).unwrap();
+        assert!(run(&argv(&format!("load --index {seal_s}"))).is_err());
+        // So is a truncated file.
+        std::fs::write(&seal, &pristine[..pristine.len() / 3]).unwrap();
+        assert!(run(&argv(&format!("load --index {seal_s}"))).is_err());
+
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&seal).ok();
     }
 
     #[test]

@@ -121,6 +121,7 @@ pub struct SealEngine {
     store: Arc<ObjectStore>,
     filter: Box<dyn CandidateFilter>,
     cfg: SimilarityConfig,
+    kind: FilterKind,
 }
 
 impl SealEngine {
@@ -215,7 +216,12 @@ impl SealEngine {
             )),
             FilterKind::Naive => Box::new(NaiveFilter::new(store.clone())),
         };
-        SealEngine { store, filter, cfg }
+        SealEngine {
+            store,
+            filter,
+            cfg,
+            kind,
+        }
     }
 
     /// Builds the engine for the **next generation** of `prev`'s
@@ -258,6 +264,7 @@ impl SealEngine {
                                 store,
                                 filter: Box::new(filter),
                                 cfg,
+                                kind,
                             },
                             scheme_reused: true,
                         };
@@ -359,9 +366,38 @@ impl SealEngine {
         seal_index::parallel::resolve_threads(threads).clamp(1, queries.max(1))
     }
 
+    /// Reassembles an engine from persisted parts (the container
+    /// loader's constructor — field privacy keeps every other path
+    /// through [`build_with_opts`](Self::build_with_opts)).
+    pub(crate) fn from_loaded_parts(
+        store: Arc<ObjectStore>,
+        filter: Box<dyn CandidateFilter>,
+        cfg: SimilarityConfig,
+        kind: FilterKind,
+    ) -> Self {
+        SealEngine {
+            store,
+            filter,
+            cfg,
+            kind,
+        }
+    }
+
     /// The store the engine serves.
     pub fn store(&self) -> &Arc<ObjectStore> {
         &self.store
+    }
+
+    /// The filter kind the engine was built with (what
+    /// [`save`](Self::save) persists and [`load`](Self::load)
+    /// reconstructs).
+    pub fn kind(&self) -> FilterKind {
+        self.kind
+    }
+
+    /// The similarity configuration in effect.
+    pub fn config(&self) -> SimilarityConfig {
+        self.cfg
     }
 
     /// The active filter's display name.

@@ -79,6 +79,31 @@ impl AdaptiveFilter {
         }
     }
 
+    /// Reassembles the router around its two loaded routes.
+    pub(crate) fn from_loaded(
+        store: Arc<ObjectStore>,
+        cfg: crate::SimilarityConfig,
+        token: TokenFilter,
+        grid: GridFilter,
+    ) -> Self {
+        AdaptiveFilter {
+            store,
+            cfg,
+            token,
+            grid,
+        }
+    }
+
+    /// The token route (persistence reads its index out).
+    pub(crate) fn token_route(&self) -> &TokenFilter {
+        &self.token
+    }
+
+    /// The grid route (persistence reads its index out).
+    pub(crate) fn grid_route(&self) -> &GridFilter {
+        &self.grid
+    }
+
     /// The grid scheme used by the spatial route.
     pub fn grid_scheme(&self) -> &GridScheme {
         self.grid.scheme()
@@ -132,6 +157,10 @@ impl CandidateFilter for AdaptiveFilter {
 
     fn index_bytes(&self) -> usize {
         self.token.index_bytes() + self.grid.index_bytes()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -61,6 +61,23 @@ impl GridFilter {
         }
     }
 
+    /// Reassembles the filter around a loaded index. The scheme is a
+    /// deterministic function of `(store, side)`, so only the index and
+    /// the granularity need persisting.
+    pub(crate) fn from_loaded(
+        store: &ObjectStore,
+        side: u32,
+        cfg: crate::SimilarityConfig,
+        index: InvertedIndex<u64>,
+    ) -> Self {
+        GridFilter {
+            cfg,
+            scheme: GridScheme::build(store, side),
+            index,
+            n_objects: store.len(),
+        }
+    }
+
     /// The grid scheme (granularity, counts).
     pub fn scheme(&self) -> &GridScheme {
         &self.scheme
@@ -101,6 +118,10 @@ impl CandidateFilter for GridFilter {
 
     fn index_bytes(&self) -> usize {
         self.index.size_bytes() + self.scheme.size_bytes()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

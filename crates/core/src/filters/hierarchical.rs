@@ -127,6 +127,24 @@ impl HierarchicalFilter {
         (index, empty)
     }
 
+    /// Reassembles the filter around a loaded scheme and index (the
+    /// empty-token list is recomputed from the store).
+    pub(crate) fn from_loaded(
+        store: Arc<ObjectStore>,
+        cfg: crate::SimilarityConfig,
+        scheme: HierarchicalScheme,
+        index: HybridIndex<u128>,
+    ) -> Self {
+        let empty = crate::filters::empty_token_objects(&store);
+        HierarchicalFilter {
+            store,
+            cfg,
+            scheme,
+            index,
+            empty_token_objects: empty,
+        }
+    }
+
     /// The hierarchical scheme (per-token grids).
     pub fn scheme(&self) -> &HierarchicalScheme {
         &self.scheme

@@ -138,6 +138,49 @@ impl HybridFilter {
         (grid, index, empty)
     }
 
+    /// Reassembles an arena-mode filter around a loaded index. The
+    /// grid scheme is a deterministic function of `(store, side)` and
+    /// the empty-token list of the store, so only the index, the
+    /// granularity and the bucket scheme need persisting.
+    pub(crate) fn from_loaded_arena(
+        store: Arc<ObjectStore>,
+        side: u32,
+        buckets: BucketScheme,
+        cfg: crate::SimilarityConfig,
+        index: HybridIndex<u64>,
+    ) -> Self {
+        let grid = GridScheme::build(&store, side);
+        let empty = crate::filters::empty_token_objects(&store);
+        HybridFilter {
+            store,
+            cfg,
+            grid,
+            buckets,
+            storage: HybridStorage::Arena(index),
+            empty_token_objects: empty,
+        }
+    }
+
+    /// Reassembles a compressed-mode filter around a loaded index.
+    pub(crate) fn from_loaded_compressed(
+        store: Arc<ObjectStore>,
+        side: u32,
+        buckets: BucketScheme,
+        cfg: crate::SimilarityConfig,
+        index: CompressedHybridIndex<u64>,
+    ) -> Self {
+        let grid = GridScheme::build(&store, side);
+        let empty = crate::filters::empty_token_objects(&store);
+        HybridFilter {
+            store,
+            cfg,
+            grid,
+            buckets,
+            storage: HybridStorage::Compressed(index),
+            empty_token_objects: empty,
+        }
+    }
+
     /// The grid scheme in use.
     pub fn grid(&self) -> &GridScheme {
         &self.grid
@@ -226,6 +269,10 @@ impl CandidateFilter for HybridFilter {
             HybridStorage::Compressed(c) => c.size_bytes(),
         };
         index + self.grid.size_bytes()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

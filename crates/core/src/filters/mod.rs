@@ -88,6 +88,18 @@ pub use token::{TokenFilter, TokenFilterBasic};
 
 use crate::{ObjectId, Query, SearchStats};
 
+/// Ids of objects with empty token sets, in store order — exactly the
+/// list every build loop accumulates while skipping them. Used by the
+/// persistence layer to reconstruct filters without serializing the
+/// (derivable) list.
+pub(crate) fn empty_token_objects(store: &crate::ObjectStore) -> Vec<ObjectId> {
+    store
+        .iter()
+        .filter(|(_, o)| o.tokens.is_empty())
+        .map(|(id, _)| id)
+        .collect()
+}
+
 /// Build-time options shared by the filter constructors.
 ///
 /// `FilterKind` picks *what* gets built; `BuildOpts` configures *how*.

@@ -105,6 +105,38 @@ impl TokenFilter {
         }
     }
 
+    /// Reassembles an arena-mode filter around a loaded index. The
+    /// empty-token list is recomputed from the store (it is a pure
+    /// function of it), so only the index itself needs persisting.
+    pub(crate) fn from_loaded_arena(
+        store: Arc<ObjectStore>,
+        cfg: crate::SimilarityConfig,
+        index: InvertedIndex<u32>,
+    ) -> Self {
+        let empty = crate::filters::empty_token_objects(&store);
+        TokenFilter {
+            store,
+            cfg,
+            storage: TokenStorage::Arena(index),
+            empty_token_objects: empty,
+        }
+    }
+
+    /// Reassembles a compressed-mode filter around a loaded index.
+    pub(crate) fn from_loaded_compressed(
+        store: Arc<ObjectStore>,
+        cfg: crate::SimilarityConfig,
+        index: CompressedInvertedIndex<u32>,
+    ) -> Self {
+        let empty = crate::filters::empty_token_objects(&store);
+        TokenFilter {
+            store,
+            cfg,
+            storage: TokenStorage::Compressed(index),
+            empty_token_objects: empty,
+        }
+    }
+
     fn build_index(
         store: &ObjectStore,
         opts: crate::BuildOpts,
@@ -203,6 +235,10 @@ impl CandidateFilter for TokenFilter {
             TokenStorage::Compressed(c) => c.size_bytes(),
         }
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// The basic `Sig-Filter` (Figure 3) on textual signatures: no prefix,
@@ -247,6 +283,27 @@ impl TokenFilterBasic {
             empty_token_objects: empty,
         }
     }
+
+    /// Reassembles the filter around a loaded index (empty-token list
+    /// recomputed from the store).
+    pub(crate) fn from_loaded(
+        store: Arc<ObjectStore>,
+        cfg: crate::SimilarityConfig,
+        index: InvertedIndex<u32>,
+    ) -> Self {
+        let empty = crate::filters::empty_token_objects(&store);
+        TokenFilterBasic {
+            store,
+            cfg,
+            index,
+            empty_token_objects: empty,
+        }
+    }
+
+    /// The underlying weighted index (persistence reads it out).
+    pub(crate) fn index(&self) -> &InvertedIndex<u32> {
+        &self.index
+    }
 }
 
 impl CandidateFilter for TokenFilterBasic {
@@ -285,6 +342,10 @@ impl CandidateFilter for TokenFilterBasic {
 
     fn index_bytes(&self) -> usize {
         self.index.size_bytes()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -69,6 +69,7 @@ pub mod granularity;
 pub mod hss;
 pub mod live;
 mod object;
+pub mod persist;
 mod query;
 pub mod signatures;
 mod simfn;

@@ -1,0 +1,990 @@
+//! Durable engine persistence: the single-file `.seal` container.
+//!
+//! [`SealEngine::save`] lays an engine out as checksummed sections of a
+//! [`seal_index::Container`] and writes it with the crash-safe
+//! temp-file → fsync → atomic-rename protocol ([`ContainerWriter`]'s
+//! `write_atomic`); [`SealEngine::load`] CRC-verifies the framing and
+//! every payload, then validates each section semantically before
+//! reconstructing the engine. Every failure on the load path is a typed
+//! [`ContainerError`]: corrupt, truncated or adversarial input never
+//! panics and never triggers unbounded allocation — every declared
+//! count is checked against the bytes actually remaining before a
+//! buffer is sized from it.
+//!
+//! # Section layout (in directory order)
+//!
+//! | kind | section | contents |
+//! |------|---------|----------|
+//! | 1 | store stats | summary counts + averages, cross-checked bit-exactly against the reloaded store |
+//! | 2 | store objects | vocab size, then each object's rect (4×f64) and sorted token ids |
+//! | 3 | dictionary | token names in id order (present only for stores built from strings) |
+//! | 4 | engine meta | [`FilterKind`] tag + parameters, similarity-function tags |
+//! | 5 | hier scheme | per-token HSS cell selections ([`FilterKind::Hierarchical`] only) |
+//! | 6 | primary index | the filter's index in the `seal_index` codec format |
+//! | 7 | secondary index | the adaptive router's grid index ([`FilterKind::Adaptive`] only) |
+//!
+//! Filters whose build is a cheap deterministic function of the store
+//! (the baselines and [`FilterKind::Naive`]) persist no index sections
+//! and are rebuilt on load.
+//!
+//! Legacy raw codec blobs (an index serialized with
+//! `InvertedIndex::to_bytes` and friends, no container framing) are
+//! detected by magic and rejected with a pointer to the compatibility
+//! entry points — the `from_bytes` constructors in `seal_index` still
+//! read them.
+
+use crate::filters::{
+    AdaptiveFilter, CandidateFilter, GridFilter, HierarchicalFilter, HybridFilter, TokenFilter,
+    TokenFilterBasic,
+};
+use crate::signatures::hash_hybrid::BucketScheme;
+use crate::signatures::hierarchical::{HierarchicalScheme, TokenGrids};
+use crate::{FilterKind, ObjectStore, SealEngine, SimilarityConfig, SpatialSimFn};
+use seal_geom::{GridCellId, GridTree, Rect};
+use seal_index::{
+    CompressedHybridIndex, CompressedInvertedIndex, Container, ContainerError, ContainerWriter,
+    HybridIndex, InvertedIndex,
+};
+use seal_text::similarity::TextualSimFn;
+use seal_text::{Dictionary, TokenId, TokenSet};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Section kind: store summary statistics (cross-checked on load).
+pub const SECTION_STORE_STATS: u16 = 1;
+/// Section kind: the object collection (rects + token ids).
+pub const SECTION_STORE_OBJECTS: u16 = 2;
+/// Section kind: the token dictionary (optional).
+pub const SECTION_DICTIONARY: u16 = 3;
+/// Section kind: filter kind and similarity configuration.
+pub const SECTION_ENGINE_META: u16 = 4;
+/// Section kind: hierarchical per-token HSS selections.
+pub const SECTION_HIER_SCHEME: u16 = 5;
+/// Section kind: the filter's primary index (codec bytes).
+pub const SECTION_PRIMARY_INDEX: u16 = 6;
+/// Section kind: the adaptive router's grid index (codec bytes).
+pub const SECTION_SECONDARY_INDEX: u16 = 7;
+
+// ---------------------------------------------------------------- write
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+// ----------------------------------------------------------------- read
+
+/// A bounds-checked little-endian reader over one section payload.
+///
+/// Every read states what it needs before touching the buffer and
+/// reports shortfalls as [`ContainerError::Section`] with the section
+/// name and the byte offset — the hardened-load contract: no slicing
+/// panics, no `count * size` overflow, no allocation sized from an
+/// unvalidated count.
+struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> R<'a> {
+    fn new(buf: &'a [u8], section: &'static str) -> Self {
+        R {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn err(&self, detail: impl Into<String>) -> ContainerError {
+        ContainerError::Section {
+            section: self.section,
+            offset: self.pos,
+            detail: detail.into(),
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ContainerError> {
+        if self.remaining() < n {
+            return Err(self.err(format!("need {n} bytes, {} remain", self.remaining())));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ContainerError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ContainerError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ContainerError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, ContainerError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Validates a declared element count against the bytes remaining
+    /// (`min_elem_bytes` per element) **before** the caller allocates
+    /// anything sized from it.
+    fn count(&mut self, declared: u64, min_elem_bytes: usize) -> Result<usize, ContainerError> {
+        let n = usize::try_from(declared)
+            .map_err(|_| self.err("declared count exceeds the address space"))?;
+        match n.checked_mul(min_elem_bytes) {
+            Some(total) if total <= self.remaining() => Ok(n),
+            _ => Err(self.err(format!(
+                "declared count {n} needs at least {min_elem_bytes}×{n} bytes, {} remain",
+                self.remaining()
+            ))),
+        }
+    }
+
+    /// Asserts the payload was consumed exactly — trailing bytes in a
+    /// section are corruption, not padding.
+    fn done(self) -> Result<(), ContainerError> {
+        if self.remaining() != 0 {
+            let n = self.remaining();
+            return Err(self.err(format!("{n} unconsumed trailing bytes")));
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------- store stats
+
+fn encode_stats(store: &ObjectStore) -> Vec<u8> {
+    let s = store.stats();
+    let mut buf = Vec::with_capacity(40);
+    put_u64(&mut buf, s.objects as u64);
+    put_u64(&mut buf, s.vocab_size as u64);
+    put_f64(&mut buf, s.avg_region_area);
+    put_f64(&mut buf, s.space_area);
+    put_f64(&mut buf, s.avg_token_count);
+    buf
+}
+
+/// Cross-checks the persisted summary against the store rebuilt from
+/// the objects section. The averages are pure functions of the objects
+/// in their stored order (same summation order), so the comparison is
+/// **bit-exact** — any drift means the sections disagree about the
+/// data they describe. `data_bytes` is deliberately not persisted: it
+/// is capacity-based and so not a function of the logical contents.
+fn check_stats(payload: &[u8], store: &ObjectStore) -> Result<(), ContainerError> {
+    let mut r = R::new(payload, "store stats");
+    let objects = r.u64()?;
+    let vocab = r.u64()?;
+    let avg_area = r.f64()?;
+    let space_area = r.f64()?;
+    let avg_tokens = r.f64()?;
+    let s = store.stats();
+    let mismatch = |r: &R<'_>, what: &str| -> ContainerError {
+        r.err(format!("{what} disagrees with the store objects section"))
+    };
+    if objects != s.objects as u64 {
+        return Err(mismatch(&r, "object count"));
+    }
+    if vocab != s.vocab_size as u64 {
+        return Err(mismatch(&r, "vocab size"));
+    }
+    if avg_area.to_bits() != s.avg_region_area.to_bits() {
+        return Err(mismatch(&r, "average region area"));
+    }
+    if space_area.to_bits() != s.space_area.to_bits() {
+        return Err(mismatch(&r, "space area"));
+    }
+    if avg_tokens.to_bits() != s.avg_token_count.to_bits() {
+        return Err(mismatch(&r, "average token count"));
+    }
+    r.done()
+}
+
+// --------------------------------------------------------- store objects
+
+fn encode_store(store: &ObjectStore) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, store.vocab_size() as u64);
+    put_u64(&mut buf, store.len() as u64);
+    for o in store.objects() {
+        let (min, max) = (o.region.min(), o.region.max());
+        put_f64(&mut buf, min.x);
+        put_f64(&mut buf, min.y);
+        put_f64(&mut buf, max.x);
+        put_f64(&mut buf, max.y);
+        put_u32(&mut buf, o.tokens.len() as u32);
+        for t in o.tokens.iter() {
+            put_u32(&mut buf, t.0);
+        }
+    }
+    buf
+}
+
+fn decode_store(payload: &[u8]) -> Result<ObjectStore, ContainerError> {
+    let mut r = R::new(payload, "store objects");
+    let vocab =
+        usize::try_from(r.u64()?).map_err(|_| r.err("vocab size exceeds the address space"))?;
+    let declared = r.u64()?;
+    // Smallest possible object: rect (32 bytes) + empty token set (4).
+    let n = r.count(declared, 4 * 8 + 4)?;
+    let mut objects = Vec::with_capacity(n);
+    for i in 0..n {
+        let (min_x, min_y) = (r.f64()?, r.f64()?);
+        let (max_x, max_y) = (r.f64()?, r.f64()?);
+        let region = Rect::new(min_x, min_y, max_x, max_y)
+            .map_err(|e| r.err(format!("object {i}: invalid region: {e}")))?;
+        let token_count = r.u32()?;
+        let k = r.count(u64::from(token_count), 4)?;
+        let mut ids = Vec::with_capacity(k);
+        for _ in 0..k {
+            ids.push(TokenId(r.u32()?));
+        }
+        // `TokenSet::from_sorted_unique` only debug-asserts its
+        // invariant, so untrusted bytes are validated explicitly.
+        if let Some(j) = ids.windows(2).position(|w| w[0] >= w[1]) {
+            return Err(r.err(format!(
+                "object {i}: token ids not ascending at slot {}",
+                j + 1
+            )));
+        }
+        if let Some(t) = ids.last() {
+            if t.index() >= vocab {
+                return Err(r.err(format!(
+                    "object {i}: token id {} outside vocab of {vocab}",
+                    t.0
+                )));
+            }
+        }
+        objects.push(crate::RoiObject::new(
+            region,
+            TokenSet::from_sorted_unique(ids),
+        ));
+    }
+    r.done()?;
+    Ok(ObjectStore::from_objects(objects, vocab))
+}
+
+// ----------------------------------------------------------- dictionary
+
+fn encode_dictionary(dict: &Dictionary) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, dict.len() as u64);
+    for (_, name) in dict.iter() {
+        put_u32(&mut buf, name.len() as u32);
+        buf.extend_from_slice(name.as_bytes());
+    }
+    buf
+}
+
+fn decode_dictionary(payload: &[u8]) -> Result<Dictionary, ContainerError> {
+    let mut r = R::new(payload, "dictionary");
+    let declared = r.u64()?;
+    let n = r.count(declared, 4)?;
+    let mut dict = Dictionary::new();
+    for i in 0..n {
+        let len = r.u32()? as usize;
+        let bytes = r.take(len)?;
+        let name = std::str::from_utf8(bytes)
+            .map_err(|_| r.err(format!("name {i} is not valid UTF-8")))?;
+        let id = dict.intern(name);
+        if id.index() != i {
+            return Err(r.err(format!("duplicate name {name:?} at slot {i}")));
+        }
+    }
+    r.done()?;
+    Ok(dict)
+}
+
+// ---------------------------------------------------------- engine meta
+
+fn spatial_tag(f: SpatialSimFn) -> u8 {
+    match f {
+        SpatialSimFn::Jaccard => 0,
+        SpatialSimFn::Dice => 1,
+    }
+}
+
+fn textual_tag(f: TextualSimFn) -> u8 {
+    match f {
+        TextualSimFn::Jaccard => 0,
+        TextualSimFn::Dice => 1,
+        TextualSimFn::Cosine => 2,
+        TextualSimFn::Overlap => 3,
+    }
+}
+
+fn encode_meta(kind: FilterKind, cfg: SimilarityConfig) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(24);
+    match kind {
+        FilterKind::Token => put_u8(&mut buf, 0),
+        FilterKind::TokenCompressed => put_u8(&mut buf, 1),
+        FilterKind::TokenBasic => put_u8(&mut buf, 2),
+        FilterKind::Grid { side } => {
+            put_u8(&mut buf, 3);
+            put_u32(&mut buf, side);
+        }
+        FilterKind::HashHybrid { side, buckets } => {
+            put_u8(&mut buf, 4);
+            put_u32(&mut buf, side);
+            put_u8(&mut buf, u8::from(buckets.is_some()));
+            put_u64(&mut buf, buckets.unwrap_or(0));
+        }
+        FilterKind::HashHybridCompressed { side, buckets } => {
+            put_u8(&mut buf, 5);
+            put_u32(&mut buf, side);
+            put_u8(&mut buf, u8::from(buckets.is_some()));
+            put_u64(&mut buf, buckets.unwrap_or(0));
+        }
+        FilterKind::Hierarchical { max_level, budget } => {
+            put_u8(&mut buf, 6);
+            put_u8(&mut buf, max_level);
+            put_u64(&mut buf, budget as u64);
+        }
+        FilterKind::KeywordFirst => put_u8(&mut buf, 7),
+        FilterKind::SpatialFirst => put_u8(&mut buf, 8),
+        FilterKind::IrTree { fanout } => {
+            put_u8(&mut buf, 9);
+            put_u64(&mut buf, fanout as u64);
+        }
+        FilterKind::Adaptive { side } => {
+            put_u8(&mut buf, 10);
+            put_u32(&mut buf, side);
+        }
+        FilterKind::Naive => put_u8(&mut buf, 11),
+    }
+    put_u8(&mut buf, spatial_tag(cfg.spatial));
+    put_u8(&mut buf, textual_tag(cfg.textual));
+    buf
+}
+
+fn decode_meta(payload: &[u8]) -> Result<(FilterKind, SimilarityConfig), ContainerError> {
+    let mut r = R::new(payload, "engine meta");
+    let tag = r.u8()?;
+    let kind = match tag {
+        0 => FilterKind::Token,
+        1 => FilterKind::TokenCompressed,
+        2 => FilterKind::TokenBasic,
+        3 => FilterKind::Grid { side: r.u32()? },
+        4 | 5 => {
+            let side = r.u32()?;
+            let has = r.u8()?;
+            let m = r.u64()?;
+            let buckets = match has {
+                0 => None,
+                1 => Some(m),
+                other => return Err(r.err(format!("bad bucket presence flag {other}"))),
+            };
+            if tag == 4 {
+                FilterKind::HashHybrid { side, buckets }
+            } else {
+                FilterKind::HashHybridCompressed { side, buckets }
+            }
+        }
+        6 => {
+            let max_level = r.u8()?;
+            let budget =
+                usize::try_from(r.u64()?).map_err(|_| r.err("budget exceeds the address space"))?;
+            FilterKind::Hierarchical { max_level, budget }
+        }
+        7 => FilterKind::KeywordFirst,
+        8 => FilterKind::SpatialFirst,
+        9 => {
+            let fanout =
+                usize::try_from(r.u64()?).map_err(|_| r.err("fanout exceeds the address space"))?;
+            FilterKind::IrTree { fanout }
+        }
+        10 => FilterKind::Adaptive { side: r.u32()? },
+        11 => FilterKind::Naive,
+        other => return Err(r.err(format!("unknown filter kind tag {other}"))),
+    };
+    let spatial = match r.u8()? {
+        0 => SpatialSimFn::Jaccard,
+        1 => SpatialSimFn::Dice,
+        other => return Err(r.err(format!("unknown spatial similarity tag {other}"))),
+    };
+    let textual = match r.u8()? {
+        0 => TextualSimFn::Jaccard,
+        1 => TextualSimFn::Dice,
+        2 => TextualSimFn::Cosine,
+        3 => TextualSimFn::Overlap,
+        other => return Err(r.err(format!("unknown textual similarity tag {other}"))),
+    };
+    r.done()?;
+    Ok((kind, SimilarityConfig { spatial, textual }))
+}
+
+// ----------------------------------------------------- hierarchical HSS
+
+/// Serializes per-token cell selections, tokens in ascending id order
+/// (the in-memory map iterates nondeterministically) and each token's
+/// cells in their **selection order**, which the scheme treats as
+/// authoritative (`TokenGrids` derives probe ranks from it).
+fn encode_scheme(scheme: &HierarchicalScheme) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u8(&mut buf, scheme.tree().max_level());
+    put_u64(&mut buf, scheme.budget() as u64);
+    let mut tokens: Vec<(&TokenId, &Arc<TokenGrids>)> = scheme.per_token().iter().collect();
+    tokens.sort_unstable_by_key(|(t, _)| t.0);
+    put_u64(&mut buf, tokens.len() as u64);
+    for (t, grids) in tokens {
+        put_u32(&mut buf, t.0);
+        put_u32(&mut buf, grids.cells().len() as u32);
+        for c in grids.cells() {
+            put_u64(&mut buf, c.id.pack());
+        }
+    }
+    buf
+}
+
+fn decode_scheme(
+    payload: &[u8],
+    store: &ObjectStore,
+    expect_max_level: u8,
+    expect_budget: usize,
+) -> Result<HierarchicalScheme, ContainerError> {
+    let mut r = R::new(payload, "hier scheme");
+    let max_level = r.u8()?;
+    if max_level != expect_max_level {
+        return Err(r.err(format!(
+            "max level {max_level} disagrees with engine meta ({expect_max_level})"
+        )));
+    }
+    let budget =
+        usize::try_from(r.u64()?).map_err(|_| r.err("budget exceeds the address space"))?;
+    if budget != expect_budget {
+        return Err(r.err(format!(
+            "budget {budget} disagrees with engine meta ({expect_budget})"
+        )));
+    }
+    let tree = GridTree::new(store.space(), max_level)
+        .map_err(|e| r.err(format!("invalid grid tree: {e}")))?;
+    let declared = r.u64()?;
+    // Smallest possible token entry: id + cell count, no cells.
+    let n_tokens = r.count(declared, 4 + 4)?;
+    let mut per_token: HashMap<TokenId, Arc<TokenGrids>> = HashMap::with_capacity(n_tokens);
+    let mut prev_token: Option<u32> = None;
+    for _ in 0..n_tokens {
+        let t = r.u32()?;
+        if prev_token.is_some_and(|p| p >= t) {
+            return Err(r.err(format!("token ids not ascending at token {t}")));
+        }
+        prev_token = Some(t);
+        let declared_cells = u64::from(r.u32()?);
+        let n_cells = r.count(declared_cells, 8)?;
+        let mut cells = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            let packed = r.u64()?;
+            let id = GridCellId::unpack(packed)
+                .map_err(|e| r.err(format!("token {t}: bad cell id {packed:#x}: {e}")))?;
+            let rect = tree
+                .cell_rect(id)
+                .map_err(|e| r.err(format!("token {t}: cell outside the tree: {e}")))?;
+            // Build-time object lists are selection scratch; probes
+            // never read them, so they are not persisted.
+            cells.push(crate::hss::SelectedCell {
+                id,
+                rect,
+                objects: Vec::new(),
+            });
+        }
+        per_token.insert(TokenId(t), Arc::new(TokenGrids::new(cells, store.space())));
+    }
+    r.done()?;
+    Ok(HierarchicalScheme::from_parts(tree, per_token, budget))
+}
+
+// -------------------------------------------------------------- engine
+
+/// Maps a codec decode failure into the container error space.
+fn codec<T>(res: Result<T, seal_index::IndexCodecError>) -> Result<T, ContainerError> {
+    res.map_err(ContainerError::Codec)
+}
+
+/// Rejects an index whose postings reference objects the store does
+/// not have — the one cross-section invariant the codec itself cannot
+/// check, and the one that would otherwise panic the first query
+/// (dedup stamps are indexed by object id).
+fn check_ids(
+    max_id: Option<seal_index::ObjId>,
+    store_len: usize,
+    what: &'static str,
+) -> Result<(), ContainerError> {
+    if let Some(m) = max_id {
+        if m as usize >= store_len {
+            return Err(ContainerError::Section {
+                section: what,
+                offset: 0,
+                detail: format!("posting references object {m} but the store has {store_len}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn bucket_scheme(buckets: Option<u64>) -> BucketScheme {
+    match buckets {
+        Some(m) => BucketScheme::Buckets(m),
+        None => BucketScheme::Full,
+    }
+}
+
+/// Filter-side error for a kind/storage mismatch (cannot happen via
+/// the public build paths; kept as a typed error rather than a panic).
+fn wrong_filter(detail: &str) -> ContainerError {
+    ContainerError::Section {
+        section: "engine meta",
+        offset: 0,
+        detail: detail.to_string(),
+    }
+}
+
+impl SealEngine {
+    /// Serializes the engine into `.seal` container bytes (pure
+    /// function of the engine — two calls return identical bytes).
+    pub fn to_container_bytes(&self) -> Result<Vec<u8>, ContainerError> {
+        Ok(self.container_writer()?.finish())
+    }
+
+    /// Saves the engine to `path` with the crash-safe protocol: the
+    /// container is written to `<path>.tmp`, fsynced, then atomically
+    /// renamed over `path` — a crash mid-save can leave a stale temp
+    /// file behind but never a torn or half-written container at
+    /// `path`. Returns the container size in bytes.
+    pub fn save(&self, path: &Path) -> Result<u64, ContainerError> {
+        self.container_writer()?.write_atomic(path)
+    }
+
+    fn container_writer(&self) -> Result<ContainerWriter, ContainerError> {
+        let mut w = ContainerWriter::new();
+        w.push_section(SECTION_STORE_STATS, encode_stats(self.store()));
+        w.push_section(SECTION_STORE_OBJECTS, encode_store(self.store()));
+        if let Some(dict) = self.store().dictionary() {
+            w.push_section(SECTION_DICTIONARY, encode_dictionary(dict));
+        }
+        w.push_section(SECTION_ENGINE_META, encode_meta(self.kind(), self.config()));
+        let f = self.filter();
+        match self.kind() {
+            FilterKind::Token => {
+                let t: &TokenFilter = downcast(f, "TokenFilter")?;
+                let idx = t
+                    .index()
+                    .ok_or_else(|| wrong_filter("Token kind with compressed storage"))?;
+                w.push_section(SECTION_PRIMARY_INDEX, idx.to_bytes().as_slice().to_vec());
+            }
+            FilterKind::TokenCompressed => {
+                let t: &TokenFilter = downcast(f, "TokenFilter")?;
+                let idx = t
+                    .compressed_index()
+                    .ok_or_else(|| wrong_filter("TokenCompressed kind with arena storage"))?;
+                w.push_section(SECTION_PRIMARY_INDEX, idx.to_bytes().as_slice().to_vec());
+            }
+            FilterKind::TokenBasic => {
+                let t: &TokenFilterBasic = downcast(f, "TokenFilterBasic")?;
+                w.push_section(
+                    SECTION_PRIMARY_INDEX,
+                    t.index().to_bytes().as_slice().to_vec(),
+                );
+            }
+            FilterKind::Grid { .. } => {
+                let g: &GridFilter = downcast(f, "GridFilter")?;
+                w.push_section(
+                    SECTION_PRIMARY_INDEX,
+                    g.index().to_bytes().as_slice().to_vec(),
+                );
+            }
+            FilterKind::HashHybrid { .. } => {
+                let h: &HybridFilter = downcast(f, "HybridFilter")?;
+                let idx = h
+                    .index()
+                    .ok_or_else(|| wrong_filter("HashHybrid kind with compressed storage"))?;
+                w.push_section(SECTION_PRIMARY_INDEX, idx.to_bytes().as_slice().to_vec());
+            }
+            FilterKind::HashHybridCompressed { .. } => {
+                let h: &HybridFilter = downcast(f, "HybridFilter")?;
+                let idx = h
+                    .compressed_index()
+                    .ok_or_else(|| wrong_filter("HashHybridCompressed kind with arena storage"))?;
+                w.push_section(SECTION_PRIMARY_INDEX, idx.to_bytes().as_slice().to_vec());
+            }
+            FilterKind::Hierarchical { .. } => {
+                let h: &HierarchicalFilter = downcast(f, "HierarchicalFilter")?;
+                w.push_section(SECTION_HIER_SCHEME, encode_scheme(h.scheme()));
+                w.push_section(
+                    SECTION_PRIMARY_INDEX,
+                    h.index().to_bytes().as_slice().to_vec(),
+                );
+            }
+            FilterKind::Adaptive { .. } => {
+                let a: &AdaptiveFilter = downcast(f, "AdaptiveFilter")?;
+                let token = a
+                    .token_route()
+                    .index()
+                    .ok_or_else(|| wrong_filter("Adaptive token route with compressed storage"))?;
+                w.push_section(SECTION_PRIMARY_INDEX, token.to_bytes().as_slice().to_vec());
+                w.push_section(
+                    SECTION_SECONDARY_INDEX,
+                    a.grid_route().index().to_bytes().as_slice().to_vec(),
+                );
+            }
+            // Cheap deterministic rebuilds: nothing beyond the store
+            // and the meta tag to persist.
+            FilterKind::KeywordFirst
+            | FilterKind::SpatialFirst
+            | FilterKind::IrTree { .. }
+            | FilterKind::Naive => {}
+        }
+        Ok(w)
+    }
+
+    /// Loads an engine from a `.seal` container file
+    /// ([`load_with_threads`](Self::load_with_threads) with a single
+    /// verification worker).
+    pub fn load(path: &Path) -> Result<SealEngine, ContainerError> {
+        Self::load_with_threads(path, 1)
+    }
+
+    /// Loads an engine from a `.seal` container file, fanning the
+    /// per-section CRC verification out over `threads` workers (`0` =
+    /// one per core) and rebuilding derivable filters with the same
+    /// pool. The bytes are fully validated before any part of the
+    /// engine is constructed: bad magic, truncation, bit flips,
+    /// oversized counts and cross-section disagreements all surface as
+    /// typed [`ContainerError`]s, never as panics.
+    pub fn load_with_threads(path: &Path, threads: usize) -> Result<SealEngine, ContainerError> {
+        let bytes = std::fs::read(path)?;
+        Self::load_from_bytes(&bytes, threads)
+    }
+
+    /// [`load_with_threads`](Self::load_with_threads) over bytes
+    /// already in memory.
+    pub fn load_from_bytes(bytes: &[u8], threads: usize) -> Result<SealEngine, ContainerError> {
+        if seal_index::container::looks_like_legacy_codec(bytes) {
+            return Err(ContainerError::Section {
+                section: "container",
+                offset: 0,
+                detail: "file is a raw index codec blob (legacy format), not a .seal container; \
+                         load it with the seal_index from_bytes compatibility entry points"
+                    .to_string(),
+            });
+        }
+        let container = Container::parse_with_threads(bytes, threads)?;
+        let mut store = decode_store(container.require(SECTION_STORE_OBJECTS)?)?;
+        if let Some(payload) = container.section(SECTION_DICTIONARY) {
+            store.set_dictionary(Some(decode_dictionary(payload)?));
+        }
+        check_stats(container.require(SECTION_STORE_STATS)?, &store)?;
+        let (kind, cfg) = decode_meta(container.require(SECTION_ENGINE_META)?)?;
+        let store = Arc::new(store);
+        let opts = crate::BuildOpts::with_threads(threads);
+        let filter: Box<dyn CandidateFilter> = match kind {
+            FilterKind::Token => {
+                let idx = codec(InvertedIndex::<u32>::from_bytes(
+                    container.require(SECTION_PRIMARY_INDEX)?,
+                ))?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(TokenFilter::from_loaded_arena(store.clone(), cfg, idx))
+            }
+            FilterKind::TokenCompressed => {
+                let idx = codec(CompressedInvertedIndex::<u32>::from_bytes(
+                    container.require(SECTION_PRIMARY_INDEX)?,
+                ))?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(TokenFilter::from_loaded_compressed(store.clone(), cfg, idx))
+            }
+            FilterKind::TokenBasic => {
+                let idx = codec(InvertedIndex::<u32>::from_bytes(
+                    container.require(SECTION_PRIMARY_INDEX)?,
+                ))?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(TokenFilterBasic::from_loaded(store.clone(), cfg, idx))
+            }
+            FilterKind::Grid { side } => {
+                let idx = codec(InvertedIndex::<u64>::from_bytes(
+                    container.require(SECTION_PRIMARY_INDEX)?,
+                ))?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(GridFilter::from_loaded(&store, side, cfg, idx))
+            }
+            FilterKind::HashHybrid { side, buckets } => {
+                let idx = codec(HybridIndex::<u64>::from_bytes(
+                    container.require(SECTION_PRIMARY_INDEX)?,
+                ))?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(HybridFilter::from_loaded_arena(
+                    store.clone(),
+                    side,
+                    bucket_scheme(buckets),
+                    cfg,
+                    idx,
+                ))
+            }
+            FilterKind::HashHybridCompressed { side, buckets } => {
+                let idx = codec(CompressedHybridIndex::<u64>::from_bytes(
+                    container.require(SECTION_PRIMARY_INDEX)?,
+                ))?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(HybridFilter::from_loaded_compressed(
+                    store.clone(),
+                    side,
+                    bucket_scheme(buckets),
+                    cfg,
+                    idx,
+                ))
+            }
+            FilterKind::Hierarchical { max_level, budget } => {
+                let scheme = decode_scheme(
+                    container.require(SECTION_HIER_SCHEME)?,
+                    &store,
+                    max_level,
+                    budget,
+                )?;
+                let idx = codec(HybridIndex::<u128>::from_bytes(
+                    container.require(SECTION_PRIMARY_INDEX)?,
+                ))?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(HierarchicalFilter::from_loaded(
+                    store.clone(),
+                    cfg,
+                    scheme,
+                    idx,
+                ))
+            }
+            FilterKind::Adaptive { side } => {
+                let token = codec(InvertedIndex::<u32>::from_bytes(
+                    container.require(SECTION_PRIMARY_INDEX)?,
+                ))?;
+                check_ids(token.max_object_id(), store.len(), "primary index")?;
+                let grid = codec(InvertedIndex::<u64>::from_bytes(
+                    container.require(SECTION_SECONDARY_INDEX)?,
+                ))?;
+                check_ids(grid.max_object_id(), store.len(), "secondary index")?;
+                Box::new(AdaptiveFilter::from_loaded(
+                    store.clone(),
+                    cfg,
+                    TokenFilter::from_loaded_arena(store.clone(), cfg, token),
+                    GridFilter::from_loaded(&store, side, cfg, grid),
+                ))
+            }
+            FilterKind::KeywordFirst
+            | FilterKind::SpatialFirst
+            | FilterKind::IrTree { .. }
+            | FilterKind::Naive => {
+                // Derivable filters rebuild from the (validated) store.
+                return Ok(SealEngine::build_with_opts(store, kind, cfg, opts));
+            }
+        };
+        Ok(SealEngine::from_loaded_parts(store, filter, cfg, kind))
+    }
+}
+
+fn downcast<'a, T: 'static>(
+    f: &'a dyn CandidateFilter,
+    what: &'static str,
+) -> Result<&'a T, ContainerError> {
+    f.as_any()
+        .and_then(|a| a.downcast_ref::<T>())
+        .ok_or_else(|| wrong_filter(&format!("active filter is not a {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::figure1_store;
+
+    fn engine(kind: FilterKind) -> SealEngine {
+        let (store, _q) = figure1_store();
+        SealEngine::build(Arc::new(store), kind)
+    }
+
+    #[test]
+    fn container_bytes_are_deterministic() {
+        let e = engine(FilterKind::seal_default());
+        assert_eq!(
+            e.to_container_bytes().unwrap(),
+            e.to_container_bytes().unwrap()
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_kind_config_and_answers() {
+        let (store, q) = figure1_store();
+        let e = SealEngine::build(Arc::new(store), FilterKind::seal_default());
+        let bytes = e.to_container_bytes().unwrap();
+        let loaded = SealEngine::load_from_bytes(&bytes, 1).unwrap();
+        assert_eq!(loaded.kind(), e.kind());
+        assert_eq!(loaded.config(), e.config());
+        assert_eq!(loaded.store().len(), e.store().len());
+        assert_eq!(
+            loaded.search(&q).sorted().answers,
+            e.search(&q).sorted().answers
+        );
+        // Save → load → save is byte-identical.
+        assert_eq!(loaded.to_container_bytes().unwrap(), bytes);
+    }
+
+    #[test]
+    fn legacy_codec_blob_is_rejected_with_guidance() {
+        let e = engine(FilterKind::Token);
+        let f: &TokenFilter = downcast(e.filter(), "TokenFilter").unwrap();
+        let blob = f.index().unwrap().to_bytes();
+        let err = SealEngine::load_from_bytes(blob.as_slice(), 1)
+            .err()
+            .expect("load must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("legacy"), "unhelpful error: {msg}");
+        // The compatibility entry point still reads the blob.
+        assert!(InvertedIndex::<u32>::from_bytes(blob.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn oversized_counts_error_before_allocating() {
+        // A store-objects section declaring u64::MAX objects.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 5); // vocab
+        put_u64(&mut payload, u64::MAX); // objects
+        let mut w = ContainerWriter::new();
+        let e = engine(FilterKind::Token);
+        w.push_section(SECTION_STORE_STATS, encode_stats(e.store()));
+        w.push_section(SECTION_STORE_OBJECTS, payload);
+        w.push_section(SECTION_ENGINE_META, encode_meta(e.kind(), e.config()));
+        let bytes = w.finish();
+        let err = SealEngine::load_from_bytes(&bytes, 1)
+            .err()
+            .expect("load must fail");
+        assert!(matches!(err, ContainerError::Section { .. }), "{err}");
+    }
+
+    #[test]
+    fn out_of_store_posting_ids_are_rejected() {
+        // Rebuild the engine's container with a primary index whose
+        // postings reference an object the store does not have.
+        let e = engine(FilterKind::Token);
+        let mut rogue: InvertedIndex<u32> = InvertedIndex::new();
+        rogue.push(0, 999, 1.0);
+        rogue.finalize();
+        let mut w = ContainerWriter::new();
+        w.push_section(SECTION_STORE_STATS, encode_stats(e.store()));
+        w.push_section(SECTION_STORE_OBJECTS, encode_store(e.store()));
+        w.push_section(SECTION_ENGINE_META, encode_meta(e.kind(), e.config()));
+        w.push_section(SECTION_PRIMARY_INDEX, rogue.to_bytes().as_slice().to_vec());
+        let err = SealEngine::load_from_bytes(&w.finish(), 1)
+            .err()
+            .expect("load must fail");
+        assert!(
+            err.to_string().contains("references object 999"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn stats_cross_check_detects_disagreement() {
+        let e = engine(FilterKind::Token);
+        let mut stats = encode_stats(e.store());
+        stats[0] ^= 1; // object count now disagrees with the objects section
+        let mut w = ContainerWriter::new();
+        w.push_section(SECTION_STORE_STATS, stats);
+        w.push_section(SECTION_STORE_OBJECTS, encode_store(e.store()));
+        w.push_section(SECTION_ENGINE_META, encode_meta(e.kind(), e.config()));
+        let f: &TokenFilter = downcast(e.filter(), "TokenFilter").unwrap();
+        w.push_section(
+            SECTION_PRIMARY_INDEX,
+            f.index().unwrap().to_bytes().as_slice().to_vec(),
+        );
+        let err = SealEngine::load_from_bytes(&w.finish(), 1)
+            .err()
+            .expect("load must fail");
+        assert!(err.to_string().contains("disagrees"), "{err}");
+    }
+
+    #[test]
+    fn meta_roundtrips_every_kind_and_config() {
+        let kinds = [
+            FilterKind::Token,
+            FilterKind::TokenCompressed,
+            FilterKind::TokenBasic,
+            FilterKind::Grid { side: 256 },
+            FilterKind::HashHybrid {
+                side: 512,
+                buckets: None,
+            },
+            FilterKind::HashHybrid {
+                side: 512,
+                buckets: Some(4096),
+            },
+            FilterKind::HashHybridCompressed {
+                side: 64,
+                buckets: Some(7),
+            },
+            FilterKind::Hierarchical {
+                max_level: 10,
+                budget: 16,
+            },
+            FilterKind::KeywordFirst,
+            FilterKind::SpatialFirst,
+            FilterKind::IrTree { fanout: 32 },
+            FilterKind::Adaptive { side: 128 },
+            FilterKind::Naive,
+        ];
+        let configs = [
+            SimilarityConfig::default(),
+            SimilarityConfig {
+                spatial: SpatialSimFn::Dice,
+                textual: TextualSimFn::Cosine,
+            },
+            SimilarityConfig {
+                spatial: SpatialSimFn::Jaccard,
+                textual: TextualSimFn::Overlap,
+            },
+        ];
+        for kind in kinds {
+            for cfg in configs {
+                let (k, c) = decode_meta(&encode_meta(kind, cfg)).unwrap();
+                assert_eq!(k, kind);
+                assert_eq!(c, cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_roundtrips_and_rejects_duplicates() {
+        let mut d = Dictionary::new();
+        d.intern("coffee");
+        d.intern("tea");
+        d.intern("mocha");
+        let bytes = encode_dictionary(&d);
+        let back = decode_dictionary(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.get("tea"), d.get("tea"));
+        // Duplicate names cannot have come from a real dictionary.
+        let mut forged = Vec::new();
+        put_u64(&mut forged, 2);
+        for _ in 0..2 {
+            put_u32(&mut forged, 3);
+            forged.extend_from_slice(b"tea");
+        }
+        assert!(decode_dictionary(&forged).is_err());
+    }
+}

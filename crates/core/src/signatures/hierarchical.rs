@@ -34,7 +34,7 @@ pub struct TokenGrids {
 }
 
 impl TokenGrids {
-    fn new(cells: Vec<SelectedCell>, space: Rect) -> Self {
+    pub(crate) fn new(cells: Vec<SelectedCell>, space: Rect) -> Self {
         let mut rank = HashMap::with_capacity(cells.len());
         let mut ancestors = HashSet::new();
         for (i, c) in cells.iter().enumerate() {
@@ -358,6 +358,28 @@ impl HierarchicalScheme {
     #[inline]
     pub fn key(t: TokenId, cell: GridCellId) -> u128 {
         (u128::from(t.0) << 64) | u128::from(cell.pack())
+    }
+
+    /// The full per-token grid map (persistence walks it to serialize
+    /// each token's cells in selection order).
+    pub(crate) fn per_token(&self) -> &HashMap<TokenId, std::sync::Arc<TokenGrids>> {
+        &self.per_token
+    }
+
+    /// Reassembles a scheme from persisted parts. The per-token cell
+    /// order is authoritative: `TokenGrids::new` derives ranks from it
+    /// without re-sorting, so a round-tripped scheme probes cells in
+    /// exactly the order the builder selected them.
+    pub(crate) fn from_parts(
+        tree: GridTree,
+        per_token: HashMap<TokenId, std::sync::Arc<TokenGrids>>,
+        budget: usize,
+    ) -> Self {
+        HierarchicalScheme {
+            tree,
+            per_token,
+            budget,
+        }
     }
 }
 

@@ -178,6 +178,14 @@ impl ObjectStore {
         self.dictionary.as_ref()
     }
 
+    /// Attaches a dictionary after construction — the container load
+    /// path rebuilds the store from persisted objects via
+    /// [`from_objects`](Self::from_objects) and then restores the
+    /// persisted dictionary here.
+    pub(crate) fn set_dictionary(&mut self, dictionary: Option<Dictionary>) {
+        self.dictionary = dictionary;
+    }
+
     /// Summary statistics (Table 1's data rows).
     pub fn stats(&self) -> StoreStats {
         let n = self.objects.len();

@@ -385,6 +385,26 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
         &scratch[..]
     }
 
+    /// The largest object id in the arena (`None` when empty), decoded
+    /// group by group. Load paths use this to check a deserialized
+    /// index against the store it is being attached to before any
+    /// probe indexes a per-object scratch table with an id.
+    pub fn max_object_id(&self) -> Option<ObjId> {
+        let mut max = None;
+        for i in 0..self.keys.len() {
+            let len = self.meta[i].len as usize;
+            let group = &self.arena.as_slice()[self.offsets[i]..self.offsets[i + 1]];
+            let ids = &group[2 * len..];
+            let mut pos = 0usize;
+            for _ in 0..len {
+                let id =
+                    get_varint(ids, &mut pos).expect("arena validated at construction") as ObjId;
+                max = Some(max.map_or(id, |m: ObjId| m.max(id)));
+            }
+        }
+        max
+    }
+
     /// Decompresses the whole index back to the uncompressed columnar
     /// CSR form (bounds come back rounded up by at most one
     /// quantization step).
@@ -538,6 +558,25 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
             }
         }
         &scratch[..]
+    }
+
+    /// The largest object id in the arena (`None` when empty), decoded
+    /// group by group — same load-time store check as
+    /// [`CompressedInvertedIndex::max_object_id`].
+    pub fn max_object_id(&self) -> Option<ObjId> {
+        let mut max = None;
+        for i in 0..self.keys.len() {
+            let len = self.meta[i].len as usize;
+            let group = &self.arena.as_slice()[self.offsets[i]..self.offsets[i + 1]];
+            let ids = &group[4 * len..];
+            let mut pos = 0usize;
+            for _ in 0..len {
+                let id =
+                    get_varint(ids, &mut pos).expect("arena validated at construction") as ObjId;
+                max = Some(max.map_or(id, |m: ObjId| m.max(id)));
+            }
+        }
+        max
     }
 
     /// Decompresses the whole index back to the uncompressed columnar

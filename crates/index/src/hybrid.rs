@@ -106,6 +106,14 @@ impl<K: Eq + Hash + Ord + Copy + Sync> HybridIndex<K> {
         self.core.generation()
     }
 
+    /// The largest object id in the **frozen** arena (`None` when
+    /// empty). Load paths use this to check a deserialized index
+    /// against the store it is being attached to before any probe
+    /// indexes a per-object scratch table with an id.
+    pub fn max_object_id(&self) -> Option<ObjId> {
+        self.core.arena().ids.iter().copied().max()
+    }
+
     /// The full list for a key, if any, as a columnar view (descending
     /// spatial-bound order).
     pub fn list(&self, key: &K) -> Option<DualPostingsView<'_>> {

@@ -196,6 +196,14 @@ impl<K: Eq + Hash + Ord + Copy + Sync> InvertedIndex<K> {
         self.core.size_bytes()
     }
 
+    /// The largest object id in the **frozen** arena (`None` when
+    /// empty). Load paths use this to check a deserialized index
+    /// against the store it is being attached to before any probe
+    /// indexes a per-object scratch table with an id.
+    pub fn max_object_id(&self) -> Option<ObjId> {
+        self.core.arena().ids.iter().copied().max()
+    }
+
     /// Iterates `(key, group view)` in ascending key order.
     ///
     /// # Panics

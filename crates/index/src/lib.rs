@@ -40,6 +40,7 @@
 
 mod columns;
 pub mod compress;
+pub mod container;
 mod csr;
 mod hybrid;
 mod inverted;
@@ -50,6 +51,7 @@ mod serialize;
 
 pub use columns::{DualPostingsView, PostingsView};
 pub use compress::{CompressedHybridIndex, CompressedInvertedIndex};
+pub use container::{Container, ContainerError, ContainerWriter};
 pub use csr::bound_cut;
 pub use hybrid::HybridIndex;
 pub use inverted::InvertedIndex;

@@ -54,7 +54,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 use std::hash::Hash;
 
-const MAGIC: u32 = 0x5EA1_1D8E;
+pub(crate) const MAGIC: u32 = 0x5EA1_1D8E;
 const VERSION: u8 = 1;
 const KIND_SINGLE: u8 = 1;
 const KIND_DUAL: u8 = 2;
@@ -76,8 +76,26 @@ pub enum IndexCodecError {
     Truncated,
     /// A payload failed validation (out-of-order bound column, NaN
     /// bound, inconsistent counts, malformed or oversized varint,
-    /// misaligned group).
-    Corrupt,
+    /// misaligned group). Carries where and what so a CLI failure is
+    /// a diagnosable one-liner.
+    Corrupt {
+        /// Which part of the payload failed (directory, columns,
+        /// arena, …).
+        section: &'static str,
+        /// Byte offset *within that section* of the offending datum.
+        offset: usize,
+        /// Expected-vs-found detail.
+        detail: String,
+    },
+}
+
+/// Shorthand constructor for [`IndexCodecError::Corrupt`].
+fn corrupt(section: &'static str, offset: usize, detail: impl Into<String>) -> IndexCodecError {
+    IndexCodecError::Corrupt {
+        section,
+        offset,
+        detail: detail.into(),
+    }
 }
 
 impl fmt::Display for IndexCodecError {
@@ -87,7 +105,13 @@ impl fmt::Display for IndexCodecError {
             IndexCodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
             IndexCodecError::BadKind(k) => write!(f, "unexpected index kind {k}"),
             IndexCodecError::Truncated => write!(f, "buffer truncated"),
-            IndexCodecError::Corrupt => write!(f, "payload corrupt"),
+            IndexCodecError::Corrupt {
+                section,
+                offset,
+                detail,
+            } => {
+                write!(f, "payload corrupt: {section} at byte {offset}: {detail}")
+            }
         }
     }
 }
@@ -177,17 +201,38 @@ fn read_soa_directory<K: IndexKey>(
     let mut offsets = Vec::with_capacity(key_count + 1);
     offsets.push(0usize);
     let mut total = 0usize;
-    for _ in 0..key_count {
+    for i in 0..key_count {
         keys.push(K::from_u128(buf.get_u128_le()));
-        let len = usize::try_from(buf.get_u64_le()).map_err(|_| IndexCodecError::Corrupt)?;
-        total = total.checked_add(len).ok_or(IndexCodecError::Corrupt)?;
+        let raw_len = buf.get_u64_le();
+        let len = usize::try_from(raw_len).map_err(|_| {
+            corrupt(
+                "soa directory",
+                i * (16 + 8) + 16,
+                format!("group length {raw_len} exceeds the address space"),
+            )
+        })?;
+        total = total.checked_add(len).ok_or_else(|| {
+            corrupt(
+                "soa directory",
+                i * (16 + 8) + 16,
+                "summed group lengths overflow",
+            )
+        })?;
         offsets.push(total);
     }
-    if !keys.windows(2).all(|w| w[0] < w[1]) {
-        return Err(IndexCodecError::Corrupt);
+    if let Some(i) = keys.windows(2).position(|w| w[0] >= w[1]) {
+        return Err(corrupt(
+            "soa directory",
+            (i + 1) * (16 + 8),
+            "keys not strictly ascending",
+        ));
     }
     if total != posting_count {
-        return Err(IndexCodecError::Corrupt);
+        return Err(corrupt(
+            "soa directory",
+            0,
+            format!("directory lengths sum to {total}, header declares {posting_count} postings"),
+        ));
     }
     Ok((keys, offsets))
 }
@@ -204,13 +249,27 @@ fn validate_soa_group(
 ) -> Result<(), IndexCodecError> {
     for j in span.clone() {
         if primary[j].is_nan() || extra.is_some_and(|col| col[j].is_nan()) {
-            return Err(IndexCodecError::Corrupt);
+            return Err(corrupt("posting columns", j, "NaN bound"));
         }
         if j > span.start {
             match primary[j - 1].total_cmp(&primary[j]) {
-                std::cmp::Ordering::Less => return Err(IndexCodecError::Corrupt),
+                std::cmp::Ordering::Less => {
+                    return Err(corrupt(
+                        "posting columns",
+                        j,
+                        format!(
+                            "bound column increases: {} then {}",
+                            primary[j - 1],
+                            primary[j]
+                        ),
+                    ))
+                }
                 std::cmp::Ordering::Equal if ids[j - 1] > ids[j] => {
-                    return Err(IndexCodecError::Corrupt)
+                    return Err(corrupt(
+                        "posting columns",
+                        j,
+                        format!("tie order violated: id {} before {}", ids[j - 1], ids[j]),
+                    ))
                 }
                 _ => {}
             }
@@ -304,8 +363,8 @@ impl<K: IndexKey> InvertedIndex<K> {
 
     fn decode_soa(mut buf: impl Buf, key_count: usize) -> Result<Self, IndexCodecError> {
         check_remaining(&buf, 8)?;
-        let posting_count =
-            usize::try_from(buf.get_u64_le()).map_err(|_| IndexCodecError::Corrupt)?;
+        let posting_count = usize::try_from(buf.get_u64_le())
+            .map_err(|_| corrupt("header", 0, "posting count exceeds the address space"))?;
         let (keys, offsets) = read_soa_directory::<K>(&mut buf, key_count, posting_count)?;
         let column_bytes = posting_count
             .checked_mul(4 + 8)
@@ -340,7 +399,7 @@ impl<K: IndexKey> InvertedIndex<K> {
                 let object: ObjId = buf.get_u32_le();
                 let bound = buf.get_f64_le();
                 if bound.is_nan() {
-                    return Err(IndexCodecError::Corrupt);
+                    return Err(corrupt("aos postings", idx.posting_count(), "NaN bound"));
                 }
                 idx.push(key, object, bound);
             }
@@ -439,8 +498,8 @@ impl<K: IndexKey> HybridIndex<K> {
 
     fn decode_soa(mut buf: impl Buf, key_count: usize) -> Result<Self, IndexCodecError> {
         check_remaining(&buf, 8)?;
-        let posting_count =
-            usize::try_from(buf.get_u64_le()).map_err(|_| IndexCodecError::Corrupt)?;
+        let posting_count = usize::try_from(buf.get_u64_le())
+            .map_err(|_| corrupt("header", 0, "posting count exceeds the address space"))?;
         let (keys, offsets) = read_soa_directory::<K>(&mut buf, key_count, posting_count)?;
         let column_bytes = posting_count
             .checked_mul(4 + 8 + 8)
@@ -484,7 +543,7 @@ impl<K: IndexKey> HybridIndex<K> {
                 let sb = buf.get_f64_le();
                 let tb = buf.get_f64_le();
                 if sb.is_nan() || tb.is_nan() {
-                    return Err(IndexCodecError::Corrupt);
+                    return Err(corrupt("aos postings", idx.posting_count(), "NaN bound"));
                 }
                 idx.push(key, object, sb, tb);
             }
@@ -497,7 +556,11 @@ impl<K: IndexKey> HybridIndex<K> {
 /// A deserialized quantizer scale, rejected unless finite and positive.
 fn checked_scale(scale: f64) -> Result<Quantizer, IndexCodecError> {
     if !scale.is_finite() || scale <= 0.0 {
-        return Err(IndexCodecError::Corrupt);
+        return Err(corrupt(
+            "group meta",
+            0,
+            format!("quantizer scale {scale} is not finite and positive"),
+        ));
     }
     Ok(Quantizer::from_scale(scale))
 }
@@ -531,8 +594,12 @@ fn decode_compressed<K: IndexKey, M>(
         keys.push(K::from_u128(buf.get_u128_le()));
         meta.push(parse_meta(&mut buf)?);
     }
-    if !keys.windows(2).all(|w| w[0] < w[1]) {
-        return Err(IndexCodecError::Corrupt);
+    if let Some(i) = keys.windows(2).position(|w| w[0] >= w[1]) {
+        return Err(corrupt(
+            "compressed directory",
+            (i + 1) * (16 + meta_bytes),
+            "keys not strictly ascending",
+        ));
     }
     check_remaining(&buf, arena_len)?;
     let mut raw = vec![0u8; arena_len];
@@ -544,13 +611,26 @@ fn decode_compressed<K: IndexKey, M>(
     let mut posting_count = 0usize;
     for m in &meta {
         let group = &arena.as_slice()[pos..];
-        let consumed = validate_group(group, len_of(m), columns).ok_or(IndexCodecError::Corrupt)?;
+        let consumed = validate_group(group, len_of(m), columns).ok_or_else(|| {
+            corrupt(
+                "compressed arena",
+                pos,
+                "group failed validation (bound order, varint form, or size)",
+            )
+        })?;
         pos += consumed;
         offsets.push(pos);
         posting_count += len_of(m);
     }
     if pos != arena.len() {
-        return Err(IndexCodecError::Corrupt);
+        return Err(corrupt(
+            "compressed arena",
+            pos,
+            format!(
+                "groups end at byte {pos}, arena declares {} bytes",
+                arena.len()
+            ),
+        ));
     }
     Ok((keys, offsets, meta, arena, posting_count))
 }
@@ -803,17 +883,21 @@ mod tests {
         for i in 0..8 {
             raw.swap(a + i, b + i);
         }
-        assert_eq!(
-            InvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
-            IndexCodecError::Corrupt,
+        assert!(
+            matches!(
+                InvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
+                IndexCodecError::Corrupt { .. }
+            ),
             "increasing bound column must be rejected"
         );
         // NaN bound in an otherwise ordered column.
         let mut raw = bytes.as_slice().to_vec();
         raw[col_at..col_at + 8].copy_from_slice(&f64::NAN.to_le_bytes());
-        assert_eq!(
-            InvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
-            IndexCodecError::Corrupt,
+        assert!(
+            matches!(
+                InvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
+                IndexCodecError::Corrupt { .. }
+            ),
             "NaN bound must be rejected"
         );
     }
@@ -832,10 +916,10 @@ mod tests {
         for i in 0..4 {
             raw.swap(a + i, b + i);
         }
-        assert_eq!(
+        assert!(matches!(
             InvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
-            IndexCodecError::Corrupt
-        );
+            IndexCodecError::Corrupt { .. }
+        ));
     }
 
     #[test]
@@ -865,10 +949,10 @@ mod tests {
         raw.put_u32_le(1);
         raw.put_f64_le(1.0);
         raw.put_f64_le(0.5);
-        assert_eq!(
+        assert!(matches!(
             InvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
-            IndexCodecError::Corrupt
-        );
+            IndexCodecError::Corrupt { .. }
+        ));
     }
 
     #[test]
@@ -887,7 +971,13 @@ mod tests {
         assert!(IndexCodecError::Truncated.to_string().contains("truncated"));
         assert!(IndexCodecError::BadVersion(9).to_string().contains('9'));
         assert!(IndexCodecError::BadKind(3).to_string().contains('3'));
-        assert!(IndexCodecError::Corrupt.to_string().contains("corrupt"));
+        let c = corrupt("posting columns", 17, "NaN bound");
+        let msg = c.to_string();
+        assert!(msg.contains("corrupt"), "{msg}");
+        assert!(
+            msg.contains("posting columns") && msg.contains("17") && msg.contains("NaN"),
+            "structured detail must surface in Display: {msg}"
+        );
     }
 
     fn sample_compressed() -> CompressedInvertedIndex<u64> {
@@ -982,10 +1072,10 @@ mod tests {
         raw[arena_at + 1] = 0;
         raw[arena_at + 2] = 0xFF;
         raw[arena_at + 3] = 0xFF;
-        assert_eq!(
+        assert!(matches!(
             CompressedInvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
-            IndexCodecError::Corrupt
-        );
+            IndexCodecError::Corrupt { .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Integration: hostile-input hardening of the `.seal` container.
+//!
+//! Every mutation of a valid container — truncation at every section
+//! boundary, random truncations, single-bit flips anywhere in the
+//! file, oversized declared counts, or outright random bytes — must
+//! surface as a typed [`seal_index::ContainerError`] from
+//! `SealEngine::load_from_bytes`: never a panic, never an
+//! attacker-controlled allocation.
+
+use proptest::prelude::*;
+use seal_core::persist::{SECTION_STORE_OBJECTS, SECTION_STORE_STATS};
+use seal_core::{FilterKind, SealEngine};
+use seal_index::{Container, ContainerWriter};
+use std::sync::Arc;
+
+#[path = "util/mod.rs"]
+mod util;
+use util::twitter_fixture;
+
+/// A small but fully-featured container: the hierarchical kind
+/// persists every section type (stats, objects, dictionary-less meta,
+/// HSS scheme, hybrid index). Built once — the proptest cases below
+/// mutate copies.
+fn seal_bytes() -> &'static [u8] {
+    static BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    BYTES.get_or_init(|| {
+        let (store, _) = twitter_fixture(150, 1);
+        let engine = SealEngine::build(
+            Arc::new(store),
+            FilterKind::Hierarchical {
+                max_level: 5,
+                budget: 4,
+            },
+        );
+        engine
+            .to_container_bytes()
+            .expect("serializing a healthy engine must succeed")
+    })
+}
+
+/// Loading must fail with an error — reaching this helper with a panic
+/// inside `load_from_bytes` fails the test on its own.
+fn assert_rejected(bytes: &[u8], what: &str) {
+    let err = SealEngine::load_from_bytes(bytes, 1).err();
+    assert!(err.is_some(), "{what}: corrupt container was accepted");
+}
+
+#[test]
+fn pristine_bytes_load() {
+    let bytes = seal_bytes();
+    let engine = SealEngine::load_from_bytes(bytes, 1).expect("pristine container must load");
+    assert_eq!(engine.store().len(), 150);
+}
+
+#[test]
+fn truncation_at_every_section_boundary_errors() {
+    let bytes = seal_bytes();
+    // Recover the true boundaries from the directory, then cut the
+    // file at the start, middle, and end of every section.
+    let container = Container::parse(bytes).expect("pristine container must parse");
+    let mut cuts = vec![0usize, 1, 4, 9];
+    for s in container.sections() {
+        cuts.push(s.offset);
+        cuts.push(s.offset + s.payload.len() / 2);
+        cuts.push(s.offset + s.payload.len());
+    }
+    cuts.push(bytes.len() - 1);
+    for cut in cuts {
+        assert_rejected(&bytes[..cut], &format!("truncated to {cut} bytes"));
+    }
+}
+
+#[test]
+fn oversized_declared_count_errors_without_allocating() {
+    let bytes = seal_bytes();
+    let container = Container::parse(bytes).expect("pristine container must parse");
+    // Rewrite the store-objects section to declare u64::MAX objects —
+    // the writer recomputes the CRCs, so only the count validation
+    // stands between the lie and a 2^64-element allocation.
+    let mut w = ContainerWriter::new();
+    for s in container.sections() {
+        let mut payload = s.payload.to_vec();
+        if s.kind == SECTION_STORE_OBJECTS {
+            payload[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        }
+        w.push_section(s.kind, payload);
+    }
+    assert_rejected(&w.finish(), "u64::MAX declared objects");
+
+    // Same lie in the stats section: declared object count disagrees
+    // with the (valid) objects section.
+    let mut w = ContainerWriter::new();
+    for s in container.sections() {
+        let mut payload = s.payload.to_vec();
+        if s.kind == SECTION_STORE_STATS {
+            payload[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        }
+        w.push_section(s.kind, payload);
+    }
+    assert_rejected(&w.finish(), "u64::MAX declared stats objects");
+}
+
+#[test]
+fn missing_required_section_errors() {
+    let bytes = seal_bytes();
+    let container = Container::parse(bytes).expect("pristine container must parse");
+    for dropped in container.sections().iter().map(|s| s.kind) {
+        let mut w = ContainerWriter::new();
+        for s in container.sections() {
+            if s.kind != dropped {
+                w.push_section(s.kind, s.payload.to_vec());
+            }
+        }
+        assert_rejected(&w.finish(), &format!("section kind {dropped} dropped"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_truncations_error(frac in 0.0f64..1.0) {
+        let bytes = seal_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(SealEngine::load_from_bytes(&bytes[..cut.min(bytes.len() - 1)], 1).is_err());
+    }
+
+    #[test]
+    fn single_bit_flips_error(frac in 0.0f64..1.0, bit in 0usize..8) {
+        // Every byte of the file is covered by a checksum or an exact
+        // cross-check (header + directory by the footer CRC, payloads
+        // by per-section CRCs, the footer by magic and length fields),
+        // so any single-bit flip must be rejected.
+        let mut bytes = seal_bytes().to_vec();
+        let pos = (((bytes.len() - 1) as f64) * frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(
+            SealEngine::load_from_bytes(&bytes, 1).is_err(),
+            "flipped bit {bit} of byte {pos}"
+        );
+    }
+
+    #[test]
+    fn random_bytes_error(junk in proptest::collection::vec(0u8..=255, 0..256)) {
+        prop_assert!(SealEngine::load_from_bytes(&junk, 1).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Integration: the `.seal` container round-trips every engine
+//! configuration bit-identically — answers, kind, config and bytes —
+//! and its atomic-rename save protocol never clobbers a good
+//! container with a failed write.
+
+use seal_core::{FilterKind, LiveEngine, ObjectId, Query, QueryContext, SealEngine};
+use seal_index::container::temp_path_for;
+use std::sync::Arc;
+
+#[path = "util/mod.rs"]
+mod util;
+use util::twitter_fixture;
+
+fn temp_seal(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("seal-container-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn answers(engine: &SealEngine, queries: &[Query]) -> Vec<Vec<ObjectId>> {
+    let mut ctx = QueryContext::new();
+    queries
+        .iter()
+        .map(|q| engine.search_with_ctx(q, &mut ctx).sorted().answers)
+        .collect()
+}
+
+/// Every indexed and derivable filter kind: build → save → load must
+/// preserve the kind, reproduce the answers exactly, and re-serialize
+/// to the very same bytes (save → load → save is a fixed point).
+#[test]
+fn every_kind_roundtrips_bit_identical() {
+    let (store, queries) = twitter_fixture(400, 3);
+    let store = Arc::new(store);
+    let kinds = [
+        FilterKind::Token,
+        FilterKind::TokenCompressed,
+        FilterKind::TokenBasic,
+        FilterKind::Grid { side: 64 },
+        FilterKind::HashHybrid {
+            side: 64,
+            buckets: None,
+        },
+        FilterKind::HashHybrid {
+            side: 64,
+            buckets: Some(1 << 12),
+        },
+        FilterKind::HashHybridCompressed {
+            side: 64,
+            buckets: None,
+        },
+        FilterKind::HashHybridCompressed {
+            side: 64,
+            buckets: Some(1 << 12),
+        },
+        FilterKind::Hierarchical {
+            max_level: 5,
+            budget: 8,
+        },
+        FilterKind::KeywordFirst,
+        FilterKind::SpatialFirst,
+        FilterKind::IrTree { fanout: 16 },
+        FilterKind::Adaptive { side: 64 },
+        FilterKind::Naive,
+    ];
+    let path = temp_seal("kinds.seal");
+    for kind in kinds {
+        let engine = SealEngine::build(store.clone(), kind);
+        let expect = answers(&engine, &queries);
+        let saved = engine
+            .save(&path)
+            .unwrap_or_else(|e| panic!("{kind:?}: save failed: {e}"));
+        assert_eq!(
+            saved,
+            std::fs::metadata(&path)
+                .expect("saved file must exist")
+                .len(),
+            "{kind:?}: reported size disagrees with the file"
+        );
+        let loaded =
+            SealEngine::load(&path).unwrap_or_else(|e| panic!("{kind:?}: load failed: {e}"));
+        assert_eq!(loaded.kind(), kind, "kind must survive the round-trip");
+        assert_eq!(
+            answers(&loaded, &queries),
+            expect,
+            "{kind:?}: answers changed across save/load"
+        );
+        // save → load → save is a fixed point: bit-identical bytes.
+        assert_eq!(
+            loaded.to_container_bytes().expect("re-serialize"),
+            engine.to_container_bytes().expect("serialize"),
+            "{kind:?}: container bytes not a fixed point"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// A post-`refresh()` generation — built through the incremental
+/// scheme-reuse path, not a fresh build — persists and reloads with
+/// identical answers.
+#[test]
+fn post_refresh_generation_roundtrips() {
+    let (store, queries) = twitter_fixture(400, 3);
+    let objects: Vec<_> = store.iter().map(|(_, o)| o.clone()).collect();
+    let vocab = store.vocab_size();
+    let gen0 = Arc::new(seal_core::ObjectStore::from_objects(
+        objects[..300].to_vec(),
+        vocab,
+    ));
+    let live = LiveEngine::new(
+        gen0,
+        FilterKind::Hierarchical {
+            max_level: 5,
+            budget: 8,
+        },
+    );
+    live.push_all(objects[300..].iter().cloned());
+    let stats = live.refresh();
+    assert_eq!(stats.total, 400);
+    let engine = live.engine();
+    let expect = answers(&engine, &queries);
+
+    let path = temp_seal("generation.seal");
+    engine.save(&path).expect("saving a refreshed generation");
+    let loaded = SealEngine::load(&path).expect("loading a refreshed generation");
+    assert_eq!(loaded.store().len(), 400);
+    assert_eq!(answers(&loaded, &queries), expect);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Crash safety: a save that fails mid-flight (here: the temp path is
+/// unwritable) must leave the existing container byte-for-byte intact
+/// and loadable.
+#[test]
+fn failed_save_never_clobbers_an_existing_container() {
+    let (store, queries) = twitter_fixture(200, 2);
+    let store = Arc::new(store);
+    let engine = SealEngine::build(store.clone(), FilterKind::Token);
+    let path = temp_seal("clobber.seal");
+    engine.save(&path).expect("initial save");
+    let pristine = std::fs::read(&path).expect("read saved container");
+
+    // Occupy the temp slot with a non-empty directory: the writer's
+    // create/rename both fail, and the error must surface as a typed
+    // ContainerError without touching the good container.
+    let tmp = temp_path_for(&path);
+    std::fs::create_dir_all(tmp.join("occupied")).expect("block the temp path");
+    let other = SealEngine::build(store, FilterKind::TokenCompressed);
+    assert!(
+        other.save(&path).is_err(),
+        "save through a blocked temp path must fail"
+    );
+    assert_eq!(
+        std::fs::read(&path).expect("container must still exist"),
+        pristine,
+        "failed save altered the existing container"
+    );
+    let reloaded = SealEngine::load(&path).expect("existing container must still load");
+    assert_eq!(answers(&reloaded, &queries), answers(&engine, &queries));
+
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+/// The legacy raw codec blobs (index `to_bytes`/`from_bytes`) stay
+/// loadable through the compatibility entry points, and the container
+/// loader refuses them with guidance instead of misparsing.
+#[test]
+fn legacy_codec_blobs_still_load_via_from_bytes() {
+    let (store, _) = twitter_fixture(200, 1);
+    let store = Arc::new(store);
+    let mut idx: seal_index::InvertedIndex<u32> = seal_index::InvertedIndex::new();
+    for (id, o) in store.iter() {
+        let sig = seal_core::signatures::textual::TextualSignature::build(
+            &o.tokens,
+            store.weights(),
+            store.token_order(),
+        );
+        for (e, b) in sig.elements_with_bounds() {
+            idx.push(e.token.0, id.0, b);
+        }
+    }
+    idx.finalize();
+    let blob = idx.to_bytes();
+
+    let back: seal_index::InvertedIndex<u32> =
+        seal_index::InvertedIndex::from_bytes(blob.clone()).expect("legacy blob must decode");
+    assert_eq!(back.posting_count(), idx.posting_count());
+
+    let err = SealEngine::load_from_bytes(blob.as_ref(), 1)
+        .err()
+        .expect("a legacy blob is not a container");
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("legacy"),
+        "error should point at the legacy format: {msg}"
+    );
+}
