@@ -1,0 +1,200 @@
+//! Records serving-tier numbers to `BENCH_serve.json`: end-to-end
+//! `/query` latency percentiles (exact, client-side) versus offered
+//! qps, with the server **idle** and **under churn** (a writer thread
+//! running push → refresh generation swaps throughout the run).
+//!
+//! The server is spawned in-process on an ephemeral port and driven
+//! through `seal_server::client::run_load` — the same open-loop
+//! generator `seal loadgen` uses — so queueing delay shows up as tail
+//! latency instead of silently lowering the offered rate.
+//!
+//! In-binary contract checks:
+//! * every wire answer for a probe workload equals
+//!   `LiveEngine::search` called directly on the engine behind the
+//!   server (the network tier adds no answer drift);
+//! * every load level completes with ≥ 1 successful (2xx) response
+//!   and zero transport errors.
+//!
+//! ```text
+//! cargo run --release -p seal-bench --bin bench_serve -- \
+//!     [--objects N] [--queries N] [--seed N] [--out PATH]
+//! ```
+//!
+//! Single-core caveat (recorded in the JSON): with one core the
+//! load-generator clients, the connection threads, the batch workers
+//! and the churn writer all time-slice one CPU, so the latency-vs-qps
+//! curve is dominated by scheduler pressure and the idle/churn gap is
+//! wider than a provisioned box would show. The answer-equality and
+//! shed-accounting checks are valid anywhere.
+
+use seal_bench::data::{dataset, raw_objects, with_thresholds, workload, BenchConfig, Which};
+use seal_bench::harness::{out_path, write_json};
+use seal_core::{BuildOpts, FilterKind, LiveEngine, ObjectStore, SimilarityConfig};
+use seal_datagen::QuerySpec;
+use seal_server::client::run_load;
+use seal_server::{HttpClient, Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SECONDS_PER_LEVEL: f64 = 2.0;
+const CLIENTS: usize = 8;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let out = out_path("BENCH_serve.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let data = dataset(Which::Twitter, &cfg);
+    let all = raw_objects(&data);
+    // Hold the last 10% back as churn fodder for the writer thread.
+    let split = all.len() * 9 / 10;
+    let store = Arc::new(ObjectStore::from_objects(
+        all[..split].to_vec(),
+        data.vocab_size,
+    ));
+    let delta = all[split..].to_vec();
+    let kind = FilterKind::Hierarchical {
+        max_level: 8,
+        budget: 16,
+    };
+    let live = Arc::new(LiveEngine::with_opts(
+        store,
+        kind,
+        SimilarityConfig::default(),
+        BuildOpts::with_threads(0),
+    ));
+
+    let server = Server::spawn(live.clone(), ServerConfig::default()).expect("bind server");
+    let addr = server.addr().to_string();
+    println!("serving {} objects on {addr} ({cores} core(s))", live.len());
+
+    // The query workload, as wire targets.
+    let raw = workload(&data, QuerySpec::SmallRegion, &cfg);
+    let queries = with_thresholds(&raw, 0.2, 0.2);
+    let targets: Vec<(String, String, Vec<u8>)> = queries
+        .iter()
+        .map(|q| {
+            let tokens: Vec<String> = q.tokens.iter().map(|t| t.0.to_string()).collect();
+            (
+                "GET".to_string(),
+                format!(
+                    "/query?region={},{},{},{}&tokens={}&tau_r={}&tau_t={}",
+                    q.region.min().x,
+                    q.region.min().y,
+                    q.region.max().x,
+                    q.region.max().y,
+                    tokens.join(","),
+                    q.tau_spatial,
+                    q.tau_textual,
+                ),
+                Vec::new(),
+            )
+        })
+        .collect();
+
+    // Contract: wire answers equal direct engine answers.
+    let mut probe = HttpClient::connect(&addr).expect("probe connect");
+    for (q, (method, path, body)) in queries.iter().zip(&targets).take(32) {
+        let wire = probe.request(method, path, body).expect("probe request");
+        assert_eq!(wire.status, 200, "probe {path} answered {}", wire.status);
+        let direct = live.search(q).sorted().answers;
+        let want = format!(
+            "\"answers\":[{}]",
+            direct
+                .iter()
+                .map(|id| id.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let text = wire.text();
+        assert!(
+            text.contains(&want),
+            "wire answer drifted from the engine:\n wire {text}\n want {want}"
+        );
+    }
+    println!("contract: 32 wire answers equal direct engine answers");
+
+    let levels = [50.0, 100.0, 200.0, 400.0];
+    let mut idle_rows: Vec<String> = Vec::new();
+    for &qps in &levels {
+        let r = run_load(
+            &addr,
+            &targets,
+            qps,
+            Duration::from_secs_f64(SECONDS_PER_LEVEL),
+            CLIENTS,
+        )
+        .expect("idle load level");
+        assert!(r.ok > 0, "idle level {qps}: no successful response");
+        assert_eq!(r.errors, 0, "idle level {qps}: transport errors");
+        println!("idle  {}", r.to_json());
+        idle_rows.push(r.to_json());
+    }
+
+    // Under churn: a writer pushes a slice of the held-back delta and
+    // refreshes, in a loop, for the whole measurement window.
+    let stop = Arc::new(AtomicBool::new(false));
+    let swaps = Arc::new(AtomicUsize::new(0));
+    let writer = {
+        let live = live.clone();
+        let stop = stop.clone();
+        let swaps = swaps.clone();
+        std::thread::spawn(move || {
+            let chunk = (delta.len() / 8).max(1);
+            let mut next = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                let end = (next + chunk).min(delta.len());
+                if next < end {
+                    live.push_all(delta[next..end].iter().cloned());
+                    next = end;
+                }
+                live.refresh();
+                swaps.fetch_add(1, Ordering::Relaxed);
+                if next >= delta.len() {
+                    next = 0; // keep churning: re-push the same slice
+                }
+            }
+        })
+    };
+    let mut churn_rows: Vec<String> = Vec::new();
+    for &qps in &levels {
+        let r = run_load(
+            &addr,
+            &targets,
+            qps,
+            Duration::from_secs_f64(SECONDS_PER_LEVEL),
+            CLIENTS,
+        )
+        .expect("churn load level");
+        assert!(r.ok > 0, "churn level {qps}: no successful response");
+        assert_eq!(r.errors, 0, "churn level {qps}: transport errors");
+        println!("churn {}", r.to_json());
+        churn_rows.push(r.to_json());
+    }
+    stop.store(true, Ordering::Release);
+    writer.join().expect("churn writer");
+    let generation_swaps = swaps.load(Ordering::Relaxed);
+    println!("churn writer completed {generation_swaps} generation swap(s)");
+    assert!(generation_swaps > 0, "the churn phase never swapped");
+
+    let metrics = server.metrics_json();
+    println!("server metrics: {metrics}");
+    server.shutdown();
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"available_parallelism\": {cores},\n  \
+         \"caveat\": \"recorded on {cores} core(s): clients, connection threads, batch workers \
+         and the churn writer time-slice the same CPU(s), so the latency-vs-qps curve reflects \
+         scheduler pressure; re-record on a multi-core box for provisioning numbers\",\n  \
+         \"objects\": {},\n  \"filter\": \"{}\",\n  \"seconds_per_level\": {SECONDS_PER_LEVEL},\n  \
+         \"clients\": {CLIENTS},\n  \"generation_swaps_during_churn\": {generation_swaps},\n  \
+         \"idle\": [\n    {}\n  ],\n  \"under_churn\": [\n    {}\n  ],\n  \
+         \"server_metrics\": {metrics}\n}}\n",
+        live.len(),
+        live.engine().filter_name(),
+        idle_rows.join(",\n    "),
+        churn_rows.join(",\n    "),
+    );
+    write_json(&out, &json);
+}

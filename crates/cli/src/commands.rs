@@ -46,6 +46,18 @@ commands:
             --tokens a,b,c [--tau-r F] [--tau-t F]]
             load a .seal container (fully validated before use) and
             optionally answer one query from it
+  serve     --data FILE [--addr 127.0.0.1:7878] [--filter ...]
+            [--threads N] [--max-connections N] [--max-batch N]
+            [--max-queued N] [--max-staged N] [--timeout-secs N]
+            [--seconds N]
+            run the HTTP serving tier over a LiveEngine: /query /push
+            /refresh /status /metrics (adaptive query batching,
+            503 backpressure; --seconds 0 = run until killed)
+  loadgen   --addr HOST:PORT [--qps F] [--seconds F] [--clients N]
+            [--region x0,y0,x1,y1] [--tokens a,b,c] [--tau-r F]
+            [--tau-t F] [--push-every N]
+            open-loop load generator against a running serve:
+            reports exact client-side p50/p95/p99 latency
   help      show this message";
 
 /// Entry point used by `main` (and by the tests, with captured output).
@@ -64,6 +76,8 @@ pub fn run(argv: &[String]) -> Result<(), Box<dyn Error>> {
         "ingest" => cmd_ingest(&args),
         "save" => cmd_save(&args),
         "load" => cmd_load(&args),
+        "serve" => cmd_serve(&args),
+        "loadgen" => cmd_loadgen(&args),
         other => Err(format!("unknown command {other:?}").into()),
     }
 }
@@ -520,6 +534,117 @@ fn cmd_load(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Runs the network serving tier: builds a [`LiveEngine`] over the
+/// dataset (with the dictionary interned, so clients may send token
+/// *names*), then serves `/query` `/push` `/refresh` `/status`
+/// `/metrics` until killed (or for `--seconds N`, the CI smoke mode).
+fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
+    let path = args.required("data")?;
+    let reader = BufReader::new(File::open(path)?);
+    let (dataset, names) = dio::read_tsv(reader)?;
+    let store = labeled_store_from(&dataset, &names)?;
+    let kind = filter_kind(args.optional("filter").unwrap_or("seal"))?;
+    let threads: usize = args.parsed_or("threads", 0)?;
+    let seconds: u64 = args.parsed_or("seconds", 0)?;
+    let cfg = seal_server::ServerConfig {
+        addr: args
+            .optional("addr")
+            .unwrap_or("127.0.0.1:7878")
+            .to_string(),
+        max_connections: args.parsed_or("max-connections", 128)?,
+        threads,
+        max_batch: args.parsed_or("max-batch", 64)?,
+        max_queued: args.parsed_or("max-queued", 1024)?,
+        max_staged: args.parsed_or("max-staged", 1 << 20)?,
+        request_timeout: std::time::Duration::from_secs(args.parsed_or("timeout-secs", 10u64)?),
+        limits: seal_server::Limits::default(),
+    };
+
+    let t0 = std::time::Instant::now();
+    let live = Arc::new(LiveEngine::with_opts(
+        store,
+        kind,
+        SimilarityConfig::default(),
+        BuildOpts::with_threads(threads),
+    ));
+    let built = t0.elapsed().as_secs_f64();
+    let server = seal_server::Server::spawn(live.clone(), cfg)?;
+    println!(
+        "serving {} objects with {} on http://{} (built in {built:.3}s)",
+        live.len(),
+        live.engine().filter_name(),
+        server.addr(),
+    );
+    println!("endpoints: /query /push /refresh /status /metrics");
+    if seconds == 0 {
+        // Daemon mode: serve until the process is killed.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs(seconds));
+    println!("{}", server.metrics_json());
+    server.shutdown();
+    println!("clean shutdown after {seconds}s");
+    Ok(())
+}
+
+/// Open-loop load generation against a running `serve`, reporting
+/// exact client-side latency percentiles (and the server's own view
+/// via `/status`).
+fn cmd_loadgen(args: &Args) -> Result<(), Box<dyn Error>> {
+    let addr = args.required("addr")?;
+    let qps: f64 = args.parsed_or("qps", 100.0)?;
+    let seconds: f64 = args.parsed_or("seconds", 5.0)?;
+    let clients: usize = args.parsed_or("clients", 8)?;
+    let region = args.optional("region").unwrap_or("0,0,1000,1000");
+    parse_region(region)?; // fail fast on a bad region, client-side
+    let tokens = args.optional("tokens").unwrap_or("0,1");
+    let tau_r: f64 = args.parsed_or("tau-r", 0.2)?;
+    let tau_t: f64 = args.parsed_or("tau-t", 0.2)?;
+    let push_every: usize = args.parsed_or("push-every", 0)?;
+
+    let query_target = (
+        "GET".to_string(),
+        format!("/query?region={region}&tokens={tokens}&tau_r={tau_r}&tau_t={tau_t}"),
+        Vec::new(),
+    );
+    let mut targets = vec![query_target];
+    if push_every > 0 {
+        // Every push-every-th request stages one object shaped like
+        // the query (exercises the ingest path under load).
+        let push_body = format!("{} {}\n", region.replace(',', " "), tokens);
+        targets = std::iter::repeat_n(targets[0].clone(), push_every.saturating_sub(1).max(1))
+            .chain(std::iter::once((
+                "POST".to_string(),
+                "/push".to_string(),
+                push_body.into_bytes(),
+            )))
+            .collect();
+    }
+
+    let mut probe = seal_server::HttpClient::connect(addr)?;
+    let before = probe.request("GET", "/status", b"")?;
+    if before.status != 200 {
+        return Err(format!("server /status answered {}", before.status).into());
+    }
+    println!("server before: {}", before.text());
+    let report = seal_server::client::run_load(
+        addr,
+        &targets,
+        qps,
+        std::time::Duration::from_secs_f64(seconds),
+        clients,
+    )?;
+    println!("{}", report.to_json());
+    let after = probe.request("GET", "/status", b"")?;
+    println!("server after:  {}", after.text());
+    if report.ok == 0 {
+        return Err("no request succeeded — is the address right?".into());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,6 +755,47 @@ mod tests {
         )))
         .unwrap();
         assert!(run(&argv(&format!("ingest --data {data_s} --spec bogus"))).is_err());
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn serve_and_loadgen_roundtrip() {
+        let data = temp_path("serve.tsv");
+        let data_s = data.to_str().unwrap().to_string();
+        run(&argv(&format!(
+            "generate --kind twitter --objects 300 --seed 5 --out {data_s}"
+        )))
+        .unwrap();
+        // A fixed port keeps serve and loadgen in touch; high and
+        // PID-free ports collide rarely, and a collision fails loudly.
+        let addr = "127.0.0.1:39137";
+        let server = std::thread::spawn({
+            let data_s = data_s.clone();
+            // Box<dyn Error> is not Send; carry the message across.
+            move || {
+                run(&argv(&format!(
+                    "serve --data {data_s} --addr {addr} --filter token \
+                     --threads 1 --seconds 3"
+                )))
+                .map_err(|e| e.to_string())
+            }
+        });
+        // Wait for the listener, then drive a short load.
+        let mut up = false;
+        for _ in 0..50 {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            if seal_server::HttpClient::connect(addr).is_ok() {
+                up = true;
+                break;
+            }
+        }
+        assert!(up, "serve never bound {addr}");
+        run(&argv(&format!(
+            "loadgen --addr {addr} --qps 40 --seconds 1 --clients 4 \
+             --tokens tok0,tok1 --push-every 10"
+        )))
+        .unwrap();
+        server.join().unwrap().unwrap();
         std::fs::remove_file(&data).ok();
     }
 

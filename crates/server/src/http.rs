@@ -1,0 +1,507 @@
+//! A shim-grade HTTP/1.1 request parser and response writer.
+//!
+//! The build environment has no registry access, so the wire protocol
+//! is implemented from scratch over `std` — the same policy as
+//! `shims/`. The parser is **incremental** (feed it a growing buffer,
+//! it answers "need more bytes", "here is a request", or a typed
+//! [`ParseError`]), **bounded** (request-line/header bytes, header
+//! count and body length are all capped *before* any allocation is
+//! sized from attacker-controlled input — the `container.rs`
+//! validation discipline applied to sockets), and **total**: no input
+//! byte sequence panics, every rejection carries the HTTP status the
+//! server should answer with.
+//!
+//! Supported surface: `HTTP/1.0` and `HTTP/1.1`, `Content-Length`
+//! bodies, keep-alive and pipelining. `Transfer-Encoding` is refused
+//! with `501` (the serving tier never needs chunked requests).
+
+use std::fmt;
+
+/// Hard limits applied while parsing one request. Defaults are
+/// generous for the serving workload and small enough that a hostile
+/// peer cannot make the server buffer unbounded garbage.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (including the blank
+    /// line). Exceeding it is `431 Request Header Fields Too Large`.
+    pub max_head_bytes: usize,
+    /// Maximum number of header lines (`431` beyond).
+    pub max_headers: usize,
+    /// Maximum declared `Content-Length` (`413 Payload Too Large`
+    /// beyond — checked against the *declared* length, so the server
+    /// never buffers an oversized body to find out).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            max_headers: 64,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Why a byte stream was rejected. Every variant maps to one HTTP
+/// status via [`ParseError::status`]; none of them panic or allocate
+/// proportionally to the hostile input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request line was not `METHOD SP target SP HTTP/1.x`.
+    BadRequestLine,
+    /// The HTTP version is not 1.0 or 1.1 (`505`).
+    UnsupportedVersion,
+    /// A header line had no `:`, an empty name, or a name with
+    /// whitespace/control bytes.
+    BadHeader,
+    /// More header lines than [`Limits::max_headers`] (`431`).
+    TooManyHeaders,
+    /// Request line + headers exceed [`Limits::max_head_bytes`]
+    /// (`431`).
+    HeadTooLarge,
+    /// `Content-Length` missing digits, duplicated with a different
+    /// value, or unparseable.
+    BadContentLength,
+    /// Declared body length exceeds [`Limits::max_body_bytes`]
+    /// (`413`).
+    BodyTooLarge,
+    /// `Transfer-Encoding` is present; the server only accepts
+    /// `Content-Length` bodies (`501`).
+    UnsupportedTransferEncoding,
+}
+
+impl ParseError {
+    /// The HTTP status (code, reason) the server answers with.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            ParseError::BadRequestLine | ParseError::BadHeader | ParseError::BadContentLength => {
+                (400, "Bad Request")
+            }
+            ParseError::UnsupportedVersion => (505, "HTTP Version Not Supported"),
+            ParseError::TooManyHeaders | ParseError::HeadTooLarge => {
+                (431, "Request Header Fields Too Large")
+            }
+            ParseError::BodyTooLarge => (413, "Payload Too Large"),
+            ParseError::UnsupportedTransferEncoding => (501, "Not Implemented"),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    // The variants are self-describing; the text only ever lands in
+    // logs and error bodies.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One fully received request: head parsed, body bytes owned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The path component of the target (`/query`), `?` excluded.
+    pub path: String,
+    /// The raw query string (`a=b&c=d`), empty when absent.
+    pub query: String,
+    /// False for `HTTP/1.0`.
+    pub http11: bool,
+    /// Keep-alive after this exchange (`Connection` header applied to
+    /// the version default).
+    pub keep_alive: bool,
+    /// True when the client sent `Expect: 100-continue`.
+    pub expect_continue: bool,
+    /// The request body (empty unless `Content-Length` said
+    /// otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Looks up a `key=value` pair in the query string (first match;
+    /// no percent-decoding — the serving protocol never needs it).
+    pub fn param<'a>(&'a self, key: &str) -> Option<&'a str> {
+        query_param(&self.query, key)
+    }
+}
+
+/// Looks up `key` in a raw `a=b&c=d` query string.
+pub fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+/// The parsed head, before the body has necessarily arrived.
+#[derive(Debug)]
+struct Head {
+    method: String,
+    path: String,
+    query: String,
+    http11: bool,
+    keep_alive: bool,
+    expect_continue: bool,
+    content_length: usize,
+    /// Bytes the head consumed (request line + headers + blank line).
+    consumed: usize,
+}
+
+/// Incremental parse result: `NeedMore` until the buffer holds a full
+/// request, then the request plus how many buffer bytes it consumed
+/// (pipelining = the caller drains `consumed` and parses again).
+#[derive(Debug)]
+pub enum Parsed {
+    /// The buffer does not yet hold a complete request (and is still
+    /// within limits).
+    NeedMore,
+    /// A complete request and the bytes it consumed from the buffer.
+    Complete(Request, usize),
+}
+
+/// Tries to parse one request from the front of `buf`.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed, ParseError> {
+    let head = match parse_head(buf, limits)? {
+        Some(h) => h,
+        None => return Ok(Parsed::NeedMore),
+    };
+    let total = head.consumed + head.content_length;
+    if buf.len() < total {
+        return Ok(Parsed::NeedMore);
+    }
+    let body = buf[head.consumed..total].to_vec();
+    Ok(Parsed::Complete(
+        Request {
+            method: head.method,
+            path: head.path,
+            query: head.query,
+            http11: head.http11,
+            keep_alive: head.keep_alive,
+            expect_continue: head.expect_continue,
+            body,
+        },
+        total,
+    ))
+}
+
+/// True once the buffer holds the full head but the body is still in
+/// flight **and** the client asked for `100 Continue` — the caller
+/// should send the interim response to unblock it.
+pub fn wants_continue(buf: &[u8], limits: &Limits) -> bool {
+    matches!(parse_head(buf, limits), Ok(Some(h)) if h.expect_continue
+        && buf.len() < h.consumed + h.content_length)
+}
+
+fn parse_head(buf: &[u8], limits: &Limits) -> Result<Option<Head>, ParseError> {
+    // Find the blank line within the head budget; a buffer that grew
+    // past the budget without one is a hostile head, not "need more".
+    let window = &buf[..buf.len().min(limits.max_head_bytes)];
+    let head_end = match find_double_crlf(window) {
+        Some(i) => i,
+        None if buf.len() >= limits.max_head_bytes => return Err(ParseError::HeadTooLarge),
+        None => return Ok(None),
+    };
+    let head = &buf[..head_end];
+    let head_str = std::str::from_utf8(head).map_err(|_| ParseError::BadHeader)?;
+    let mut lines = head_str.split("\r\n");
+    let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+
+    // METHOD SP target SP HTTP/1.x — exactly three fields.
+    let mut fields = request_line.split(' ');
+    let (method, target, version) = match (fields.next(), fields.next(), fields.next()) {
+        (Some(m), Some(t), Some(v)) if fields.next().is_none() => (m, t, v),
+        _ => return Err(ParseError::BadRequestLine),
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return Err(ParseError::BadRequestLine);
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::BadRequestLine);
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => return Err(ParseError::UnsupportedVersion),
+        _ => return Err(ParseError::BadRequestLine),
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = http11; // version default; header overrides
+    let mut expect_continue = false;
+    let mut header_count = 0usize;
+    for line in lines {
+        header_count += 1;
+        if header_count > limits.max_headers {
+            return Err(ParseError::TooManyHeaders);
+        }
+        let (name, value) = line.split_once(':').ok_or(ParseError::BadHeader)?;
+        if name.is_empty()
+            || name
+                .bytes()
+                .any(|b| b.is_ascii_whitespace() || b.is_ascii_control())
+        {
+            return Err(ParseError::BadHeader);
+        }
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .parse()
+                .map_err(|_| ParseError::BadContentLength)
+                .and_then(|n: u64| usize::try_from(n).map_err(|_| ParseError::BadContentLength))?;
+            // Duplicates must agree (RFC 9110 §8.6 smuggling defense).
+            if content_length.is_some_and(|prev| prev != n) {
+                return Err(ParseError::BadContentLength);
+            }
+            content_length = Some(n);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(ParseError::UnsupportedTransferEncoding);
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expect_continue = true;
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
+    if content_length > limits.max_body_bytes {
+        return Err(ParseError::BodyTooLarge);
+    }
+    Ok(Some(Head {
+        method: method.to_string(),
+        path,
+        query,
+        http11,
+        keep_alive,
+        expect_continue,
+        content_length,
+        consumed: head_end + 4,
+    }))
+}
+
+/// Byte offset of the first `\r\n\r\n`, i.e. the length of the head
+/// *excluding* the terminator.
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Serializes one response (status line, supplied headers,
+/// `Content-Length`, `Connection`, blank line, body) into a byte
+/// vector ready for one `write_all`.
+pub fn encode_response(
+    status: u16,
+    reason: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    out.extend_from_slice(b"Content-Type: application/json\r\n");
+    for (k, v) in headers {
+        out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    out.extend_from_slice(if keep_alive {
+        b"Connection: keep-alive\r\n"
+    } else {
+        b"Connection: close\r\n"
+    });
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// The interim `100 Continue` response bytes.
+pub const CONTINUE_100: &[u8] = b"HTTP/1.1 100 Continue\r\n\r\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(bytes: &[u8]) -> Request {
+        match parse_request(bytes, &Limits::default()).expect("must parse") {
+            Parsed::Complete(r, consumed) => {
+                assert_eq!(consumed, bytes.len());
+                r
+            }
+            Parsed::NeedMore => panic!("expected a complete request"),
+        }
+    }
+
+    #[test]
+    fn parses_a_get_with_query_string() {
+        let r = parse_ok(b"GET /query?region=0,0,1,1&tokens=3 HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/query");
+        assert_eq!(r.param("region"), Some("0,0,1,1"));
+        assert_eq!(r.param("tokens"), Some("3"));
+        assert_eq!(r.param("absent"), None);
+        assert!(r.http11 && r.keep_alive);
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let r = parse_ok(b"POST /push HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn incremental_need_more_then_complete() {
+        let full = b"POST /push HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        let limits = Limits::default();
+        for cut in 0..full.len() {
+            match parse_request(&full[..cut], &limits).expect("prefixes never error") {
+                Parsed::NeedMore => {}
+                Parsed::Complete(..) => panic!("complete at {cut} of {}", full.len()),
+            }
+        }
+        assert!(matches!(
+            parse_request(full, &limits),
+            Ok(Parsed::Complete(..))
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let Parsed::Complete(r, consumed) = parse_request(two, &Limits::default()).unwrap() else {
+            panic!("first request must complete");
+        };
+        assert_eq!(r.path, "/a");
+        let Parsed::Complete(r2, c2) = parse_request(&two[consumed..], &Limits::default()).unwrap()
+        else {
+            panic!("second request must complete");
+        };
+        assert_eq!(r2.path, "/b");
+        assert_eq!(consumed + c2, two.len());
+    }
+
+    #[test]
+    fn typed_rejections() {
+        let l = Limits::default();
+        let cases: &[(&[u8], ParseError)] = &[
+            (b"GARBAGE\r\n\r\n", ParseError::BadRequestLine),
+            (b"GET /\r\n\r\n", ParseError::BadRequestLine),
+            (b"GET / HTTP/1.1 extra\r\n\r\n", ParseError::BadRequestLine),
+            (b"G@T / HTTP/1.1\r\n\r\n", ParseError::BadRequestLine),
+            (b"GET noslash HTTP/1.1\r\n\r\n", ParseError::BadRequestLine),
+            (b"GET / HTTP/2.0\r\n\r\n", ParseError::UnsupportedVersion),
+            (b"GET / FTP/1.1\r\n\r\n", ParseError::BadRequestLine),
+            (
+                b"GET / HTTP/1.1\r\nno colon here\r\n\r\n",
+                ParseError::BadHeader,
+            ),
+            (
+                b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n",
+                ParseError::BadHeader,
+            ),
+            (b"GET / HTTP/1.1\r\n: empty\r\n\r\n", ParseError::BadHeader),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+                ParseError::BadContentLength,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\n",
+                ParseError::BadContentLength,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                ParseError::UnsupportedTransferEncoding,
+            ),
+        ];
+        for (bytes, want) in cases {
+            let got = parse_request(bytes, &l).expect_err(&format!(
+                "{:?} must be rejected",
+                String::from_utf8_lossy(bytes)
+            ));
+            assert_eq!(&got, want, "{:?}", String::from_utf8_lossy(bytes));
+        }
+    }
+
+    #[test]
+    fn duplicate_content_length_must_agree() {
+        let r = parse_ok(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok");
+        assert_eq!(r.body, b"ok");
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let l = Limits {
+            max_head_bytes: 64,
+            ..Limits::default()
+        };
+        // A head that can never finish within the budget.
+        let long = vec![b'a'; 80];
+        let mut buf = b"GET / HTTP/1.1\r\nX: ".to_vec();
+        buf.extend_from_slice(&long);
+        assert_eq!(
+            parse_request(&buf, &l).unwrap_err(),
+            ParseError::HeadTooLarge
+        );
+        // Too many headers.
+        let l2 = Limits {
+            max_headers: 2,
+            ..Limits::default()
+        };
+        let req = b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n";
+        assert_eq!(
+            parse_request(req, &l2).unwrap_err(),
+            ParseError::TooManyHeaders
+        );
+        // Declared body too large — rejected from the *declaration*.
+        let l3 = Limits {
+            max_body_bytes: 10,
+            ..Limits::default()
+        };
+        let req = b"POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\n";
+        assert_eq!(
+            parse_request(req, &l3).unwrap_err(),
+            ParseError::BodyTooLarge
+        );
+    }
+
+    #[test]
+    fn connection_and_version_defaults() {
+        let r = parse_ok(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!r.http11 && !r.keep_alive);
+        let r = parse_ok(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(r.keep_alive);
+        let r = parse_ok(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn expect_continue_is_flagged() {
+        let head = b"POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 3\r\n\r\n";
+        assert!(wants_continue(head, &Limits::default()));
+        let mut full = head.to_vec();
+        full.extend_from_slice(b"abc");
+        assert!(!wants_continue(&full, &Limits::default()));
+        let r = parse_ok(&full);
+        assert!(r.expect_continue);
+        assert_eq!(r.body, b"abc");
+    }
+
+    #[test]
+    fn response_encoding_roundtrips_the_essentials() {
+        let bytes = encode_response(200, "OK", &[("Retry-After", "1")], b"{}", true);
+        let s = String::from_utf8(bytes).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 2\r\n"));
+        assert!(s.contains("Retry-After: 1\r\n"));
+        assert!(s.contains("Connection: keep-alive\r\n"));
+        assert!(s.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # seal-server — the network serving tier over `LiveEngine`.
+//!
+//! Everything below the socket already existed: lock-free
+//! `Arc<SealEngine>` generation swaps, caller-owned `QueryContext`
+//! serving loops, work-stealing `search_batch`, a durable `.seal`
+//! container. This crate is the piece that speaks TCP: a
+//! dependency-free (std-only, per the `shims/` policy) HTTP/1.1
+//! server exposing `/query`, `/push`, `/refresh`, `/status` and
+//! `/metrics`, with
+//!
+//! * **adaptive request batching** — concurrent `/query` requests
+//!   coalesce into one `search_batch` dispatch (group-commit; see
+//!   [`batcher`]),
+//! * **admission control** — bounded connection pool, bounded query
+//!   queue, staged-churn bound, all shedding with `503 Retry-After`,
+//! * **observable tail latency** — lock-free per-endpoint histograms
+//!   and generation/staleness gauges at `/metrics`,
+//! * a **hardened wire parser** — every byte limit enforced before
+//!   allocation, every rejection a typed [`http::ParseError`]
+//!   (proptest-fuzzed in `tests/server_parser_fuzz.rs`).
+//!
+//! ```no_run
+//! use seal_core::{FilterKind, LiveEngine, ObjectStore};
+//! use seal_server::{Server, ServerConfig, client::HttpClient};
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(ObjectStore::from_labeled(vec![
+//!     (seal_geom::Rect::new(0.0, 0.0, 40.0, 40.0).unwrap(), vec!["coffee"]),
+//! ]));
+//! let live = Arc::new(LiveEngine::new(store, FilterKind::Token));
+//! let server = Server::spawn(live, ServerConfig::default()).unwrap();
+//! let mut c = HttpClient::connect(&server.addr().to_string()).unwrap();
+//! let r = c.request("GET", "/query?region=0,0,50,50&tokens=coffee&tau_r=0.2&tau_t=0.2", b"").unwrap();
+//! assert_eq!(r.status, 200);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod metrics;
+mod server;
+
+pub use client::{HttpClient, HttpResponse, LoadReport};
+pub use http::{Limits, ParseError, Request};
+pub use metrics::Metrics;
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,172 @@
+//! Hostile-input hardening of the `seal-server` HTTP/1.1 parser, in
+//! the style of `container_corrupt.rs`: every byte string — random
+//! soup, mutated valid requests, truncations, header floods,
+//! oversized declarations — must come back from [`parse_request`] as
+//! `Ok(NeedMore)`, `Ok(Complete)`, or a typed [`ParseError`] that
+//! maps to a real 4xx/5xx status. Never a panic, and never an
+//! allocation sized by attacker-declared lengths (the oversized cases
+//! are rejected straight from the declaration, before any buffering).
+
+use proptest::prelude::*;
+use seal_server::http::{parse_request, Parsed};
+use seal_server::Limits;
+
+/// Valid request templates the mutation properties start from.
+fn templates() -> Vec<Vec<u8>> {
+    let body = b"1 1 2 2 0,1\n3 3 4 4 2\n";
+    vec![
+        b"GET /status HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /query?region=0,0,9,9&tokens=1,2&tau_r=0.3&tau_t=0.2 HTTP/1.1\r\nHost: x\r\n\r\n"
+            .to_vec(),
+        format!(
+            "POST /push HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            String::from_utf8_lossy(body),
+        )
+        .into_bytes(),
+        b"POST /refresh HTTP/1.0\r\nContent-Length: 0\r\n\r\n".to_vec(),
+        // Two pipelined requests in one buffer.
+        b"GET / HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+    ]
+}
+
+/// The statuses the serving tier maps parse errors onto.
+fn assert_typed(e: seal_server::ParseError, what: &str) {
+    let (status, reason) = e.status();
+    assert!(
+        matches!(status, 400 | 413 | 431 | 501 | 505),
+        "{what}: {e:?} mapped to unknown status {status} {reason}"
+    );
+    assert!(!reason.is_empty(), "{what}: empty reason phrase");
+}
+
+/// Whatever `parse_request` returns, it returned (did not panic) and
+/// any error is typed.
+fn assert_total(bytes: &[u8], limits: &Limits, what: &str) {
+    match parse_request(bytes, limits) {
+        Ok(Parsed::NeedMore) | Ok(Parsed::Complete(..)) => {}
+        Err(e) => assert_typed(e, what),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure byte soup, plus every 64-byte-step prefix of it.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..1024)) {
+        let limits = Limits::default();
+        assert_total(&bytes, &limits, "byte soup");
+        let mut cut = 0usize;
+        while cut < bytes.len() {
+            assert_total(&bytes[..cut], &limits, "byte-soup prefix");
+            cut += 64;
+        }
+    }
+
+    /// Single-byte mutations of valid requests: flip, insert, delete,
+    /// or truncate — the parser stays total and typed.
+    #[test]
+    fn mutated_valid_requests_stay_typed(
+        which in 0usize..5,
+        op in 0u8..4,
+        pos in 0usize..1024,
+        byte in 0u8..=255,
+    ) {
+        let mut bytes = templates()[which].clone();
+        let pos = pos % bytes.len();
+        match op {
+            0 => bytes[pos] = byte,          // flip
+            1 => bytes.insert(pos, byte),    // insert
+            2 => { bytes.remove(pos); }      // delete
+            _ => bytes.truncate(pos),        // truncate
+        }
+        assert_total(&bytes, &Limits::default(), "mutated template");
+    }
+
+    /// Incremental feeding: for a valid request delivered a prefix at
+    /// a time, every proper prefix is `NeedMore` (never an error, so
+    /// a slow-but-honest client is never rejected mid-write), and the
+    /// full buffer parses `Complete` consuming exactly the request.
+    #[test]
+    fn prefixes_of_valid_requests_need_more(which in 0usize..4, step in 1usize..64) {
+        let bytes = templates()[which].clone();
+        let limits = Limits::default();
+        let mut cut = 0usize;
+        while cut < bytes.len() {
+            match parse_request(&bytes[..cut], &limits) {
+                Ok(Parsed::NeedMore) => {}
+                Ok(Parsed::Complete(..)) => {
+                    panic!("complete from a proper prefix of template {which} at {cut}")
+                }
+                Err(e) => panic!("prefix {cut} of template {which} rejected: {e:?}"),
+            }
+            cut = (cut + step).min(bytes.len());
+        }
+        match parse_request(&bytes, &limits) {
+            Ok(Parsed::Complete(req, consumed)) => {
+                prop_assert!(consumed <= bytes.len());
+                prop_assert!(!req.method.is_empty());
+                prop_assert!(req.path.starts_with('/'));
+            }
+            other => panic!("template {which} did not complete: {other:?}"),
+        }
+    }
+
+    /// Oversized declarations are rejected from the *declaration*:
+    /// a giant Content-Length with zero body bytes present must come
+    /// back `BodyTooLarge` (413) — not `NeedMore`, which would invite
+    /// buffering toward an attacker-chosen size.
+    #[test]
+    fn oversized_declared_bodies_are_rejected_up_front(
+        over in 1u64..u64::MAX / 2,
+    ) {
+        let limits = Limits::default();
+        let declared = limits.max_body_bytes as u64 + over;
+        let head = format!("POST /push HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        match parse_request(head.as_bytes(), &limits) {
+            Err(e) => {
+                let (status, _) = e.status();
+                prop_assert_eq!(status, 413);
+            }
+            other => panic!("oversized declaration accepted: {other:?}"),
+        }
+    }
+
+    /// Heads that never terminate are cut off at the head limit (431),
+    /// no matter how much more the client pours in.
+    #[test]
+    fn unterminated_heads_are_cut_off(extra in 1usize..4096) {
+        let limits = Limits::default();
+        let mut bytes = b"GET /".to_vec();
+        bytes.resize(limits.max_head_bytes + extra, b'a');
+        match parse_request(&bytes, &limits) {
+            Err(e) => {
+                let (status, _) = e.status();
+                prop_assert_eq!(status, 431);
+            }
+            other => panic!("runaway head accepted: {other:?}"),
+        }
+    }
+
+    /// Header floods: up to the configured count parses fine, one
+    /// past it is a typed 431.
+    #[test]
+    fn header_floods_hit_the_header_limit(extra in 0usize..40) {
+        let limits = Limits::default();
+        let n = limits.max_headers + extra;
+        let heads: String = (0..n).map(|i| format!("H{i}: v{i}\r\n")).collect();
+        let bytes = format!("GET /status HTTP/1.1\r\n{heads}\r\n").into_bytes();
+        match parse_request(&bytes, &limits) {
+            Ok(Parsed::Complete(..)) => prop_assert!(extra == 0, "over-limit head parsed"),
+            Err(e) => {
+                prop_assert!(extra > 0, "within-limit head rejected: {e:?}");
+                let (status, _) = e.status();
+                // The flood trips whichever bound it crosses first:
+                // the header-count limit or the head-byte limit.
+                prop_assert!(status == 431, "flood mapped to {status}");
+            }
+            Ok(Parsed::NeedMore) => panic!("complete head reported NeedMore"),
+        }
+    }
+}
