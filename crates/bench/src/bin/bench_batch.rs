@@ -30,7 +30,7 @@ fn main() {
     let threads = [1usize, 2, 4, 8];
     let mut qps = Vec::new();
     for &t in &threads {
-        let v = batch_qps(&engine, &qs, t, 3);
+        let v = batch_qps(&qs, t, 3, |q, th| engine.search_batch(q, th));
         println!("threads={t:<2} {v:>10.1} q/s");
         qps.push(v);
     }

@@ -60,7 +60,7 @@ fn main() {
         for (tag, kind) in [("arena", mode.arena), ("compressed", mode.compressed)] {
             let engine = SealEngine::build(store.clone(), kind);
             let bytes = engine.index_bytes();
-            let qps = batch_qps(&engine, &qs, 1, 3);
+            let qps = batch_qps(&qs, 1, 3, |q, t| engine.search_batch(q, t));
             println!(
                 "{:<12} {:<12} {:>12} bytes {:>12.1} q/s ({})",
                 mode.label,

@@ -44,18 +44,9 @@ const MAX_LEVEL: u8 = 8;
 const BUDGET: usize = 16;
 const ROUNDS: usize = 5;
 
-/// `harness::batch_qps` for a `LiveEngine`: one warm-up pass, then
-/// `passes` measured runs, queries per second.
+/// `harness::batch_qps` specialised to a `LiveEngine` dispatch.
 fn live_qps(live: &LiveEngine, queries: &[seal_core::Query], threads: usize, passes: usize) -> f64 {
-    if queries.is_empty() || passes == 0 {
-        return 0.0;
-    }
-    std::hint::black_box(live.search_batch(queries, threads));
-    let start = std::time::Instant::now();
-    for _ in 0..passes {
-        std::hint::black_box(live.search_batch(queries, threads));
-    }
-    (passes * queries.len()) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    seal_bench::harness::batch_qps(queries, threads, passes, |q, t| live.search_batch(q, t))
 }
 
 fn main() {

@@ -127,6 +127,10 @@ fn main() {
         .unwrap_or(200_000);
     let out = out_path("BENCH_scan.json");
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "note: record with RUSTFLAGS='-C target-cpu=native' — the chunked scan only \
+         auto-vectorizes to the host's widest SIMD on a native target"
+    );
 
     let mut rng = Rng(0x5EA1_5CA4);
     let mut rows = Vec::new();
@@ -248,6 +252,9 @@ fn main() {
          \"caveat\": \"recorded on a 1-core container when available_parallelism is 1; probes are \
          single-threaded so the relative numbers hold, but re-record on a >=8-core box alongside \
          the other BENCH_*.json baselines (see ROADMAP) before quoting absolute ns\",\n  \
+         \"build_note\": \"build with RUSTFLAGS='-C target-cpu=native' when recording: the chunked \
+         scan's branch-free inner loop auto-vectorizes to the host's widest SIMD only then; the \
+         portable default target understates it\",\n  \
          \"dense_summary\": {{\n{},\n{}\n  }},\n  \"rows\": [\n{}\n  ]\n}}\n",
         chunked_summary.expect("chunked dense config measured"),
         fallback_summary.expect("fallback dense config measured"),

@@ -1,0 +1,139 @@
+//! Records the sharded-serving baseline to `BENCH_shard.json`:
+//! throughput, fan-out ratio (shards touched / N) and merge overhead
+//! for a `ShardedEngine` at N ∈ {1, 2, 4, 8} shards versus the
+//! single-arena `LiveEngine` over the same corpus and small-region
+//! workload.
+//!
+//! ```text
+//! cargo run --release -p seal-bench --bin bench_shard -- \
+//!     [--objects N] [--queries N] [--seed N] [--out PATH]
+//! ```
+//!
+//! Every configuration first cross-checks exactness — the sharded
+//! answers must be identical to the single engine's on every query —
+//! then times. The interesting columns:
+//!
+//! * **fan_out_ratio** — mean (shards probed / N). The spatial
+//!   partitioner's whole value proposition is this being well under
+//!   1.0 for small-region queries: work the covering-MBR prune never
+//!   dispatched.
+//! * **merge_share** — merge+remap wall-clock over total query
+//!   wall-clock. The price of sharding; should stay marginal.
+//! * **qps / speedup_vs_single** — on a 1-core box shards serialize,
+//!   so qps ≈ the fan-out saving minus merge overhead; real scaling
+//!   needs cores (see the caveat in the JSON).
+
+use seal_bench::data::{build_store, dataset, with_thresholds, workload, BenchConfig, Which};
+use seal_bench::harness::{batch_qps, out_path, print_header, print_row, write_json};
+use seal_core::{BuildOpts, FilterKind, LiveEngine, QueryEngine, ShardedEngine, SimilarityConfig};
+use seal_datagen::QuerySpec;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let out = out_path("BENCH_shard.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let d = dataset(Which::Twitter, &cfg);
+    let store = build_store(&d);
+    let qs = with_thresholds(&workload(&d, QuerySpec::SmallRegion, &cfg), 0.2, 0.2);
+    let kind = FilterKind::seal_default();
+
+    let single = LiveEngine::new(store.clone(), kind);
+    let expected: Vec<Vec<u32>> = qs
+        .iter()
+        .map(|q| {
+            single
+                .search(q)
+                .sorted()
+                .answers
+                .iter()
+                .map(|id| id.0)
+                .collect()
+        })
+        .collect();
+    let single_qps = batch_qps(&qs, 1, 3, |q, t| single.search_batch(q, t));
+    println!(
+        "single-arena baseline: {:.1} q/s over {} queries, {} objects",
+        single_qps,
+        qs.len(),
+        store.len(),
+    );
+
+    print_header(
+        &[
+            "shards",
+            "policy",
+            "qps",
+            "speedup",
+            "fan_out",
+            "merge_us",
+            "merge_share",
+        ],
+        &[7, 10, 10, 8, 8, 9, 11],
+    );
+    let mut rows = Vec::new();
+    for &n in &SHARD_COUNTS {
+        let engine = ShardedEngine::with_opts(
+            &store,
+            kind,
+            SimilarityConfig::default(),
+            BuildOpts::default(),
+            n,
+            None,
+        );
+        // Exactness and instrumentation pass: sharded answers must be
+        // the single engine's, query by query.
+        let mut probed = 0usize;
+        let mut merge_s = 0.0f64;
+        let mut total_s = 0.0f64;
+        for (q, expect) in qs.iter().zip(&expected) {
+            let r = engine.search(q);
+            probed += r.stats.shards_probed;
+            merge_s += r.stats.merge_time.as_secs_f64();
+            total_s += r.stats.total_time().as_secs_f64() + r.stats.merge_time.as_secs_f64();
+            let got: Vec<u32> = r.sorted().answers.iter().map(|id| id.0).collect();
+            assert_eq!(&got, expect, "sharded answers diverged at n={n}");
+        }
+        let fan_out = probed as f64 / (qs.len() * n) as f64;
+        let merge_us = merge_s * 1e6 / qs.len() as f64;
+        let merge_share = merge_s / total_s.max(1e-12);
+        let qps = batch_qps(&qs, 1, 3, |q, t| engine.search_batch(q, t));
+        let policy = format!("{:?}", engine.policy());
+        print_row(
+            &[
+                format!("{n}"),
+                policy.clone(),
+                format!("{qps:.1}"),
+                format!("{:.2}", qps / single_qps.max(1e-9)),
+                format!("{fan_out:.3}"),
+                format!("{merge_us:.2}"),
+                format!("{merge_share:.4}"),
+            ],
+            &[7, 10, 10, 8, 8, 9, 11],
+        );
+        rows.push(format!(
+            "    {{ \"shards\": {n}, \"policy\": \"{policy}\", \"qps\": {qps:.1}, \
+             \"speedup_vs_single\": {:.3}, \"fan_out_ratio\": {fan_out:.4}, \
+             \"merge_us_per_query\": {merge_us:.2}, \"merge_share\": {merge_share:.5} }}",
+            qps / single_qps.max(1e-9),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sharded serving: qps, fan-out ratio (shards probed / N) and merge \
+         overhead for ShardedEngine at N shards vs the single-arena LiveEngine baseline; answers \
+         cross-checked identical before timing\",\n  \
+         \"objects\": {},\n  \"queries\": {},\n  \"workload\": \"small-region, tau 0.2/0.2\",\n  \
+         \"available_parallelism\": {cores},\n  \
+         \"caveat\": \"recorded on a 1-core container when available_parallelism is 1: per-shard \
+         probes serialize, so qps reflects fan-out pruning minus merge overhead, not parallel \
+         scaling — re-record on a >=8-core box (see ROADMAP) before quoting speedups\",\n  \
+         \"single_arena_qps\": {single_qps:.1},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        store.len(),
+        qs.len(),
+        rows.join(",\n"),
+    );
+    write_json(&out, &json);
+}

@@ -2,7 +2,8 @@
 
 use crate::args::{parse_region, Args};
 use seal_core::{
-    BuildOpts, FilterKind, LiveEngine, ObjectStore, Query, RoiObject, SealEngine, SimilarityConfig,
+    BuildOpts, FilterKind, LiveEngine, ObjectStore, Query, QueryEngine, RoiObject, SealEngine,
+    ShardedEngine, SimilarityConfig,
 };
 use seal_datagen::{
     generate_queries, io as dio, twitter_like, usa_like, Dataset, QueryParams, QuerySpec,
@@ -24,18 +25,20 @@ commands:
   stats     --data FILE
             print dataset statistics (Table 1's data rows)
   index     --data FILE [--filter seal|token|token-compressed|grid|hash|
-            hash-compressed|adaptive|irtree] [--threads N]
+            hash-compressed|adaptive|irtree] [--threads N] [--shards N]
             build an index and report build time + size (alias: build;
-            --threads 0 = one worker per core, default 1)
+            --threads 0 = one worker per core, default 1; --shards N>1
+            partitions the corpus across N engine shards)
   query     --data FILE --region x0,y0,x1,y1 --tokens a,b,c
             [--tau-r F] [--tau-t F] [--filter ...] [--top-k N]
             run one spatio-textual similarity query
-  batch     --data FILE [--queries N] [--threads N] [--filter ...]
-            [--tau-r F] [--tau-t F] [--spec large|small] [--seed N]
+  batch     --data FILE [--queries N] [--threads N] [--shards N]
+            [--filter ...] [--tau-r F] [--tau-t F] [--spec large|small]
+            [--seed N]
             generate a query workload and serve it in parallel
   ingest    --data FILE [--initial N] [--batch N] [--rounds N]
-            [--queries N] [--threads N] [--filter ...] [--tau-r F]
-            [--tau-t F] [--spec large|small] [--seed N]
+            [--queries N] [--threads N] [--shards N] [--filter ...]
+            [--tau-r F] [--tau-t F] [--spec large|small] [--seed N]
             online ingest: build over the first N objects, then drive
             push -> query -> refresh cycles (generation swaps) over
             the rest, reporting staged visibility and refresh latency
@@ -47,12 +50,13 @@ commands:
             load a .seal container (fully validated before use) and
             optionally answer one query from it
   serve     --data FILE [--addr 127.0.0.1:7878] [--filter ...]
-            [--threads N] [--max-connections N] [--max-batch N]
-            [--max-queued N] [--max-staged N] [--timeout-secs N]
-            [--seconds N]
-            run the HTTP serving tier over a LiveEngine: /query /push
-            /refresh /status /metrics (adaptive query batching,
-            503 backpressure; --seconds 0 = run until killed)
+            [--threads N] [--shards N] [--max-connections N]
+            [--max-batch N] [--max-queued N] [--max-staged N]
+            [--timeout-secs N] [--seconds N]
+            run the HTTP serving tier: /query /push /refresh /status
+            /metrics (adaptive query batching, 503 backpressure;
+            --shards N>1 serves a partitioned engine with per-shard
+            /status detail; --seconds 0 = run until killed)
   loadgen   --addr HOST:PORT [--qps F] [--seconds F] [--clients N]
             [--region x0,y0,x1,y1] [--tokens a,b,c] [--tau-r F]
             [--tau-t F] [--push-every N]
@@ -192,6 +196,47 @@ fn parse_workload(
         .collect()
 }
 
+/// Builds the serving engine every engine-generic command drives: one
+/// [`LiveEngine`] arena, or a [`ShardedEngine`] partition when
+/// `--shards N` asks for more than one. Everything downstream sees
+/// only `Arc<dyn QueryEngine>`.
+fn build_engine(
+    store: Arc<ObjectStore>,
+    kind: FilterKind,
+    threads: usize,
+    shards: usize,
+) -> Arc<dyn QueryEngine> {
+    let opts = BuildOpts::with_threads(threads);
+    if shards > 1 {
+        Arc::new(ShardedEngine::with_opts(
+            &store,
+            kind,
+            SimilarityConfig::default(),
+            opts,
+            shards,
+            None,
+        ))
+    } else {
+        Arc::new(LiveEngine::with_opts(
+            store,
+            kind,
+            SimilarityConfig::default(),
+            opts,
+        ))
+    }
+}
+
+/// `"filter"` or `"filter over N shard(s)"` for human-readable
+/// banners.
+fn engine_label(engine: &dyn QueryEngine) -> String {
+    let status = engine.status();
+    if status.shards.is_empty() {
+        status.filter
+    } else {
+        format!("{} over {} shard(s)", status.filter, status.shards.len())
+    }
+}
+
 fn filter_kind(name: &str) -> Result<FilterKind, Box<dyn Error>> {
     Ok(match name {
         "seal" | "hierarchical" => FilterKind::seal_default(),
@@ -230,16 +275,21 @@ fn cmd_index(args: &Args) -> Result<(), Box<dyn Error>> {
     let (store, _names) = load(args.required("data")?)?;
     let kind = filter_kind(args.optional("filter").unwrap_or("seal"))?;
     let threads: usize = args.parsed_or("threads", 1)?;
+    let shards: usize = args.parsed_or("shards", 1)?;
     let opts = BuildOpts::with_threads(threads);
     let t0 = std::time::Instant::now();
-    let engine = SealEngine::build_with_opts(store, kind, SimilarityConfig::default(), opts);
+    let engine = build_engine(store, kind, threads, shards);
+    let status = engine.status();
     println!(
         "built {} in {:.3}s on {} build thread(s), index size {:.2} MB",
-        engine.filter_name(),
+        engine_label(engine.as_ref()),
         t0.elapsed().as_secs_f64(),
         opts.resolved_threads(),
-        engine.index_bytes() as f64 / (1024.0 * 1024.0),
+        status.index_bytes as f64 / (1024.0 * 1024.0),
     );
+    for (i, s) in status.shards.iter().enumerate() {
+        println!("  shard {i}: {} objects", s.objects);
+    }
     Ok(())
 }
 
@@ -318,17 +368,13 @@ fn cmd_batch(args: &Args) -> Result<(), Box<dyn Error>> {
     let kind = filter_kind(args.optional("filter").unwrap_or("seal"))?;
     let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads: usize = args.parsed_or("threads", default_threads)?;
+    let shards: usize = args.parsed_or("shards", 1)?;
     let queries = parse_workload(args, &dataset, 200, "large")?;
 
     let t0 = std::time::Instant::now();
     // The serving thread count also drives the build-side fan-out:
     // a box provisioned to serve N-wide is provisioned to build N-wide.
-    let engine = SealEngine::build_with_opts(
-        store,
-        kind,
-        SimilarityConfig::default(),
-        BuildOpts::with_threads(threads),
-    );
+    let engine = build_engine(store, kind, threads, shards);
     let build_s = t0.elapsed().as_secs_f64();
 
     let t1 = std::time::Instant::now();
@@ -339,7 +385,7 @@ fn cmd_batch(args: &Args) -> Result<(), Box<dyn Error>> {
         "served {} queries on {} threads with {}: {:.1} q/s ({:.3}s wall, {} answers, built in {:.3}s)",
         queries.len(),
         threads,
-        engine.filter_name(),
+        engine_label(engine.as_ref()),
         queries.len() as f64 / wall.max(1e-9),
         wall,
         answers,
@@ -360,6 +406,7 @@ fn cmd_ingest(args: &Args) -> Result<(), Box<dyn Error>> {
     let kind = filter_kind(args.optional("filter").unwrap_or("seal"))?;
     let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads: usize = args.parsed_or("threads", default_threads)?;
+    let shards: usize = args.parsed_or("shards", 1)?;
     let initial: usize = args.parsed_or("initial", (total * 9 / 10).max(1))?;
     let initial = initial.min(total);
     let rounds: usize = args.parsed_or("rounds", 5)?;
@@ -375,16 +422,11 @@ fn cmd_ingest(args: &Args) -> Result<(), Box<dyn Error>> {
         objects[..initial].to_vec(),
         dataset.vocab_size,
     ));
-    let live = LiveEngine::with_opts(
-        gen0,
-        kind,
-        SimilarityConfig::default(),
-        BuildOpts::with_threads(threads),
-    );
+    let live = build_engine(gen0, kind, threads, shards);
     println!(
         "generation 0: {} objects, {} built in {:.3}s ({} serve thread(s))",
         initial,
-        live.engine().filter_name(),
+        engine_label(live.as_ref()),
         t0.elapsed().as_secs_f64(),
         threads,
     );
@@ -396,7 +438,7 @@ fn cmd_ingest(args: &Args) -> Result<(), Box<dyn Error>> {
             break;
         }
         let end = (pushed + batch).min(objects.len());
-        live.push_all(objects[pushed..end].iter().cloned());
+        live.push_all(objects[pushed..end].to_vec());
         let staged = end - pushed;
         pushed = end;
 
@@ -534,10 +576,12 @@ fn cmd_load(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// Runs the network serving tier: builds a [`LiveEngine`] over the
-/// dataset (with the dictionary interned, so clients may send token
-/// *names*), then serves `/query` `/push` `/refresh` `/status`
-/// `/metrics` until killed (or for `--seconds N`, the CI smoke mode).
+/// Runs the network serving tier: builds the engine over the dataset
+/// (one [`LiveEngine`] arena, or a sharded partition with
+/// `--shards N`; the dictionary is interned either way, so clients may
+/// send token *names*), then serves `/query` `/push` `/refresh`
+/// `/status` `/metrics` until killed (or for `--seconds N`, the CI
+/// smoke mode).
 fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
     let path = args.required("data")?;
     let reader = BufReader::new(File::open(path)?);
@@ -545,6 +589,7 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
     let store = labeled_store_from(&dataset, &names)?;
     let kind = filter_kind(args.optional("filter").unwrap_or("seal"))?;
     let threads: usize = args.parsed_or("threads", 0)?;
+    let shards: usize = args.parsed_or("shards", 1)?;
     let seconds: u64 = args.parsed_or("seconds", 0)?;
     let cfg = seal_server::ServerConfig {
         addr: args
@@ -561,18 +606,13 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
     };
 
     let t0 = std::time::Instant::now();
-    let live = Arc::new(LiveEngine::with_opts(
-        store,
-        kind,
-        SimilarityConfig::default(),
-        BuildOpts::with_threads(threads),
-    ));
+    let engine = build_engine(store, kind, threads, shards);
     let built = t0.elapsed().as_secs_f64();
-    let server = seal_server::Server::spawn(live.clone(), cfg)?;
+    let server = seal_server::Server::spawn(engine.clone(), cfg)?;
     println!(
         "serving {} objects with {} on http://{} (built in {built:.3}s)",
-        live.len(),
-        live.engine().filter_name(),
+        engine.len(),
+        engine_label(engine.as_ref()),
         server.addr(),
     );
     println!("endpoints: /query /push /refresh /status /metrics");
@@ -676,6 +716,11 @@ mod tests {
         )))
         .unwrap();
         run(&argv(&format!("build --data {data_s} --threads 0"))).unwrap();
+        // Sharded build: partitions the same corpus across 4 engines.
+        run(&argv(&format!(
+            "index --data {data_s} --filter token --shards 4"
+        )))
+        .unwrap();
         // Query with a huge region and a frequent token: must not error.
         run(&argv(&format!(
             "query --data {data_s} --region 0,0,40000,40000 --tokens tok0 \
@@ -691,6 +736,11 @@ mod tests {
              --tau-r 0.2 --tau-t 0.2 --spec small"
         )))
         .unwrap();
+        run(&argv(&format!(
+            "batch --data {data_s} --queries 10 --threads 2 --shards 2 \
+             --filter token --tau-r 0.2 --tau-t 0.2 --spec small"
+        )))
+        .unwrap();
         // Online ingest: 3 push → query → refresh rounds over the
         // last 20% of the stream, generation swaps included.
         run(&argv(&format!(
@@ -700,6 +750,12 @@ mod tests {
         .unwrap();
         run(&argv(&format!(
             "ingest --data {data_s} --initial 450 --queries 5 --filter token"
+        )))
+        .unwrap();
+        // Sharded ingest: per-shard refreshes under one weight epoch.
+        run(&argv(&format!(
+            "ingest --data {data_s} --initial 400 --batch 50 --rounds 2 \
+             --queries 5 --threads 2 --shards 2 --filter token"
         )))
         .unwrap();
         std::fs::remove_file(&data).ok();
@@ -775,7 +831,7 @@ mod tests {
             move || {
                 run(&argv(&format!(
                     "serve --data {data_s} --addr {addr} --filter token \
-                     --threads 1 --seconds 3"
+                     --threads 1 --shards 2 --seconds 3"
                 )))
                 .map_err(|e| e.to_string())
             }

@@ -361,9 +361,11 @@ impl SealEngine {
     /// (and to at least one). This used to clamp `0` to a single
     /// worker, silently sequentializing `search_batch(qs, 0)` while
     /// every other thread knob in the codebase treated `0` as "all
-    /// cores".
+    /// cores" — now it delegates to the one workspace-wide rule in
+    /// [`seal_index::parallel::worker_count`], same as the build-side
+    /// fan-out loops, so the two sides cannot drift again.
     fn batch_workers(threads: usize, queries: usize) -> usize {
-        seal_index::parallel::resolve_threads(threads).clamp(1, queries.max(1))
+        seal_index::parallel::worker_count(threads, queries)
     }
 
     /// Reassembles an engine from persisted parts (the container
@@ -649,6 +651,14 @@ mod tests {
             SealEngine::batch_workers(0, 1000),
             seal_index::parallel::resolve_threads(0).min(1000),
         );
+        // One rule, one helper: the engine's batch workers are exactly
+        // the workspace-wide worker_count.
+        for (threads, tasks) in [(0, 7), (3, 9), (9, 3), (0, 0)] {
+            assert_eq!(
+                SealEngine::batch_workers(threads, tasks),
+                seal_index::parallel::worker_count(threads, tasks),
+            );
+        }
         // Literal counts clamp to the batch size, never below 1.
         assert_eq!(SealEngine::batch_workers(8, 3), 3);
         assert_eq!(SealEngine::batch_workers(1, 100), 1);

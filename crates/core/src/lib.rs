@@ -58,6 +58,8 @@
 //! | [`granularity`] | §4.3 | cost model & level selection |
 //! | [`engine`] | §3.1 | the `SealSig` facade |
 //! | [`live`] | — | generation-swapping online ingest (`LiveEngine`) |
+//! | [`query_engine`] | — | the serving-tier engine abstraction |
+//! | [`sharded`] | — | partitioned serving (`ShardedEngine`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -71,6 +73,8 @@ pub mod live;
 mod object;
 pub mod persist;
 mod query;
+pub mod query_engine;
+pub mod sharded;
 pub mod signatures;
 mod simfn;
 mod stats;
@@ -82,6 +86,8 @@ pub use filters::{BuildOpts, CandidateFilter, QueryContext};
 pub use live::{LiveEngine, RefreshStats};
 pub use object::{ObjectId, RoiObject};
 pub use query::{Query, QueryError};
+pub use query_engine::{EngineStatus, QueryEngine, ShardStatus};
+pub use sharded::{ShardPolicy, ShardedEngine};
 pub use simfn::{SimilarityConfig, SpatialSimFn};
 pub use stats::SearchStats;
-pub use store::{ObjectStore, StoreStats};
+pub use store::{CorpusArtifacts, ObjectStore, StoreStats};

@@ -371,10 +371,41 @@ impl LiveEngine {
     /// identical to a fresh [`SealEngine::build`] over the union
     /// corpus.
     pub fn refresh(&self) -> RefreshStats {
+        self.refresh_via(None, false, |prev, staged| {
+            Arc::new(prev.store().extended(staged))
+        })
+    }
+
+    /// The generalized refresh every public flavor delegates to.
+    ///
+    /// * `cap` limits how much of the staged delta this refresh
+    ///   absorbs: `Some(n)` merges only the first `n` staged objects
+    ///   (pushes that landed after the caller decided on `n` stay
+    ///   staged), `None` merges everything in the snapshot. The
+    ///   sharding layer needs the cap: it computes one set of global
+    ///   corpus artifacts over every shard's staged *prefix*, then
+    ///   must merge exactly those prefixes — an uncapped merge would
+    ///   fold in objects the artifacts never saw.
+    /// * `force` rebuilds and swaps (bumping the generation) even with
+    ///   an empty merge — how a sharded refresh moves an *untouched*
+    ///   shard onto the new weight epoch. For the hierarchical filter
+    ///   an empty-delta rebuild reuses every per-token HSS selection
+    ///   (the scheme extension is the identity), so the forced rebuild
+    ///   pays only posting re-bounding, not selection.
+    /// * `make_union` builds the next generation's store from the
+    ///   previous engine and the absorbed prefix — `extended` for the
+    ///   standalone engine, `extended_with_artifacts` under a sharded
+    ///   parent.
+    pub(crate) fn refresh_via(
+        &self,
+        cap: Option<usize>,
+        force: bool,
+        make_union: impl FnOnce(&SealEngine, &[RoiObject]) -> Arc<ObjectStore>,
+    ) -> RefreshStats {
         let _builder = self.refresh_gate.lock().expect("refresh gate");
         let (prev, delta) = self.snapshot();
-        let merged = delta.len();
-        if merged == 0 {
+        let merged = cap.map_or(delta.len(), |c| c.min(delta.len()));
+        if merged == 0 && !force {
             let s = self.state.lock().expect("live state lock");
             return RefreshStats {
                 generation: s.generation,
@@ -385,12 +416,12 @@ impl LiveEngine {
             };
         }
         let start = std::time::Instant::now();
-        let staged: Vec<RoiObject> = delta.iter().cloned().collect();
+        let staged: Vec<RoiObject> = delta.iter().take(merged).cloned().collect();
         // Release the delta snapshot before the (long) index build so
         // pushes arriving during the window can keep filling the tail
         // chunk instead of opening a new chunk per snapshot boundary.
         drop(delta);
-        let union = Arc::new(prev.store().extended(&staged));
+        let union = make_union(&prev, &staged);
         drop(staged);
         let total = union.len();
         let built = SealEngine::build_next_generation(
@@ -416,6 +447,71 @@ impl LiveEngine {
             build_seconds,
             scheme_reused: built.scheme_reused,
         }
+    }
+
+    /// Runs one **exact** threshold search at `τ = tau` (generation
+    /// plus staged overlay, one consistent snapshot) and scores every
+    /// answer by `α·simR + (1−α)·simT` under the snapshot's frozen
+    /// corpus weights. Returns unranked `(id, score)` pairs — the
+    /// building block `search_top_k` and the sharded merge rank, so
+    /// both rank identical scores from identical snapshots.
+    pub fn search_scored(
+        &self,
+        region: seal_geom::Rect,
+        tokens: &seal_text::TokenSet,
+        tau: f64,
+        alpha: f64,
+    ) -> Vec<(ObjectId, f64)> {
+        let alpha = alpha.clamp(0.0, 1.0);
+        let (engine, delta) = self.snapshot();
+        let q = Query::new(region, tokens.clone(), tau, tau).expect("tau stays within (0,1]");
+        let mut result = engine.search(&q);
+        overlay_delta(&engine, &delta, self.cfg, &q, &mut result);
+        let w = engine.store().weights();
+        let scoring_q =
+            Query::new(region, tokens.clone(), 1.0, 1.0).expect("static thresholds are valid");
+        let base = engine.store().len();
+        let staged: Vec<&RoiObject> = delta.iter().collect();
+        result
+            .answers
+            .into_iter()
+            .map(|id| {
+                let o = if id.index() < base {
+                    engine.store().get(id)
+                } else {
+                    staged[id.index() - base]
+                };
+                let s = alpha * self.cfg.spatial_sim(&scoring_q, o)
+                    + (1.0 - alpha) * self.cfg.textual_sim(&scoring_q, o, w);
+                (id, s)
+            })
+            .collect()
+    }
+
+    /// Top-k by iterative threshold deepening over the live view —
+    /// the same τ-halving loop, scoring and `total_cmp`-then-id
+    /// ranking as [`SealEngine::search_top_k`], with the staged delta
+    /// overlaid at every depth (staged objects scored with the frozen
+    /// generation weights, like every other delta answer).
+    pub fn search_top_k(
+        &self,
+        region: seal_geom::Rect,
+        tokens: seal_text::TokenSet,
+        k: usize,
+        alpha: f64,
+    ) -> Vec<(ObjectId, f64)> {
+        let mut tau = 0.5f64;
+        const TAU_MIN: f64 = 0.01;
+        let mut scored = loop {
+            let found = self.search_scored(region, &tokens, tau, alpha);
+            if found.len() >= k || tau <= TAU_MIN {
+                break found;
+            }
+            tau = (tau / 2.0).max(TAU_MIN);
+        };
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
     }
 }
 
@@ -679,6 +775,70 @@ mod tests {
         d.drop_prefix(5); // over-drop is clamped
         assert_eq!(d.len(), 0);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn live_top_k_matches_engine_top_k_without_delta() {
+        let (store, q) = figure1_store();
+        let store = Arc::new(store);
+        let engine = SealEngine::build(store.clone(), FilterKind::Token);
+        let live = LiveEngine::new(store, FilterKind::Token);
+        for alpha in [0.0, 0.5, 1.0] {
+            for k in [1usize, 3, 100] {
+                assert_eq!(
+                    live.search_top_k(q.region, q.tokens.clone(), k, alpha),
+                    engine.search_top_k(q.region, q.tokens.clone(), k, alpha),
+                    "k={k} alpha={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn live_top_k_sees_staged_objects() {
+        let (store, q) = figure1_store();
+        let live = LiveEngine::new(Arc::new(store), FilterKind::Token);
+        // A staged near-duplicate of the query region must rank near
+        // the top before any refresh.
+        live.push(delta_objects()[0].clone());
+        let top = live.search_top_k(q.region, q.tokens.clone(), 2, 0.5);
+        assert!(
+            top.iter().any(|(id, _)| *id == ObjectId(7)),
+            "staged object missing from top-k: {top:?}"
+        );
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn forced_refresh_with_empty_delta_swaps_a_generation() {
+        let (store, _q) = figure1_store();
+        let live = LiveEngine::new(Arc::new(store), FilterKind::Token);
+        let stats = live.refresh_via(Some(0), true, |prev, staged| {
+            assert!(staged.is_empty());
+            Arc::new(prev.store().extended(staged))
+        });
+        assert_eq!(stats.generation, 1, "forced refresh bumps the generation");
+        assert_eq!(stats.merged, 0);
+        assert_eq!(live.generation(), 1);
+    }
+
+    #[test]
+    fn capped_refresh_merges_only_the_prefix() {
+        let (store, q0) = figure1_store();
+        let live = LiveEngine::new(Arc::new(store), FilterKind::Token);
+        let delta = delta_objects();
+        live.push_all(delta.clone());
+        let stats = live.refresh_via(Some(1), false, |prev, staged| {
+            assert_eq!(staged.len(), 1);
+            Arc::new(prev.store().extended(staged))
+        });
+        assert_eq!(stats.merged, 1);
+        assert_eq!(stats.total, 8);
+        assert_eq!(live.staged_len(), 1, "second staged object survives");
+        // The survivor keeps its id and stays answerable.
+        let q = q0.with_thresholds(0.1, 0.1).unwrap();
+        let answers = live.search(&q).sorted().answers;
+        assert!(answers.contains(&ObjectId(7)));
     }
 
     #[test]

@@ -22,10 +22,17 @@ pub struct SearchStats {
     pub results: usize,
     /// Tree nodes visited (IR-tree baseline only).
     pub nodes_visited: usize,
+    /// Shards probed by a sharded engine (0 for single-engine
+    /// searches; the fan-out numerator of `bench_shard`'s
+    /// shards-touched / N ratio).
+    pub shards_probed: usize,
     /// Wall-clock time of the filter step.
     pub filter_time: Duration,
     /// Wall-clock time of the verification step.
     pub verify_time: Duration,
+    /// Wall-clock time a sharded engine spent merging and remapping
+    /// per-shard answers (zero for single-engine searches).
+    pub merge_time: Duration,
 }
 
 impl SearchStats {
@@ -46,8 +53,10 @@ impl SearchStats {
         self.candidates += other.candidates;
         self.results += other.results;
         self.nodes_visited += other.nodes_visited;
+        self.shards_probed += other.shards_probed;
         self.filter_time += other.filter_time;
         self.verify_time += other.verify_time;
+        self.merge_time += other.merge_time;
     }
 
     /// The paper's cost-model estimate `π1·postings + π2·candidates`.
@@ -68,8 +77,10 @@ mod tests {
             candidates: 5,
             results: 2,
             nodes_visited: 3,
+            shards_probed: 2,
             filter_time: Duration::from_millis(4),
             verify_time: Duration::from_millis(6),
+            merge_time: Duration::from_millis(1),
         };
         let b = a.clone();
         a.accumulate(&b);
@@ -78,6 +89,8 @@ mod tests {
         assert_eq!(a.candidates, 10);
         assert_eq!(a.results, 4);
         assert_eq!(a.nodes_visited, 6);
+        assert_eq!(a.shards_probed, 4);
+        assert_eq!(a.merge_time, Duration::from_millis(2));
         assert_eq!(a.total_time(), Duration::from_millis(20));
     }
 

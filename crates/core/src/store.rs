@@ -26,6 +26,69 @@ pub struct StoreStats {
     pub data_bytes: usize,
 }
 
+/// The corpus-level artifacts a store carries besides its objects: the
+/// space MBR, the idf weights, the global token order and the
+/// vocabulary size. Everything a filter build or a verification derives
+/// beyond per-object data comes from these four values.
+///
+/// They exist as a first-class carrier because of **sharding**: a
+/// partition of the corpus must answer queries with the *global*
+/// corpus's weights, order and space — not artifacts recomputed over
+/// its own slice, which would shift idf weights and change both
+/// posting bounds and query-side cut thresholds. `ShardedEngine`
+/// computes one set of artifacts over the whole corpus and injects it
+/// into every shard-local store via
+/// [`ObjectStore::with_artifacts`] / [`ObjectStore::extended_with_artifacts`],
+/// which is what makes per-shard answers exactly the global answers
+/// restricted to that shard's objects.
+#[derive(Debug, Clone)]
+pub struct CorpusArtifacts {
+    /// The entire space `R` (MBR of all regions, padded to positive
+    /// extent exactly like [`ObjectStore::from_objects`] pads it).
+    pub space: Rect,
+    /// Corpus idf weights `w(t) = ln(|O| / count(t,O))`.
+    pub weights: IdfWeights,
+    /// Global token order (descending idf).
+    pub token_order: GlobalTokenOrder,
+    /// Number of distinct tokens in the corpus.
+    pub vocab_size: usize,
+}
+
+impl CorpusArtifacts {
+    /// Computes the artifacts over an object iterator — bit-identical
+    /// to what [`ObjectStore::from_objects`] would compute over the
+    /// same objects collected into a `Vec` (same space padding, same
+    /// document-frequency weights, same order). The iterator is cloned
+    /// for the two passes (space, then weights), so pass something
+    /// cheap to clone — slices and chained slice iterators are.
+    pub fn compute<'a, I>(objects: I, vocab_size: usize) -> Self
+    where
+        I: Iterator<Item = &'a RoiObject> + Clone,
+    {
+        let space = space_over(objects.clone().map(|o| &o.region));
+        let weights = IdfWeights::from_corpus(vocab_size, objects.map(|o| o.tokens.ids()));
+        let token_order = GlobalTokenOrder::by_descending_weight(vocab_size, &weights);
+        CorpusArtifacts {
+            space,
+            weights,
+            token_order,
+            vocab_size,
+        }
+    }
+
+    /// The artifacts `store` already carries, cloned (the sharded
+    /// construction path: partition one built store, hand each shard
+    /// the whole corpus's artifacts).
+    pub fn of(store: &ObjectStore) -> Self {
+        CorpusArtifacts {
+            space: store.space,
+            weights: store.weights.clone(),
+            token_order: store.token_order.clone(),
+            vocab_size: store.vocab_size,
+        }
+    }
+}
+
 /// The immutable object collection every index is built over.
 ///
 /// Owns the objects plus the two corpus-level artifacts the paper's
@@ -59,6 +122,37 @@ impl ObjectStore {
             vocab_size,
             dictionary: None,
         }
+    }
+
+    /// Builds a store over `objects` that carries **injected** corpus
+    /// artifacts instead of computing its own — the shard-local store
+    /// of a partitioned corpus. Filters built over it derive their
+    /// bounds from the global weights/order/space, and verification
+    /// judges similarity with the global weights, so the store answers
+    /// exactly the global answers restricted to its objects (see
+    /// [`CorpusArtifacts`]). No dictionary: token-string resolution is
+    /// a corpus-level concern the sharding layer keeps for itself.
+    pub fn with_artifacts(objects: Vec<RoiObject>, artifacts: CorpusArtifacts) -> Self {
+        ObjectStore {
+            objects,
+            space: artifacts.space,
+            weights: artifacts.weights,
+            token_order: artifacts.token_order,
+            vocab_size: artifacts.vocab_size,
+            dictionary: None,
+        }
+    }
+
+    /// The next generation of a shard-local store: same objects (ids
+    /// stable) with `delta` appended, carrying freshly injected
+    /// artifacts — the sharded counterpart of
+    /// [`extended`](Self::extended), whose artifact *recomputation*
+    /// over the local slice would be exactly wrong for a shard.
+    pub fn extended_with_artifacts(&self, delta: &[RoiObject], artifacts: CorpusArtifacts) -> Self {
+        let mut objects = Vec::with_capacity(self.objects.len() + delta.len());
+        objects.extend_from_slice(&self.objects);
+        objects.extend_from_slice(delta);
+        ObjectStore::with_artifacts(objects, artifacts)
     }
 
     /// Builds the **next generation** of this store: the same objects
@@ -221,7 +315,14 @@ impl ObjectStore {
 /// MBR of all regions, padded to a non-degenerate rectangle so grid
 /// partitions are always well-defined.
 fn compute_space(objects: &[RoiObject]) -> Rect {
-    let mbr = Rect::mbr_of(objects.iter().map(|o| &o.region))
+    space_over(objects.iter().map(|o| &o.region))
+}
+
+/// The iterator form of [`compute_space`] (shared with
+/// [`CorpusArtifacts::compute`], which walks regions scattered across
+/// shard snapshots without collecting them).
+fn space_over<'a>(regions: impl Iterator<Item = &'a Rect>) -> Rect {
+    let mbr = Rect::mbr_of(regions)
         .unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0).expect("static rect"));
     let pad_x = if mbr.width() <= 0.0 { 0.5 } else { 0.0 };
     let pad_y = if mbr.height() <= 0.0 { 0.5 } else { 0.0 };
@@ -436,6 +537,67 @@ mod tests {
             "data_bytes {} undercounts the token allocation {token_alloc}",
             s.data_bytes
         );
+    }
+
+    #[test]
+    fn computed_artifacts_match_from_objects() {
+        let (store, _q) = figure1_store();
+        let arts = CorpusArtifacts::compute(store.objects().iter(), store.vocab_size());
+        assert_eq!(arts.space, store.space());
+        assert_eq!(arts.vocab_size, store.vocab_size());
+        for t in 0..5u32 {
+            assert_eq!(
+                arts.weights.weight(TokenId(t)),
+                store.weights().weight(TokenId(t))
+            );
+            assert_eq!(
+                arts.token_order.rank(TokenId(t)),
+                store.token_order().rank(TokenId(t))
+            );
+        }
+        // Degenerate corpora pad the space exactly like from_objects.
+        let empty = CorpusArtifacts::compute([].iter(), 0);
+        assert_eq!(
+            empty.space,
+            ObjectStore::from_objects(Vec::new(), 0).space()
+        );
+    }
+
+    #[test]
+    fn injected_artifacts_override_local_computation() {
+        let (global, _q) = figure1_store();
+        let arts = CorpusArtifacts::of(&global);
+        // A one-object slice of the corpus: its locally computed idf
+        // would be degenerate (every token weight ln(1/1)=0), but the
+        // injected artifacts keep the global values.
+        let slice = vec![global.objects()[2].clone()];
+        let shard = ObjectStore::with_artifacts(slice.clone(), arts.clone());
+        assert_eq!(shard.len(), 1);
+        assert_eq!(shard.space(), global.space());
+        assert_eq!(shard.vocab_size(), global.vocab_size());
+        for t in 0..5u32 {
+            assert_eq!(
+                shard.weights().weight(TokenId(t)),
+                global.weights().weight(TokenId(t))
+            );
+        }
+        let local = ObjectStore::from_objects(slice, global.vocab_size());
+        assert_ne!(
+            local.weights().weight(TokenId(3)),
+            shard.weights().weight(TokenId(3)),
+            "fixture must actually distinguish local from injected weights"
+        );
+        // extended_with_artifacts appends with stable ids and swaps in
+        // the new epoch's artifacts.
+        let delta = vec![global.objects()[0].clone()];
+        let next_arts = CorpusArtifacts::compute(
+            shard.objects().iter().chain(delta.iter()),
+            global.vocab_size(),
+        );
+        let next = shard.extended_with_artifacts(&delta, next_arts);
+        assert_eq!(next.len(), 2);
+        assert_eq!(next.get(ObjectId(0)), shard.get(ObjectId(0)));
+        assert_eq!(next.get(ObjectId(1)), &delta[0]);
     }
 
     #[test]

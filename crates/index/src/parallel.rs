@@ -32,12 +32,25 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// The effective worker count for `tasks` parallel tasks: `requested`
+/// resolves through [`resolve_threads`] (`0` = one worker per core),
+/// then clamps to the task count and to at least one.
+///
+/// This is the **single** thread-count rule for every fan-out in the
+/// workspace — the work-stealing loops below and `seal-core`'s
+/// `search_batch` all route through it, so the "0 means all cores"
+/// convention cannot drift between the build side and the query side
+/// again.
+pub fn worker_count(requested: usize, tasks: usize) -> usize {
+    resolve_threads(requested).clamp(1, tasks.max(1))
+}
+
 /// Runs `task(i)` for every `i in 0..count` across `threads` workers
 /// (work stealing over a shared atomic counter). Each index is claimed
 /// by exactly one worker. `threads <= 1` or `count < 2` runs inline on
 /// the calling thread.
 pub fn for_each_index(count: usize, threads: usize, task: impl Fn(usize) + Sync) {
-    let threads = resolve_threads(threads).min(count.max(1));
+    let threads = worker_count(threads, count);
     if threads <= 1 || count < 2 {
         for i in 0..count {
             task(i);
@@ -64,7 +77,7 @@ pub fn for_each_index(count: usize, threads: usize, task: impl Fn(usize) + Sync)
 /// sequential `(0..count).map(f).collect()` whenever `f` is
 /// deterministic — only wall-clock time depends on `threads`.
 pub fn map_indexed<T: Send>(count: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let threads = resolve_threads(threads).min(count.max(1));
+    let threads = worker_count(threads, count);
     if threads <= 1 || count < 2 {
         return (0..count).map(f).collect();
     }
@@ -95,6 +108,16 @@ mod tests {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(1), 1);
         assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_tasks() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(worker_count(0, 1000), cores.min(1000));
+        assert_eq!(worker_count(8, 3), 3);
+        assert_eq!(worker_count(1, 100), 1);
+        assert_eq!(worker_count(4, 0), 1);
+        assert_eq!(worker_count(0, 0), 1);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Adaptive query coalescing: group-commit batching over
-//! `LiveEngine::search_batch`.
+//! [`QueryEngine::search_batch`].
 //!
 //! Concurrent `/query` requests land in one shared queue. The first
 //! arrival becomes the **leader**: it drains the queue (up to
@@ -14,12 +14,14 @@
 //! This is the group-commit / convoy pattern from write-ahead logging
 //! applied to read traffic.
 //!
-//! Every query in a batch sees one consistent `LiveEngine` snapshot
-//! (generation + staged delta), which is what lets the black-box
-//! concurrency tests reuse the `live_ingest.rs` two-legal-snapshots
-//! oracle unchanged across the network boundary.
+//! Every query in a batch is answered against the engine behind one
+//! [`QueryEngine::search_batch`] call — for a `LiveEngine`, one
+//! consistent snapshot (generation + staged delta), which is what lets
+//! the black-box concurrency tests reuse the `live_ingest.rs`
+//! two-legal-snapshots oracle unchanged across the network boundary;
+//! for a `ShardedEngine`, one consistent per-shard combination.
 
-use seal_core::{LiveEngine, Query, SearchResult};
+use seal_core::{Query, QueryEngine, SearchResult};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -64,10 +66,10 @@ struct BatchState {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Busy;
 
-/// Shared query-coalescing front end over a [`LiveEngine`]. See the
-/// [module docs](self) for the protocol.
+/// Shared query-coalescing front end over any [`QueryEngine`]. See
+/// the [module docs](self) for the protocol.
 pub struct Batcher {
-    live: Arc<LiveEngine>,
+    engine: Arc<dyn QueryEngine>,
     state: Mutex<BatchState>,
     /// Upper bound on one dispatched batch (bounds per-query latency
     /// under overload: a request waits at most ⌈queue/max_batch⌉
@@ -81,11 +83,16 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Creates a batcher over `live`. `threads` follows the engine
+    /// Creates a batcher over `engine`. `threads` follows the engine
     /// convention (0 = one worker per core).
-    pub fn new(live: Arc<LiveEngine>, max_batch: usize, max_queued: usize, threads: usize) -> Self {
+    pub fn new(
+        engine: Arc<dyn QueryEngine>,
+        max_batch: usize,
+        max_queued: usize,
+        threads: usize,
+    ) -> Self {
         Batcher {
-            live,
+            engine,
             state: Mutex::new(BatchState {
                 pending: VecDeque::new(),
                 leader_active: false,
@@ -141,7 +148,7 @@ impl Batcher {
             };
             on_batch(batch.len());
             let queries: Vec<Query> = batch.iter().map(|(q, _)| q.clone()).collect();
-            let results = self.live.search_batch(&queries, self.threads);
+            let results = self.engine.search_batch(&queries, self.threads);
             for ((_, slot), result) in batch.into_iter().zip(results) {
                 slot.fill(result);
             }
@@ -154,7 +161,7 @@ impl Batcher {
 mod tests {
     use super::*;
     use seal_core::store::figure1_store;
-    use seal_core::FilterKind;
+    use seal_core::{FilterKind, LiveEngine};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn live() -> (Arc<LiveEngine>, seal_core::Query) {

@@ -1,9 +1,12 @@
-//! # seal-server — the network serving tier over `LiveEngine`.
+//! # seal-server — the network serving tier over any `QueryEngine`.
 //!
 //! Everything below the socket already existed: lock-free
 //! `Arc<SealEngine>` generation swaps, caller-owned `QueryContext`
 //! serving loops, work-stealing `search_batch`, a durable `.seal`
-//! container. This crate is the piece that speaks TCP: a
+//! container, and (since the sharding refactor) a partitioned
+//! `ShardedEngine` — all behind `seal_core::QueryEngine`, which is the
+//! only engine surface this crate touches. This crate is the piece
+//! that speaks TCP: a
 //! dependency-free (std-only, per the `shims/` policy) HTTP/1.1
 //! server exposing `/query`, `/push`, `/refresh`, `/status` and
 //! `/metrics`, with

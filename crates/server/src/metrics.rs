@@ -158,10 +158,13 @@ impl Metrics {
     }
 
     /// The full `/metrics` JSON document. Generation/staleness gauges
-    /// are sampled by the caller (the server owns the `LiveEngine`).
-    pub fn to_json(&self, generation: u64, staged: usize, objects: usize) -> String {
+    /// and the per-shard detail (`shards`: a pre-rendered JSON array,
+    /// `[]` for single-arena engines) are sampled by the caller — the
+    /// server owns the engine.
+    pub fn to_json(&self, generation: u64, staged: usize, objects: usize, shards: &str) -> String {
         format!(
             "{{\"generation\":{generation},\"staged\":{staged},\"objects\":{objects},\
+             \"shards\":{shards},\
              \"connections\":{},\"connections_refused\":{},\"rejected_busy\":{},\
              \"parse_errors\":{},\"read_timeouts\":{},\
              \"batches\":{},\"batched_queries\":{},\"max_batch\":{},\
@@ -233,10 +236,16 @@ mod tests {
         let m = Metrics::default();
         m.record_batch(4);
         m.record_batch(2);
-        let json = m.to_json(3, 17, 900);
+        let json = m.to_json(
+            3,
+            17,
+            900,
+            "[{\"generation\":3,\"staged\":9,\"objects\":450}]",
+        );
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"generation\":3"));
         assert!(json.contains("\"staged\":17"));
+        assert!(json.contains("\"shards\":[{\"generation\":3,"));
         assert!(json.contains("\"batches\":2"));
         assert!(json.contains("\"batched_queries\":6"));
         assert!(json.contains("\"max_batch\":4"));

@@ -1,5 +1,7 @@
 //! The serving loop: a bounded thread-per-connection HTTP/1.1 server
-//! over [`LiveEngine`].
+//! over any [`QueryEngine`] (single [`seal_core::LiveEngine`] arena or
+//! a partitioned [`seal_core::ShardedEngine`] — construction sites
+//! pick; every handler is engine-generic).
 //!
 //! # Endpoints
 //!
@@ -18,9 +20,9 @@
 //! answered `503` and closed — admission control at the accept gate).
 //! Each connection thread owns a [`QueryContext`]-equivalent through
 //! the shared [`Batcher`]: every `/query` flows through
-//! [`LiveEngine::search_batch`], whose work-stealing workers each own
+//! [`QueryEngine::search_batch`], whose work-stealing workers each own
 //! one context, allocation-free when warm. Requests never hold the
-//! engine's swap lock; `/push` and `/refresh` ride `LiveEngine`'s
+//! engine's swap lock; `/push` and `/refresh` ride the engine's
 //! generation protocol unchanged, so everything the `live_ingest.rs`
 //! oracle proves about swap atomicity holds verbatim over the wire.
 //!
@@ -40,7 +42,7 @@
 use crate::batcher::Batcher;
 use crate::http::{self, Limits, Parsed, Request, CONTINUE_100};
 use crate::metrics::Metrics;
-use seal_core::{LiveEngine, ObjectId, Query, RoiObject};
+use seal_core::{EngineStatus, ObjectId, Query, QueryEngine, RoiObject};
 use seal_geom::Rect;
 use seal_text::{TokenId, TokenSet};
 use std::io::{self, Read, Write};
@@ -90,7 +92,7 @@ impl Default for ServerConfig {
 
 /// Shared server state (one allocation, `Arc`ed into every thread).
 struct Shared {
-    live: Arc<LiveEngine>,
+    engine: Arc<dyn QueryEngine>,
     batcher: Batcher,
     metrics: Metrics,
     cfg: ServerConfig,
@@ -108,15 +110,15 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `cfg.addr` and starts serving `live`. Returns once the
+    /// Binds `cfg.addr` and starts serving `engine`. Returns once the
     /// listener is accepting (the bound address is
     /// [`addr`](Server::addr), useful with port 0).
-    pub fn spawn(live: Arc<LiveEngine>, cfg: ServerConfig) -> io::Result<Server> {
+    pub fn spawn(engine: Arc<dyn QueryEngine>, cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            batcher: Batcher::new(live.clone(), cfg.max_batch, cfg.max_queued, cfg.threads),
-            live,
+            batcher: Batcher::new(engine.clone(), cfg.max_batch, cfg.max_queued, cfg.threads),
+            engine,
             metrics: Metrics::default(),
             cfg,
             shutdown: AtomicBool::new(false),
@@ -141,8 +143,8 @@ impl Server {
 
     /// The engine behind the server (tests compare wire answers
     /// against direct calls on it).
-    pub fn live(&self) -> Arc<LiveEngine> {
-        self.shared.live.clone()
+    pub fn engine(&self) -> Arc<dyn QueryEngine> {
+        self.shared.engine.clone()
     }
 
     /// Serving metrics (shared with `/metrics`).
@@ -476,7 +478,7 @@ fn handle_query(shared: &Shared, req: &Request) -> Routed {
         ids.join(","),
         result.answers.len(),
         result.stats.candidates,
-        shared.live.generation(),
+        shared.engine.generation(),
     );
     (200, "OK", vec![], body, Endpoint::Query)
 }
@@ -488,13 +490,12 @@ fn parse_query_params(shared: &Shared, params: &str) -> Result<Query, String> {
     let region = http::query_param(params, "region").ok_or("missing required param: region")?;
     let region = parse_rect(region)?;
     let tokens = http::query_param(params, "tokens").unwrap_or("");
-    let engine = shared.live.engine();
     let mut ids: Vec<TokenId> = Vec::new();
     for t in tokens.split(',').map(str::trim) {
         if t.is_empty() {
             continue;
         }
-        ids.push(resolve_token(&engine, t)?);
+        ids.push(resolve_token(shared.engine.as_ref(), t)?);
     }
     let tau_r = parse_f64_param(params, "tau_r", 0.4)?;
     let tau_t = parse_f64_param(params, "tau_t", 0.4)?;
@@ -527,19 +528,14 @@ fn parse_rect(s: &str) -> Result<Rect, String> {
 }
 
 /// A token as sent over the wire: a numeric id, or a dictionary name.
-fn resolve_token(engine: &seal_core::SealEngine, t: &str) -> Result<TokenId, String> {
+fn resolve_token(engine: &dyn QueryEngine, t: &str) -> Result<TokenId, String> {
     if t.bytes().all(|b| b.is_ascii_digit()) {
         let id: u32 = t.parse().map_err(|e| format!("bad token id {t:?}: {e}"))?;
         return Ok(TokenId(id));
     }
-    match engine.store().dictionary() {
-        Some(dict) => dict
-            .get(t)
-            .ok_or_else(|| format!("unknown token {t:?} (not in the dictionary)")),
-        None => Err(format!(
-            "token {t:?} is not numeric and the store has no dictionary"
-        )),
-    }
+    engine.resolve_token(t).ok_or_else(|| {
+        format!("unknown token {t:?} (not numeric and not in the engine's dictionary)")
+    })
 }
 
 /// `/push` body: one object per line, `x0 y0 x1 y1 tok,tok,tok`
@@ -547,7 +543,7 @@ fn resolve_token(engine: &seal_core::SealEngine, t: &str) -> Result<TokenId, Str
 /// whole body is validated before anything is staged, so a malformed
 /// line stages nothing.
 fn handle_push(shared: &Shared, req: &Request) -> Routed {
-    if shared.live.staged_len() >= shared.cfg.max_staged {
+    if shared.engine.staged_len() >= shared.cfg.max_staged {
         return busy(
             shared,
             "staged delta at capacity; POST /refresh to drain it",
@@ -563,14 +559,13 @@ fn handle_push(shared: &Shared, req: &Request) -> Routed {
             Endpoint::Push,
         );
     };
-    let engine = shared.live.engine();
     let mut objects: Vec<RoiObject> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        match parse_push_line(&engine, line) {
+        match parse_push_line(shared.engine.as_ref(), line) {
             Ok(o) => objects.push(o),
             Err(msg) => {
                 return (
@@ -593,16 +588,16 @@ fn handle_push(shared: &Shared, req: &Request) -> Routed {
         );
     }
     let count = objects.len();
-    let first = shared.live.push_all(objects);
+    let first = shared.engine.push_all(objects);
     let body = format!(
         "{{\"staged\":{count},\"first_id\":{},\"total_staged\":{}}}",
         first.map_or(0, |ObjectId(id)| id),
-        shared.live.staged_len(),
+        shared.engine.staged_len(),
     );
     (200, "OK", vec![], body, Endpoint::Push)
 }
 
-fn parse_push_line(engine: &seal_core::SealEngine, line: &str) -> Result<RoiObject, String> {
+fn parse_push_line(engine: &dyn QueryEngine, line: &str) -> Result<RoiObject, String> {
     let fields: Vec<&str> = line.split_whitespace().collect();
     if fields.len() != 5 {
         return Err(format!(
@@ -631,7 +626,7 @@ fn parse_push_line(engine: &seal_core::SealEngine, line: &str) -> Result<RoiObje
 }
 
 fn handle_refresh(shared: &Shared) -> Routed {
-    let stats = shared.live.refresh();
+    let stats = shared.engine.refresh();
     let body = format!(
         "{{\"generation\":{},\"merged\":{},\"total\":{},\"build_seconds\":{:.6},\"scheme_reused\":{}}}",
         stats.generation, stats.merged, stats.total, stats.build_seconds, stats.scheme_reused,
@@ -639,16 +634,34 @@ fn handle_refresh(shared: &Shared) -> Routed {
     (200, "OK", vec![], body, Endpoint::Refresh)
 }
 
+/// Renders [`EngineStatus::shards`] as a JSON array — one row per
+/// shard, empty (`[]`) for a single-arena engine. Shared by `/status`
+/// and `/metrics` so operators see an uneven partition in either.
+fn shards_json(status: &EngineStatus) -> String {
+    let rows: Vec<String> = status
+        .shards
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"generation\":{},\"staged\":{},\"objects\":{}}}",
+                s.generation, s.staged, s.objects
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
 fn status_body(shared: &Shared) -> String {
-    let engine = shared.live.engine();
+    let status = shared.engine.status();
     format!(
         "{{\"generation\":{},\"objects\":{},\"staged\":{},\"filter\":\"{}\",\
-         \"index_bytes\":{},\"queued_queries\":{},\"uptime_seconds\":{:.3}}}",
-        shared.live.generation(),
-        engine.store().len(),
-        shared.live.staged_len(),
-        engine.filter_name(),
-        engine.index_bytes(),
+         \"index_bytes\":{},\"shards\":{},\"queued_queries\":{},\"uptime_seconds\":{:.3}}}",
+        shared.engine.generation(),
+        shared.engine.len(),
+        shared.engine.staged_len(),
+        status.filter,
+        status.index_bytes,
+        shards_json(&status),
         shared.batcher.queued(),
         shared.started.elapsed().as_secs_f64(),
     )
@@ -656,9 +669,10 @@ fn status_body(shared: &Shared) -> String {
 
 fn metrics_document(shared: &Shared) -> String {
     shared.metrics.to_json(
-        shared.live.generation(),
-        shared.live.staged_len(),
-        shared.live.engine().store().len(),
+        shared.engine.generation(),
+        shared.engine.staged_len(),
+        shared.engine.len(),
+        &shards_json(&shared.engine.status()),
     )
 }
 

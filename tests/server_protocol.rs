@@ -152,7 +152,7 @@ fn admin_endpoints_answer_200() {
 #[test]
 fn wire_answers_equal_direct_engine_answers() {
     let (server, queries) = spawn_fixture(config());
-    let live = server.live();
+    let live = server.engine();
     for q in &queries {
         let resp = send_str(&server, &get(&format!("/query?{}", query_params(q))));
         assert_eq!(status_of(&resp), 200, "{resp}");

@@ -1,0 +1,188 @@
+//! Sharded serving (`ShardedEngine`): the exactness contract.
+//!
+//! Sharding moves work around; it must never move answers. For any
+//! push/query/refresh interleaving and any shard count:
+//!
+//! 1. **Staged overlay ≡ single engine.** Between refreshes the
+//!    sharded engine answers exactly like one `LiveEngine` fed the
+//!    same push sequence — both serve the frozen-weight generation
+//!    plus delta overlay, just in different places.
+//! 2. **Refresh ≡ fresh build.** After every refresh the sharded
+//!    engine answers exactly like a from-scratch `SealEngine::build`
+//!    over the union corpus, which in turn matches the naive oracle.
+//! 3. **Top-k bit-identity.** Ranked results — scores, order and
+//!    id tie-breaks included — equal the single engine's.
+
+use proptest::prelude::*;
+use seal_core::{verify::naive_search, BuildOpts};
+use seal_core::{
+    FilterKind, LiveEngine, ObjectId, ObjectStore, Query, QueryEngine, RoiObject, SealEngine,
+    ShardedEngine, SimilarityConfig,
+};
+use seal_geom::Rect;
+use seal_text::{TokenId, TokenSet};
+use std::sync::Arc;
+
+/// A cross-section of filter kinds: the sharded layer is
+/// filter-agnostic, so a plain arena, a hierarchical scheme and a
+/// hashed hybrid cover the interesting per-shard index paths without
+/// re-running the whole `live_ingest` matrix.
+fn kinds() -> Vec<FilterKind> {
+    vec![
+        FilterKind::Token,
+        FilterKind::Hierarchical {
+            max_level: 4,
+            budget: 8,
+        },
+        FilterKind::HashHybrid {
+            side: 8,
+            buckets: Some(64),
+        },
+    ]
+}
+
+const VOCAB: usize = 12;
+
+/// Proptest-generated object: position, extent, 1–3 token ids.
+type RawObj = (u32, u32, u32, u32, Vec<u32>);
+
+fn obj_strategy() -> impl Strategy<Value = RawObj> {
+    (
+        0u32..100,
+        0u32..100,
+        1u32..25,
+        1u32..25,
+        proptest::collection::vec(0u32..VOCAB as u32, 1..4),
+    )
+}
+
+fn materialize(raw: &RawObj) -> RoiObject {
+    let (x, y, w, h, ref tokens) = *raw;
+    RoiObject::new(
+        Rect::new(
+            f64::from(x),
+            f64::from(y),
+            f64::from(x + w),
+            f64::from(y + h),
+        )
+        .unwrap(),
+        TokenSet::from_ids(tokens.iter().map(|&t| TokenId(t))),
+    )
+}
+
+fn workload() -> Vec<Query> {
+    let region = |x0, y0, x1, y1| Rect::new(x0, y0, x1, y1).unwrap();
+    vec![
+        Query::with_token_ids(
+            region(0.0, 0.0, 60.0, 60.0),
+            [TokenId(0), TokenId(1)],
+            0.1,
+            0.1,
+        )
+        .unwrap(),
+        Query::with_token_ids(
+            region(20.0, 20.0, 90.0, 90.0),
+            [TokenId(2), TokenId(5), TokenId(7)],
+            0.3,
+            0.2,
+        )
+        .unwrap(),
+        Query::with_token_ids(region(50.0, 0.0, 125.0, 70.0), [TokenId(3)], 0.2, 0.5).unwrap(),
+    ]
+}
+
+/// Post-refresh contract: sharded answers equal a fresh build over the
+/// union, and both equal the oracle (so the equality is not a shared
+/// bug).
+fn assert_matches_fresh(
+    sharded: &ShardedEngine,
+    union: &[RoiObject],
+    queries: &[Query],
+    kind: FilterKind,
+    n: usize,
+) {
+    let fresh_store = Arc::new(ObjectStore::from_objects(union.to_vec(), VOCAB));
+    let fresh = SealEngine::build(fresh_store.clone(), kind);
+    let cfg = SimilarityConfig::default();
+    for (qi, q) in queries.iter().enumerate() {
+        let got = sharded.search(q).sorted().answers;
+        let expect = fresh.search(q).sorted().answers;
+        assert_eq!(
+            got, expect,
+            "{kind:?} n={n} query {qi} diverged from the fresh union build"
+        );
+        let mut oracle = naive_search(&fresh_store, &cfg, q);
+        oracle.sort_unstable();
+        assert_eq!(got, oracle, "{kind:?} n={n} query {qi} oracle");
+        // Ranked retrieval, ties included: `(id, score)` pairs must be
+        // bit-identical, which exercises the deterministic id
+        // tie-break across the shard merge.
+        for k in [1usize, 3, 100] {
+            for alpha in [0.0, 0.5, 1.0] {
+                assert_eq!(
+                    sharded.search_top_k(q.region, q.tokens.clone(), k, alpha),
+                    fresh.search_top_k(q.region, q.tokens.clone(), k, alpha),
+                    "{kind:?} n={n} query {qi} top-{k} alpha {alpha}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any push/query/refresh interleaving at N ∈ {1, 2, 3, 4}: the
+    /// staged overlay matches a single `LiveEngine` mirror at every
+    /// step, each refresh matches a fresh union build and the oracle.
+    #[test]
+    fn sharded_interleavings_match_single_engine_oracles(
+        raw in proptest::collection::vec(obj_strategy(), 6..32),
+        initial_frac in 1usize..5,
+        cuts in proptest::collection::vec(0usize..32, 0..3),
+    ) {
+        let objects: Vec<RoiObject> = raw.iter().map(materialize).collect();
+        let initial = (objects.len() * initial_frac / 5).max(1).min(objects.len());
+        let queries = workload();
+        for kind in kinds() {
+            for n in [1usize, 2, 3, 4] {
+                let store0 = Arc::new(ObjectStore::from_objects(objects[..initial].to_vec(), VOCAB));
+                let sharded = ShardedEngine::with_opts(
+                    &store0,
+                    kind,
+                    SimilarityConfig::default(),
+                    BuildOpts::default(),
+                    n,
+                    None,
+                );
+                let mirror = LiveEngine::new(store0, kind);
+                for (i, o) in objects[initial..].iter().enumerate() {
+                    let id = QueryEngine::push(&sharded, o.clone());
+                    prop_assert_eq!(
+                        id,
+                        ObjectId((initial + i) as u32),
+                        "{:?} n={}: global ids follow push order", kind, n
+                    );
+                    mirror.push(o.clone());
+                    for (qi, q) in queries.iter().enumerate() {
+                        prop_assert_eq!(
+                            sharded.search(q).sorted().answers,
+                            mirror.search(q).sorted().answers,
+                            "{:?} n={} query {} staged overlay diverged", kind, n, qi
+                        );
+                    }
+                    if cuts.contains(&i) {
+                        ShardedEngine::refresh(&sharded);
+                        mirror.refresh();
+                        assert_matches_fresh(&sharded, &objects[..initial + i + 1], &queries, kind, n);
+                    }
+                }
+                ShardedEngine::refresh(&sharded);
+                assert_matches_fresh(&sharded, &objects, &queries, kind, n);
+                prop_assert_eq!(sharded.len(), objects.len());
+                prop_assert_eq!(QueryEngine::staged_len(&sharded), 0);
+                prop_assert_eq!(sharded.shard_count(), n);
+            }
+        }
+    }
+}
