@@ -4,6 +4,9 @@
 //! paper; this library holds the shared scaffolding (dataset caching,
 //! timing, table printing). See `DESIGN.md` §3 for the experiment index.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod data;
 pub mod figures;
 pub mod harness;

@@ -10,6 +10,8 @@
 //! The data format is the TSV of `seal_datagen::io` (one object per
 //! line: `min_x min_y max_x max_y tokens,comma,separated`).
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

@@ -250,7 +250,7 @@ mod tests {
             ..TwitterParams::default()
         });
         let mut areas: Vec<f64> = d.objects.iter().map(|o| o.region.area()).collect();
-        areas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        areas.sort_by(f64::total_cmp);
         let frac_leq = |x: f64| areas.partition_point(|&a| a <= x) as f64 / areas.len() as f64;
         assert!((frac_leq(1e-4) - 0.044).abs() < 0.01, "{}", frac_leq(1e-4));
         assert!((frac_leq(1e-2) - 0.154).abs() < 0.015, "{}", frac_leq(1e-2));

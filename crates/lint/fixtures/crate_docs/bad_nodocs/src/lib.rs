@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}

@@ -1,0 +1,10 @@
+//! Negative fixture for `crate-docs`: crate root with a `//!` header
+//! and the `missing_docs` warning gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Adds two numbers.
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}

@@ -1,0 +1,13 @@
+// Positive fixture for `float-total-order`: the pre-fix
+// `crates/text/src/order.rs` descending weight sort. `partial_cmp`
+// returns `None` for NaN, so the `unwrap_or(Equal)` fallback makes the
+// comparator inconsistent (NaN "equal" to everything) and breaks the
+// total-order contract `sort_by` relies on.
+fn rank_by_weight(mut ids: Vec<u32>, weight: impl Fn(u32) -> f64) -> Vec<u32> {
+    ids.sort_by(|a, b| {
+        weight(*b)
+            .partial_cmp(&weight(*a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    ids
+}

@@ -1,0 +1,7 @@
+// Positive fixture for `float-total-order`: the pre-fix
+// `crates/datagen/src/twitter.rs` median computation — `.unwrap()` on
+// `partial_cmp` turns a single NaN into a panic inside `sort_by`.
+fn median(mut areas: Vec<f64>) -> f64 {
+    areas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    areas[areas.len() / 2]
+}

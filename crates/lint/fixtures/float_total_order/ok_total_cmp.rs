@@ -1,0 +1,21 @@
+// Negative fixture for `float-total-order`: `f64::total_cmp` is the
+// sanctioned way to order floats, and *defining* `partial_cmp` in a
+// `PartialOrd` impl is a declaration, not an ordering call site.
+fn rank_by_weight(mut ids: Vec<u32>, weight: impl Fn(u32) -> f64) -> Vec<u32> {
+    ids.sort_by(|a, b| weight(*b).total_cmp(&weight(*a)).then(a.cmp(b)));
+    ids
+}
+
+struct Score(f64);
+
+impl PartialEq for Score {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}

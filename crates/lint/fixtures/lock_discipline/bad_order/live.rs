@@ -1,0 +1,11 @@
+// Positive fixture for `lock-discipline`: lock order inversion. The
+// protocol is refresh_gate -> route -> shard state; taking `route`
+// while already holding a shard `state` guard deadlocks against any
+// thread walking the sanctioned direction.
+fn rebalance(&self) {
+    let state = self.shards[0].state.lock().expect("state");
+    let route = self.route_lock();
+    route.assignment.swap(0, 1);
+    drop(route);
+    drop(state);
+}

@@ -1,0 +1,10 @@
+// Positive fixture for `lock-discipline`: the route guard stays live
+// across a probe-path call. The probe can block for milliseconds, and
+// every writer (add/remove/refresh) serializes behind `route` — so
+// this turns one slow query into a stall for all mutation.
+fn do_search(&self, q: &Query) -> SearchResult {
+    let route = self.route.lock().expect("route");
+    let shard = &self.shards[route.assignment[0]];
+    // Probe while `route` is held: flagged.
+    shard.engine.search(q)
+}

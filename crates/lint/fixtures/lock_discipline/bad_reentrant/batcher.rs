@@ -1,0 +1,9 @@
+// Positive fixture for `lock-discipline`: re-acquiring a lock whose
+// guard is still live in the same scope — a guaranteed self-deadlock
+// with `std::sync::Mutex` (it is not reentrant). Uses the server's
+// poison-recovering `relock` helper, which the rule also tracks.
+fn queued_twice(&self) -> usize {
+    let a = relock(&self.state);
+    let b = relock(&self.state);
+    a.pending.len() + b.pending.len()
+}

@@ -1,0 +1,12 @@
+// Negative fixture for `lock-discipline`: the sanctioned shape.
+// Locks are taken in protocol order (route before shard state), the
+// needed ids are copied out, and every guard is dropped before the
+// probe-path call runs.
+fn do_search(&self, q: &Query) -> SearchResult {
+    let route = self.route_lock();
+    let state = self.shards[route.assignment[0]].state.lock().expect("state");
+    let target = state.generation;
+    drop(state);
+    drop(route);
+    self.engines[target].search(q)
+}

@@ -1,0 +1,15 @@
+// Positive fixture for `panic-surface`: request-path code in a
+// `server/src/` file reaching for `.unwrap()`, `.expect()` and
+// `panic!` — any of these turns a malformed request into a dead
+// connection instead of a 4xx.
+fn parse_limit(q: &str) -> usize {
+    q.parse().unwrap()
+}
+
+fn route(body: &str) -> String {
+    let n: usize = body.trim().parse().expect("bad body");
+    if n > 1024 {
+        panic!("request too large");
+    }
+    format!("{n}")
+}

@@ -1,0 +1,15 @@
+// Negative fixture for `panic-surface`: the same request path written
+// with typed errors — parse failures become a value the caller can map
+// to a 400, and bounds are clamped instead of asserted.
+fn parse_limit(q: &str) -> Result<usize, String> {
+    q.parse().map_err(|e| format!("limit: {e}"))
+}
+
+fn clamp_limit(n: usize) -> usize {
+    n.min(1024)
+}
+
+fn route(body: &str) -> Result<String, String> {
+    let n = parse_limit(body.trim())?;
+    Ok(format!("{}", clamp_limit(n)))
+}

@@ -1,0 +1,8 @@
+// Negative fixture for `panic-surface`: a justified waiver on the line
+// above the panic site suppresses the diagnostic (and counts as used,
+// so `waiver-discipline` stays quiet too).
+fn spawn_and_join() -> i32 {
+    let h = std::thread::spawn(|| 7);
+    // seal-lint: allow(panic-surface) — joined thread runs an infallible closure; a panic here is a harness bug that must stay loud
+    h.join().expect("worker thread")
+}

@@ -1,0 +1,10 @@
+//! Positive fixture for `unsafe-forbid`: a crate root (path ends in
+//! `src/lib.rs`) without `#![forbid(unsafe_code)]`. The doc header and
+//! `warn(missing_docs)` are present so only the forbid rule fires.
+
+#![warn(missing_docs)]
+
+/// Adds two numbers.
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}

@@ -1,0 +1,12 @@
+//! Positive fixture for `unsafe-forbid`: the forbid attribute is
+//! present, but an `unsafe` block appears anyway (in a real build
+//! rustc would reject this; the lint reports it with a pointer to the
+//! arena-safety rationale instead of a bare compile error).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Reads the first byte without a bounds check.
+pub fn first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

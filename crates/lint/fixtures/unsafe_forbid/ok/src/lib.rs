@@ -1,0 +1,10 @@
+//! Negative fixture for `unsafe-forbid`: a compliant crate root —
+//! forbid attribute present, no `unsafe` anywhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Adds two numbers.
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}

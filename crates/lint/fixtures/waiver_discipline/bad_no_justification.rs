@@ -1,0 +1,8 @@
+// Positive fixture for `waiver-discipline`: a waiver with no
+// justification text after the rule list. Unjustified waivers are
+// rejected AND do not suppress — the float diagnostic below still
+// fires alongside the waiver-discipline one.
+fn sort_scores(v: &mut [f64]) {
+    // seal-lint: allow(float-total-order)
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

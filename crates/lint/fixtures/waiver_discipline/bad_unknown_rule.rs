@@ -1,0 +1,7 @@
+// Positive fixture for `waiver-discipline`: the waiver names a rule
+// that does not exist, so it can never suppress anything — usually a
+// typo that silently disarms the intended waiver.
+fn noop() {
+    // seal-lint: allow(float-ordering) — meant float-total-order, rule name is wrong
+    let _ = 1 + 1;
+}

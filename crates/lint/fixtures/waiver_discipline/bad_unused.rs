@@ -1,0 +1,7 @@
+// Positive fixture for `waiver-discipline`: a well-formed, justified
+// waiver that suppresses nothing — the code it once excused is gone,
+// so the waiver must go too (stale waivers hide future regressions).
+fn nothing_to_waive() -> u32 {
+    // seal-lint: allow(panic-surface) — this line used to join a thread, but no longer does
+    40 + 2
+}

@@ -1,0 +1,7 @@
+// Negative fixture for `waiver-discipline`: a justified waiver that
+// actually suppresses a diagnostic on the next line is in order — no
+// diagnostics at all from this file.
+fn sort_scores(v: &mut [f64]) {
+    // seal-lint: allow(float-total-order) — fixture demonstrating a used, justified waiver; real code should reach for total_cmp instead
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

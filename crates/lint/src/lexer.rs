@@ -1,0 +1,446 @@
+//! A minimal Rust lexer — just enough structure for token-stream lint
+//! rules.
+//!
+//! The zero-registry constraint rules out `syn`/`proc-macro2`, and the
+//! rules in [`crate::rules`] only need a faithful *token* stream: the
+//! one hard requirement is that text inside string literals, character
+//! literals and comments never leaks into the identifier stream (a
+//! `"partial_cmp"` in a diagnostic message is not a float comparison).
+//! The tricky cases a naive regex gets wrong and this lexer gets
+//! right:
+//!
+//! * raw strings with arbitrary `#` fences (`r#"…"#`, `br##"…"##`),
+//! * char literals vs lifetimes (`'a'` vs `'a`),
+//! * nested block comments (`/* /* */ */`),
+//! * numeric literals with exponents and method calls on floats
+//!   (`1.0e-9`, `2.0.sqrt()`, `0..n` ranges).
+//!
+//! Comments are not discarded: they come back in a side channel with
+//! line numbers, because the waiver mechanism (`// seal-lint:
+//! allow(...)`) and the crate-doc-header rule both read them.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`foo`, `unwrap`, `let`, `r#type`).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `!`, …). Multi-char
+    /// operators arrive as consecutive punct tokens.
+    Punct(char),
+    /// A string / char / numeric literal (payload deliberately
+    /// dropped; rules only care that it is opaque).
+    Literal,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The identifier text (empty for non-ident tokens).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment with its source line and flavor.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the delimiters (`//`, `//!`, `/* */` …).
+    pub text: String,
+    /// `//!` or `/*! … */` — inner doc (crate/module header).
+    pub inner_doc: bool,
+    /// True when a token precedes the comment on the same line (a
+    /// trailing comment annotates its own line; a standalone comment
+    /// annotates the line below).
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments stripped.
+    pub toks: Vec<Tok>,
+    /// The comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated constructs (string to EOF, unclosed block
+/// comment) are tolerated: the remainder is swallowed as one literal /
+/// comment, which is the useful behavior for linting a file that may
+/// not even compile.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        last_tok_line: 0,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    /// Line of the most recent token (to classify trailing comments).
+    last_tok_line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: String, line: u32) {
+        self.last_tok_line = line;
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string_literal();
+                    self.push_tok(TokKind::Literal, String::new(), line);
+                }
+                'r' | 'b' if self.raw_or_byte_string(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphanumeric() => self.ident(line),
+                c => {
+                    self.bump();
+                    self.push_tok(TokKind::Punct(c), String::new(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // //
+        let inner_doc = self.peek(0) == Some('!');
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            inner_doc,
+            trailing: self.last_tok_line == line,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // /*
+        let inner_doc = self.peek(0) == Some('!');
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            inner_doc,
+            trailing: self.last_tok_line == line,
+        });
+    }
+
+    /// Consumes a string body after the opening `"`.
+    fn string_literal(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'x'`. Returns
+    /// false when the `r`/`b` starts a plain identifier instead
+    /// (nothing consumed in that case).
+    fn raw_or_byte_string(&mut self, line: u32) -> bool {
+        let (prefix_len, raw) = match (self.peek(0), self.peek(1)) {
+            (Some('r'), _) => (1, true),
+            (Some('b'), Some('r')) => (2, true),
+            (Some('b'), _) => (1, false),
+            _ => return false,
+        };
+        // Count the # fence (raw strings only).
+        let mut hashes = 0usize;
+        while raw && self.peek(prefix_len + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(prefix_len + hashes) {
+            Some('"') => {
+                for _ in 0..prefix_len + hashes + 1 {
+                    self.bump();
+                }
+                if raw {
+                    self.raw_string_body(hashes);
+                } else {
+                    // b"…" — ordinary escapes apply.
+                    self.string_literal();
+                }
+                self.push_tok(TokKind::Literal, String::new(), line);
+                true
+            }
+            Some('\'') if !raw && hashes == 0 => {
+                // b'x' byte char.
+                self.bump();
+                self.bump();
+                self.char_body();
+                self.push_tok(TokKind::Literal, String::new(), line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(matched) == Some('#') {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consumes a char-literal body after the opening `'`.
+    fn char_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => return,
+                _ => {}
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // 'a' is a char; 'a (not followed by a closing quote) is a
+        // lifetime; '\n' etc. are chars.
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if c == '_' || c.is_alphanumeric() => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_tok(TokKind::Lifetime, text, line);
+        } else {
+            self.bump();
+            self.char_body();
+            self.push_tok(TokKind::Literal, String::new(), line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        // Integer part (also covers 0x…, 0b…, digit separators).
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fraction: a '.' followed by a digit (NOT `0..n` or `1.max()`).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    self.bump();
+                } else if (c == '+' || c == '-')
+                    && matches!(self.chars.get(self.pos.wrapping_sub(1)), Some('e' | 'E'))
+                {
+                    // Exponent sign: 1.5e-9.
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else if (self.peek(0) == Some('e') || self.peek(0) == Some('E'))
+            && matches!(self.peek(1), Some('+' | '-'))
+        {
+            self.bump();
+            self.bump();
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        self.push_tok(TokKind::Literal, String::new(), line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_idents() {
+        let src = r##"
+            // partial_cmp in a comment
+            /* and unwrap in /* a nested */ block */
+            let msg = "calls partial_cmp and unwrap";
+            let raw = r#"also "partial_cmp" here"#;
+            let b = b"unwrap";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"partial_cmp".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<&Tok> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let lits = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lits, 2, "'x' and '\\n'");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls_or_ranges() {
+        let ids = idents("let a = 1.0e-9; let b = 2.0.sqrt(); for i in 0..n {}");
+        assert!(ids.contains(&"sqrt".to_string()));
+        assert!(ids.contains(&"n".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn comment_side_channel() {
+        let lexed = lex("//! crate docs\nlet x = 1; // trailing\n// standalone\n");
+        assert_eq!(lexed.comments.len(), 3);
+        assert!(lexed.comments[0].inner_doc);
+        assert!(!lexed.comments[0].trailing);
+        assert!(lexed.comments[1].trailing);
+        assert!(!lexed.comments[2].trailing);
+    }
+
+    #[test]
+    fn raw_ident_is_an_ident() {
+        // r#type: the r# prefix has no quote, so it lexes as idents.
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"r".to_string()) || ids.contains(&"type".to_string()));
+    }
+}

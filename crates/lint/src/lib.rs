@@ -1,0 +1,34 @@
+//! # seal-lint — the workspace invariant checker.
+//!
+//! Eight PRs of engine work rest on a handful of textual invariants
+//! that nothing used to enforce: floats are ordered with `total_cmp`
+//! (the PR 3 NaN sweep), the arenas carry no `unsafe`, locks are taken
+//! refresh-gate → route → shard-state and never held across a probe
+//! (the PR 4/PR 8 swap protocols), and the serving tier never panics
+//! on hostile input (PR 7). This crate turns those prose rules from
+//! `docs/ARCHITECTURE.md` into machine-checked CI gates:
+//!
+//! ```text
+//! cargo run -p seal-lint            # lint the workspace, exit 1 on findings
+//! cargo run -p seal-lint -- --list-rules
+//! cargo run -p seal-lint -- path/to/file.rs …
+//! ```
+//!
+//! Same zero-registry constraint as everything else: a minimal Rust
+//! [`lexer`] (strings, raw strings, char-vs-lifetime, nested block
+//! comments) feeds a token-stream [`rules`] engine — no `syn`, no
+//! proc-macros, no dependencies. Exceptions are written down inline
+//! (`// seal-lint: allow(<rule>) — <justification>`) and audited by
+//! the `waiver-discipline` rule; see [`driver`] for the mechanism and
+//! `crates/lint/fixtures/` for the positive/negative corpus each rule
+//! is pinned by.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod lexer;
+pub mod rules;
+
+pub use driver::{lint_paths, lint_source, lint_workspace, workspace_files};
+pub use rules::{anchor, rationale, Diag, RULES};

@@ -1,0 +1,100 @@
+//! `seal-lint` — CLI for the workspace invariant checker.
+//!
+//! ```text
+//! seal-lint                      # lint the workspace (root auto-detected)
+//! seal-lint --root <dir>         # lint another tree
+//! seal-lint <file.rs> …          # lint specific files
+//! seal-lint --list-rules         # print the rule table
+//! ```
+//!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` usage or I/O
+//! error — so CI can gate on it directly.
+
+#![forbid(unsafe_code)]
+
+use seal_lint::{anchor, lint_paths, lint_workspace, rationale, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{r:<20} {}", rationale(r));
+                    println!("{:<20} docs/ARCHITECTURE.md#{}", "", anchor(r));
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => root = Some(PathBuf::from(d)),
+                    None => return usage("--root needs a directory"),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "seal-lint: workspace invariant checker\n\
+                     usage: seal-lint [--root <dir>] [--list-rules] [<file.rs> ...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => return usage(&format!("unknown flag {flag}")),
+            path => files.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+
+    let result = if files.is_empty() {
+        let root = root.unwrap_or_else(detect_root);
+        lint_workspace(&root)
+    } else {
+        lint_paths(&files)
+    };
+    let diags = match result {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("seal-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if diags.is_empty() {
+        println!("seal-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        println!(
+            "seal-lint: {} diagnostic{} — fix, or waive inline with \
+             `// seal-lint: allow(<rule>) — <justification>`",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest when run
+/// via `cargo run -p seal-lint`, else the current directory.
+fn detect_root() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("seal-lint: {msg}\nusage: seal-lint [--root <dir>] [--list-rules] [<file.rs> ...]");
+    ExitCode::from(2)
+}

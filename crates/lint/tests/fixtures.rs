@@ -1,0 +1,176 @@
+//! Fixture-corpus self-test.
+//!
+//! The corpus under `crates/lint/fixtures/` has one top-level
+//! directory per rule (underscores for the rule name's hyphens). Every
+//! `.rs` file inside carries a `bad`/`ok` marker in its path: `bad*`
+//! files must produce at least one diagnostic of the directory's rule,
+//! `ok*` files must produce none at all. Directory shape stands in for
+//! workspace shape — `panic_surface/server/src/` replicates the
+//! serving-tier scope, `*/src/lib.rs` replicates a crate root — so the
+//! path-scoped rules see the same cues they see in the real tree.
+
+use seal_lint::{lint_source, lint_workspace, Diag, RULES};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("read fixture dir")
+        .map(|e| e.expect("fixture dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `(rule, file, is_bad)` for every fixture file in the corpus.
+fn corpus() -> Vec<(String, PathBuf, bool)> {
+    let root = fixture_root();
+    let mut out = Vec::new();
+    let mut dirs: Vec<PathBuf> = fs::read_dir(&root)
+        .expect("read fixtures/")
+        .map(|e| e.expect("fixtures entry").path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let rule = dir
+            .file_name()
+            .expect("fixture dir name")
+            .to_string_lossy()
+            .replace('_', "-");
+        assert!(
+            RULES.contains(&rule.as_str()),
+            "fixture directory {} does not name a known rule",
+            dir.display()
+        );
+        let mut files = Vec::new();
+        rs_files(&dir, &mut files);
+        assert!(!files.is_empty(), "empty fixture dir {}", dir.display());
+        for f in files {
+            let rel = f.strip_prefix(&root).expect("fixture under root");
+            let marked_bad = rel
+                .components()
+                .any(|c| c.as_os_str().to_string_lossy().starts_with("bad"));
+            let marked_ok = rel
+                .components()
+                .any(|c| c.as_os_str().to_string_lossy().starts_with("ok"));
+            assert!(
+                marked_bad ^ marked_ok,
+                "fixture {} must carry exactly one bad/ok path marker",
+                rel.display()
+            );
+            out.push((rule.clone(), f, marked_bad));
+        }
+    }
+    out
+}
+
+fn diags_for(file: &Path) -> Vec<Diag> {
+    let src = fs::read_to_string(file).expect("read fixture");
+    lint_source(&file.to_string_lossy(), &src)
+}
+
+#[test]
+fn every_rule_has_positive_and_negative_fixtures() {
+    for rule in RULES {
+        let (mut bad, mut ok) = (0, 0);
+        for (r, _, is_bad) in corpus() {
+            if r == *rule {
+                if is_bad {
+                    bad += 1;
+                } else {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(bad > 0, "rule {rule} has no positive (bad) fixture");
+        assert!(ok > 0, "rule {rule} has no negative (ok) fixture");
+    }
+}
+
+#[test]
+fn bad_fixtures_trigger_their_rule() {
+    for (rule, file, is_bad) in corpus() {
+        if !is_bad {
+            continue;
+        }
+        let diags = diags_for(&file);
+        assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "{} should trigger {rule}, got: {:?}",
+            file.display(),
+            diags.iter().map(Diag::render).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn ok_fixtures_are_completely_clean() {
+    for (_, file, is_bad) in corpus() {
+        if is_bad {
+            continue;
+        }
+        let diags = diags_for(&file);
+        assert!(
+            diags.is_empty(),
+            "{} should be clean, got: {:?}",
+            file.display(),
+            diags.iter().map(Diag::render).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// The CLI contract CI relies on: exit 1 when diagnostics exist,
+/// exit 0 when clean.
+#[test]
+fn cli_exit_codes_match_fixture_polarity() {
+    let bin = env!("CARGO_BIN_EXE_seal-lint");
+    for (_, file, is_bad) in corpus() {
+        let status = std::process::Command::new(bin)
+            .arg(&file)
+            .status()
+            .expect("run seal-lint");
+        if is_bad {
+            assert_eq!(
+                status.code(),
+                Some(1),
+                "seal-lint should exit 1 on {}",
+                file.display()
+            );
+        } else {
+            assert_eq!(
+                status.code(),
+                Some(0),
+                "seal-lint should exit 0 on {}",
+                file.display()
+            );
+        }
+    }
+}
+
+/// The real tree must stay clean — this is the same check the CI step
+/// runs, kept as a test so `cargo test` alone catches regressions.
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint_workspace(&root).expect("scan workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace must be seal-lint clean:\n{}",
+        diags
+            .iter()
+            .map(Diag::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -68,24 +68,17 @@ fn str_partition<I>(
     let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
     let per_strip = n.div_ceil(strip_count);
 
-    items.sort_by(|a, b| {
-        center(a)
-            .x
-            .partial_cmp(&center(b).x)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // total_cmp: Rect rejects non-finite coordinates, so centers are
+    // finite today — but the comparator must stay a total order even
+    // if that invariant moves, or sort's contract breaks silently.
+    items.sort_by(|a, b| center(a).x.total_cmp(&center(b).x));
 
     let mut groups = Vec::with_capacity(leaf_count);
     let mut rest = std::mem::take(items);
     while !rest.is_empty() {
         let take = per_strip.min(rest.len());
         let mut strip: Vec<I> = rest.drain(..take).collect();
-        strip.sort_by(|a, b| {
-            center(a)
-                .y
-                .partial_cmp(&center(b).y)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        strip.sort_by(|a, b| center(a).y.total_cmp(&center(b).y));
         while !strip.is_empty() {
             let take = m.min(strip.len());
             groups.push(strip.drain(..take).collect());

@@ -23,7 +23,18 @@
 
 use seal_core::{Query, QueryEngine, SearchResult};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Poison-recovering lock: the serving tier must not panic
+/// (`panic-surface` invariant), and every critical section in this
+/// module is a handful of queue/option field operations that cannot
+/// themselves panic — so a poisoned mutex can only mean *another*
+/// slot's panic unwound elsewhere, and the protected data is still
+/// consistent. Taking it as-is keeps the convoy draining instead of
+/// cascading the panic into every parked request.
+fn relock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One waiting request's result cell.
 struct Slot {
@@ -40,17 +51,20 @@ impl Slot {
     }
 
     fn fill(&self, r: SearchResult) {
-        *self.result.lock().expect("slot lock") = Some(r);
+        *relock(&self.result) = Some(r);
         self.ready.notify_one();
     }
 
     fn wait(&self) -> SearchResult {
-        let mut guard = self.result.lock().expect("slot lock");
+        let mut guard = relock(&self.result);
         loop {
             if let Some(r) = guard.take() {
                 return r;
             }
-            guard = self.ready.wait(guard).expect("slot wait");
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -105,7 +119,7 @@ impl Batcher {
 
     /// Queries currently queued (diagnostics / backpressure probes).
     pub fn queued(&self) -> usize {
-        self.state.lock().expect("batch state").pending.len()
+        relock(&self.state).pending.len()
     }
 
     /// Submits one query and blocks until its batch completes.
@@ -119,7 +133,7 @@ impl Batcher {
     pub fn submit(&self, query: Query, on_batch: &dyn Fn(usize)) -> Result<SearchResult, Busy> {
         let slot = Slot::new();
         {
-            let mut s = self.state.lock().expect("batch state");
+            let mut s = relock(&self.state);
             if s.pending.len() >= self.max_queued {
                 return Err(Busy);
             }
@@ -138,7 +152,7 @@ impl Batcher {
         // followers are never stranded without a leader.
         loop {
             let batch: Vec<(Query, Arc<Slot>)> = {
-                let mut s = self.state.lock().expect("batch state");
+                let mut s = relock(&self.state);
                 if s.pending.is_empty() {
                     s.leader_active = false;
                     break;

@@ -264,6 +264,7 @@ pub fn run_load(
         }
         handles
             .into_iter()
+            // seal-lint: allow(panic-surface) — loadgen harness thread, not the serving path; a panicked load worker is a harness bug that must be loud
             .map(|h| h.join().expect("load thread"))
             .collect()
     });

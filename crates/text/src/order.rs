@@ -24,9 +24,10 @@ impl GlobalTokenOrder {
         let mut ids: Vec<u32> = (0..vocab_size as u32).collect();
         ids.sort_by(|&a, &b| {
             let (wa, wb) = (weights.weight(TokenId(a)), weights.weight(TokenId(b)));
-            wb.partial_cmp(&wa)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
+            // total_cmp: a NaN weight must still yield one total,
+            // deterministic permutation (partial_cmp → Equal made the
+            // comparator inconsistent, violating sort's contract).
+            wb.total_cmp(&wa).then(a.cmp(&b))
         });
         let mut rank = vec![0u32; vocab_size];
         for (pos, &id) in ids.iter().enumerate() {
@@ -87,6 +88,28 @@ mod tests {
             all,
             vec![TokenId(3), TokenId(0), TokenId(2), TokenId(4), TokenId(1)]
         );
+    }
+
+    #[test]
+    fn nan_weights_still_yield_a_total_deterministic_order() {
+        // Regression for the NaN-unsound partial_cmp comparator:
+        // `TokenWeights` is a trait, so nothing stops an impl from
+        // producing NaN — the order must stay a permutation and be
+        // identical across runs regardless.
+        let w = IdfWeights::from_values(vec![0.5, f64::NAN, 0.7, f64::NAN, 0.1]);
+        let a = GlobalTokenOrder::by_descending_weight(5, &w);
+        let b = GlobalTokenOrder::by_descending_weight(5, &w);
+        let mut ranks: Vec<u64> = (0..5).map(|i| a.rank(TokenId(i))).collect();
+        assert_eq!(
+            ranks,
+            (0..5).map(|i| b.rank(TokenId(i))).collect::<Vec<u64>>(),
+            "deterministic across runs"
+        );
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4], "still a permutation");
+        // Finite weights keep their relative descending order.
+        assert!(a.rank(TokenId(2)) < a.rank(TokenId(0)));
+        assert!(a.rank(TokenId(0)) < a.rank(TokenId(4)));
     }
 
     #[test]

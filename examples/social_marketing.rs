@@ -58,8 +58,7 @@ fn main() {
         store
             .weights()
             .weight(*b)
-            .partial_cmp(&store.weights().weight(*a))
-            .unwrap()
+            .total_cmp(&store.weights().weight(*a))
     });
     let products: Vec<seal_text::TokenId> = by_weight.into_iter().take(6).collect();
     let q = Query::new(

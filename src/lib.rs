@@ -52,6 +52,7 @@
 //! no locks anywhere on the read path.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use seal_core;
 pub use seal_datagen;
