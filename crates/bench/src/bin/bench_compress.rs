@@ -1,7 +1,22 @@
 //! Records compressed-vs-uncompressed serving numbers to
 //! `BENCH_compress.json`: index bytes and batch-probe throughput for
 //! the token and hash-hybrid filters in both storage modes (the arena
-//! form vs. the compressed arena served in place).
+//! form vs. the compressed arena served in place), plus an **id-codec
+//! comparison** — varint vs delta-coded bit-packed 128-id blocks:
+//! id-column bytes per posting and full-list decode ns/id per codec,
+//! on two posting corpora built from the same objects:
+//!
+//! * `clustered` — grid-cell-keyed lists with ids assigned in spatial
+//!   scan order (the id layout a bulk spatial load produces: each
+//!   cell's ids are consecutive runs, so deltas are small). The
+//!   packed/varint size and decode-qps ratios the PR 10 acceptance
+//!   bar reads come from this corpus.
+//! * `token` — token-keyed lists with ids in stream order (adversarial
+//!   for delta coding: gaps are corpus-frequency sized).
+//!
+//! In-binary contract check: the block-packed arena answers every
+//! probed (key, threshold) pair **bit-identically** to the varint
+//! arena and to the uncompressed index it was compressed from.
 //!
 //! ```text
 //! cargo run --release -p seal-bench --bin bench_compress -- \
@@ -14,13 +29,130 @@
 
 use seal_bench::data::{build_store, dataset, with_thresholds, workload, BenchConfig, Which};
 use seal_bench::harness::{batch_qps, out_path, write_json};
-use seal_core::{FilterKind, SealEngine};
+use seal_core::{FilterKind, ObjectId, Query, SealEngine};
 use seal_datagen::QuerySpec;
+use seal_index::{CompressedInvertedIndex, IdCodec, InvertedIndex};
 
 struct Mode {
     label: &'static str,
     arena: FilterKind,
     compressed: FilterKind,
+}
+
+fn answers(engine: &SealEngine, queries: &[Query]) -> Vec<Vec<ObjectId>> {
+    engine
+        .search_batch(queries, 1)
+        .into_iter()
+        .map(|r| r.sorted().answers)
+        .collect()
+}
+
+/// Full-list decode timing for one compressed arena: every key probed
+/// at a qualify-everything threshold, `rounds` passes over the whole
+/// index. Returns (ns per decoded id, total ids decoded per pass, the
+/// ids of the last pass for answer-parity checks).
+fn decode_pass<K: Ord + Copy + std::hash::Hash + Sync>(
+    idx: &CompressedInvertedIndex<K>,
+    keys: &[K],
+    rounds: u32,
+) -> (f64, usize, u64) {
+    let mut scratch = Vec::new();
+    let mut decoded = 0usize;
+    let mut checksum = 0u64;
+    let start = std::time::Instant::now();
+    for _ in 0..rounds {
+        decoded = 0;
+        checksum = 0;
+        for k in keys {
+            let ids = idx.qualifying_into(k, 0.0, &mut scratch);
+            decoded += ids.len();
+            // Fold the ids so the decode cannot be optimized away and
+            // codec parity is also checked at full-corpus scale.
+            for &id in ids {
+                checksum = checksum.wrapping_mul(31).wrapping_add(u64::from(id));
+            }
+        }
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(rounds.max(1));
+    (ns / decoded.max(1) as f64, decoded, checksum)
+}
+
+/// Measures one posting corpus under both id codecs: asserts the
+/// varint and block-packed arenas answer bit-identically to the
+/// uncompressed index at several thresholds (full lists, prefixes,
+/// empty cuts), times full decode passes, and returns the JSON body
+/// plus the (packed/varint size, decode-qps) ratios.
+fn codec_section<K>(label: &str, inv: &InvertedIndex<K>) -> (String, f64, f64)
+where
+    K: Ord + Copy + std::hash::Hash + Sync + std::fmt::Display,
+{
+    let keys: Vec<K> = inv.iter().map(|(k, _)| k).collect();
+    let varint = CompressedInvertedIndex::compress_with_codec(inv, IdCodec::Varint);
+    let packed = CompressedInvertedIndex::compress_with_codec(inv, IdCodec::BlockPacked);
+    let postings = inv.posting_count().max(1);
+
+    let mut scratch_v = Vec::new();
+    let mut scratch_p = Vec::new();
+    for c in [0.0, 0.35, 0.8, 1.01] {
+        for key in &keys {
+            let reference = inv.qualifying(key, c);
+            assert_eq!(
+                varint.qualifying_into(key, c, &mut scratch_v),
+                reference,
+                "{label}: varint codec diverged from the uncompressed index (key {key}, c {c})"
+            );
+            assert_eq!(
+                packed.qualifying_into(key, c, &mut scratch_p),
+                reference,
+                "{label}: block-packed codec diverged from the uncompressed index \
+                 (key {key}, c {c})"
+            );
+        }
+    }
+
+    let rounds = 5;
+    let (varint_ns, decoded, varint_sum) = decode_pass(&varint, &keys, rounds);
+    let (packed_ns, _, packed_sum) = decode_pass(&packed, &keys, rounds);
+    assert_eq!(
+        varint_sum, packed_sum,
+        "{label}: codec decode checksums diverged at full-corpus scale"
+    );
+    let size_ratio = packed.id_column_bytes() as f64 / varint.id_column_bytes().max(1) as f64;
+    let decode_qps_ratio = varint_ns / packed_ns.max(1e-12);
+    println!(
+        "id codec ({label:>9}) varint      {:>12} id bytes {:>10.2} ns/id",
+        varint.id_column_bytes(),
+        varint_ns
+    );
+    println!(
+        "id codec ({label:>9}) blockpacked {:>12} id bytes {:>10.2} ns/id \
+         (size ×{size_ratio:.3}, decode qps ×{decode_qps_ratio:.3})",
+        packed.id_column_bytes(),
+        packed_ns
+    );
+
+    let mut body = String::new();
+    body.push_str(&format!("    \"{label}\": {{\n"));
+    body.push_str(&format!("      \"postings\": {postings},\n"));
+    body.push_str(&format!("      \"decoded_ids_per_pass\": {decoded},\n"));
+    body.push_str(&format!(
+        "      \"varint\": {{ \"id_column_bytes\": {}, \"bytes_per_posting\": {:.3}, \
+         \"decode_ns_per_id\": {varint_ns:.2} }},\n",
+        varint.id_column_bytes(),
+        varint.id_column_bytes() as f64 / postings as f64
+    ));
+    body.push_str(&format!(
+        "      \"block_packed\": {{ \"id_column_bytes\": {}, \"bytes_per_posting\": {:.3}, \
+         \"decode_ns_per_id\": {packed_ns:.2} }},\n",
+        packed.id_column_bytes(),
+        packed.id_column_bytes() as f64 / postings as f64
+    ));
+    body.push_str(&format!("      \"packed_size_ratio\": {size_ratio:.3},\n"));
+    body.push_str(&format!(
+        "      \"packed_decode_qps_ratio\": {decode_qps_ratio:.3}\n"
+    ));
+    body.push_str("    }");
+    (body, size_ratio, decode_qps_ratio)
 }
 
 fn main() {
@@ -57,6 +189,7 @@ fn main() {
         let mut row = String::new();
         row.push_str(&format!("  \"{}\": {{\n", mode.label));
         let mut stats = Vec::new();
+        let mut mode_answers = Vec::new();
         for (tag, kind) in [("arena", mode.arena), ("compressed", mode.compressed)] {
             let engine = SealEngine::build(store.clone(), kind);
             let bytes = engine.index_bytes();
@@ -70,7 +203,13 @@ fn main() {
                 engine.filter_name()
             );
             stats.push((tag, bytes, qps));
+            mode_answers.push(answers(&engine, &qs));
         }
+        assert_eq!(
+            mode_answers[0], mode_answers[1],
+            "{}: compressed (block-packed) engine diverged from the arena engine",
+            mode.label
+        );
         let (arena_bytes, arena_qps) = (stats[0].1, stats[0].2);
         let (comp_bytes, comp_qps) = (stats[1].1, stats[1].2);
         for (tag, bytes, qps) in &stats {
@@ -90,6 +229,67 @@ fn main() {
         sections.push(row);
     }
 
+    // ---- id-codec comparison: the same objects' postings encoded
+    // with both codecs, answer-checked against the uncompressed
+    // index, on a clustered and an unclustered corpus. ----
+
+    // Clustered corpus: grid-cell keys over the object centers, ids
+    // assigned in cell scan order — the layout a bulk spatial load
+    // produces, where each cell's posting ids are consecutive runs.
+    const GRID: u64 = 16;
+    let objects = store.objects();
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for o in objects {
+        let c = o.region.center();
+        min_x = min_x.min(c.x);
+        min_y = min_y.min(c.y);
+        max_x = max_x.max(c.x);
+        max_y = max_y.max(c.y);
+    }
+    let span_x = (max_x - min_x).max(f64::MIN_POSITIVE);
+    let span_y = (max_y - min_y).max(f64::MIN_POSITIVE);
+    let cell_of = |o: &seal_core::RoiObject| -> u64 {
+        let c = o.region.center();
+        let cx = (((c.x - min_x) / span_x) * GRID as f64) as u64;
+        let cy = (((c.y - min_y) / span_y) * GRID as f64) as u64;
+        cy.min(GRID - 1) * GRID + cx.min(GRID - 1)
+    };
+    let mut order: Vec<usize> = (0..objects.len()).collect();
+    order.sort_by_key(|&i| cell_of(&objects[i]));
+    let mut clustered: InvertedIndex<u64> = InvertedIndex::new();
+    let mut run = 0usize;
+    while run < order.len() {
+        let key = cell_of(&objects[order[run]]);
+        let end = order[run..]
+            .iter()
+            .position(|&i| cell_of(&objects[i]) != key)
+            .map_or(order.len(), |p| run + p);
+        let len = (end - run) as f64;
+        for (j, id) in (run..end).enumerate() {
+            // Descending prefix bounds, ids ascending within the list.
+            let id = u32::try_from(id).expect("bench corpus fits u32 ids");
+            clustered.push(key, id, (len - j as f64) / len);
+        }
+        run = end;
+    }
+    clustered.finalize();
+
+    // Token corpus: token-keyed lists, ids in stream order — gaps are
+    // corpus-frequency sized, the adversarial case for delta coding.
+    let mut token_inv: InvertedIndex<u32> = InvertedIndex::new();
+    for (i, o) in objects.iter().enumerate() {
+        let id = u32::try_from(i).expect("bench corpus fits u32 ids");
+        let k = o.tokens.len().max(1) as f64;
+        for (j, t) in o.tokens.iter().enumerate() {
+            token_inv.push(t.0, id, (k - j as f64) / k);
+        }
+    }
+    token_inv.finalize();
+
+    let (clustered_json, clu_size_ratio, clu_qps_ratio) = codec_section("clustered", &clustered);
+    let (token_json, _, _) = codec_section("token", &token_inv);
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(
@@ -102,6 +302,19 @@ fn main() {
         "  \"caveat\": \"recorded on a 1-core container when available_parallelism is 1; \
          absolute qps is not meaningful there — compare the size/qps ratios\",\n",
     );
+    json.push_str("  \"id_codec\": {\n");
+    json.push_str(&clustered_json);
+    json.push_str(",\n");
+    json.push_str(&token_json);
+    json.push_str(",\n");
+    json.push_str(&format!(
+        "    \"packed_size_ratio\": {clu_size_ratio:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"packed_decode_qps_ratio\": {clu_qps_ratio:.3},\n"
+    ));
+    json.push_str("    \"answers_bit_identical\": true\n");
+    json.push_str("  },\n");
     json.push_str(&sections.join(",\n"));
     json.push_str("\n}\n");
 

@@ -198,7 +198,8 @@ pub struct QueryContext {
     /// Object ids touched by the accumulator this query.
     pub(crate) touched: Vec<u32>,
     /// Decode scratch for compressed arenas: qualifying prefixes'
-    /// object ids are varint-decoded here (single- and dual-bound
+    /// object ids are decoded here — block-unpacked or varint-decoded,
+    /// per the arena's id codec (single- and dual-bound
     /// arenas both decode ids only — bounds are cut in the quantized
     /// domain and never materialized), so the compressed serving path
     /// allocates nothing once this has grown to the largest

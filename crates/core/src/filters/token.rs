@@ -11,7 +11,8 @@ use std::time::Instant;
 
 /// How a filter stores its posting lists: the uncompressed CSR arena,
 /// or the compressed arena served in place (quantized bound columns +
-/// varint ids, decoded through the `QueryContext` scratch).
+/// codec-encoded ids — block-packed by default — decoded through the
+/// `QueryContext` scratch).
 enum TokenStorage {
     Arena(InvertedIndex<u32>),
     Compressed(CompressedInvertedIndex<u32>),
@@ -212,7 +213,7 @@ impl CandidateFilter for TokenFilter {
             stats.lists_probed += 1;
             // Both storage modes share one contract: the qualifying
             // probe yields an id slice — in place from the arena's id
-            // column, or varint-decoded into the context scratch.
+            // column, or codec-decoded into the context scratch.
             let ids = match &self.storage {
                 TokenStorage::Arena(index) => index.qualifying(&elem.token.0, c_t),
                 TokenStorage::Compressed(index) => {

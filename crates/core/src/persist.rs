@@ -32,6 +32,20 @@
 //! detected by magic and rejected with a pointer to the compatibility
 //! entry points — the `from_bytes` constructors in `seal_index` still
 //! read them.
+//!
+//! # Streaming load
+//!
+//! [`SealEngine::load_with_threads`] goes through
+//! [`seal_index::stream_file`]: the container framing is validated up
+//! front, then each section is CRC-checked **and decoded** by a pool
+//! worker the moment its bytes are read off disk, so section decoding
+//! overlaps with the remaining file I/O. The writer lays the tiny
+//! engine-meta section out *before* the index payloads, so the decode
+//! hook can read the filter kind from the already-streamed meta bytes
+//! and pick the right index decoder per section; a file with hostile
+//! section ordering simply falls back to decoding at assembly time
+//! (same typed errors, no panic). [`SealEngine::load_from_bytes`]
+//! keeps the buffered path for bytes already in memory.
 
 use crate::filters::{
     AdaptiveFilter, CandidateFilter, GridFilter, HierarchicalFilter, HybridFilter, TokenFilter,
@@ -235,7 +249,10 @@ fn encode_store(store: &ObjectStore) -> Vec<u8> {
         put_f64(&mut buf, min.y);
         put_f64(&mut buf, max.x);
         put_f64(&mut buf, max.y);
-        put_u32(&mut buf, o.tokens.len() as u32);
+        put_u32(
+            &mut buf,
+            u32::try_from(o.tokens.len()).expect("token count fits u32"),
+        );
         for t in o.tokens.iter() {
             put_u32(&mut buf, t.0);
         }
@@ -293,7 +310,10 @@ fn encode_dictionary(dict: &Dictionary) -> Vec<u8> {
     let mut buf = Vec::new();
     put_u64(&mut buf, dict.len() as u64);
     for (_, name) in dict.iter() {
-        put_u32(&mut buf, name.len() as u32);
+        put_u32(
+            &mut buf,
+            u32::try_from(name.len()).expect("token name length fits u32"),
+        );
         buf.extend_from_slice(name.as_bytes());
     }
     buf
@@ -305,7 +325,8 @@ fn decode_dictionary(payload: &[u8]) -> Result<Dictionary, ContainerError> {
     let n = r.count(declared, 4)?;
     let mut dict = Dictionary::new();
     for i in 0..n {
-        let len = r.u32()? as usize;
+        let declared_len = u64::from(r.u32()?);
+        let len = r.count(declared_len, 1)?;
         let bytes = r.take(len)?;
         let name = std::str::from_utf8(bytes)
             .map_err(|_| r.err(format!("name {i} is not valid UTF-8")))?;
@@ -451,7 +472,10 @@ fn encode_scheme(scheme: &HierarchicalScheme) -> Vec<u8> {
     put_u64(&mut buf, tokens.len() as u64);
     for (t, grids) in tokens {
         put_u32(&mut buf, t.0);
-        put_u32(&mut buf, grids.cells().len() as u32);
+        put_u32(
+            &mut buf,
+            u32::try_from(grids.cells().len()).expect("cell count fits u32"),
+        );
         for c in grids.cells() {
             put_u64(&mut buf, c.id.pack());
         }
@@ -533,7 +557,7 @@ fn check_ids(
     what: &'static str,
 ) -> Result<(), ContainerError> {
     if let Some(m) = max_id {
-        if m as usize >= store_len {
+        if u64::from(m) >= store_len as u64 {
             return Err(ContainerError::Section {
                 section: what,
                 offset: 0,
@@ -548,6 +572,122 @@ fn bucket_scheme(buckets: Option<u64>) -> BucketScheme {
     match buckets {
         Some(m) => BucketScheme::Buckets(m),
         None => BucketScheme::Full,
+    }
+}
+
+// ------------------------------------------------------ streaming load
+
+/// One section's decode result from the streaming load: either fully
+/// decoded by the pool worker that verified its CRC, or the raw bytes
+/// for sections that are cheap to decode (stats, meta, scheme), need
+/// cross-section state unavailable mid-stream, or were streamed before
+/// the engine-meta section in a hostile ordering.
+enum Slot {
+    /// Undecoded payload bytes (decoded at assembly time).
+    Raw(Vec<u8>),
+    /// The object store (kind 2).
+    Store(ObjectStore),
+    /// The token dictionary (kind 3).
+    Dict(Dictionary),
+    /// An uncompressed `u32`-keyed index (token filters).
+    Single32(InvertedIndex<u32>),
+    /// An uncompressed `u64`-keyed index (grid filters).
+    Single64(InvertedIndex<u64>),
+    /// A compressed `u32`-keyed index.
+    Comp32(CompressedInvertedIndex<u32>),
+    /// An uncompressed hybrid index (hash-hybrid filter).
+    Hybrid64(HybridIndex<u64>),
+    /// A compressed hybrid index.
+    CompHybrid64(CompressedHybridIndex<u64>),
+    /// A `u128`-keyed hybrid index (hierarchical filter).
+    Hybrid128(HybridIndex<u128>),
+}
+
+/// The per-section decode hook for [`seal_index::stream_file`]: runs
+/// on a pool worker right after the section's CRC verifies, while the
+/// caller thread is still reading later sections off disk.
+///
+/// Index sections pick their decoder by reading the filter kind from
+/// the already-streamed engine-meta payload (`raw`); the writer lays
+/// meta out before the index sections, so it is always visible on the
+/// files this engine writes. If it is not (hostile section order) the
+/// payload is kept raw and decoded at assembly, yielding the same
+/// typed errors as the buffered path.
+fn decode_slot(
+    kind: u16,
+    payload: &[u8],
+    raw: &seal_index::RawSections<'_>,
+) -> Result<Slot, ContainerError> {
+    match kind {
+        SECTION_STORE_OBJECTS => Ok(Slot::Store(decode_store(payload)?)),
+        SECTION_DICTIONARY => Ok(Slot::Dict(decode_dictionary(payload)?)),
+        SECTION_PRIMARY_INDEX | SECTION_SECONDARY_INDEX => {
+            let Some(meta) = raw.raw(SECTION_ENGINE_META) else {
+                return Ok(Slot::Raw(payload.to_vec()));
+            };
+            let Ok((fk, _)) = decode_meta(meta) else {
+                return Ok(Slot::Raw(payload.to_vec()));
+            };
+            match (fk, kind) {
+                (FilterKind::Token | FilterKind::TokenBasic, SECTION_PRIMARY_INDEX) => Ok(
+                    Slot::Single32(codec(InvertedIndex::<u32>::from_bytes(payload))?),
+                ),
+                (FilterKind::TokenCompressed, SECTION_PRIMARY_INDEX) => Ok(Slot::Comp32(codec(
+                    CompressedInvertedIndex::<u32>::from_bytes(payload),
+                )?)),
+                (FilterKind::Grid { .. }, SECTION_PRIMARY_INDEX) => Ok(Slot::Single64(codec(
+                    InvertedIndex::<u64>::from_bytes(payload),
+                )?)),
+                (FilterKind::HashHybrid { .. }, SECTION_PRIMARY_INDEX) => Ok(Slot::Hybrid64(
+                    codec(HybridIndex::<u64>::from_bytes(payload))?,
+                )),
+                (FilterKind::HashHybridCompressed { .. }, SECTION_PRIMARY_INDEX) => Ok(
+                    Slot::CompHybrid64(codec(CompressedHybridIndex::<u64>::from_bytes(payload))?),
+                ),
+                (FilterKind::Hierarchical { .. }, SECTION_PRIMARY_INDEX) => Ok(Slot::Hybrid128(
+                    codec(HybridIndex::<u128>::from_bytes(payload))?,
+                )),
+                (FilterKind::Adaptive { .. }, SECTION_PRIMARY_INDEX) => Ok(Slot::Single32(codec(
+                    InvertedIndex::<u32>::from_bytes(payload),
+                )?)),
+                (FilterKind::Adaptive { .. }, SECTION_SECONDARY_INDEX) => Ok(Slot::Single64(
+                    codec(InvertedIndex::<u64>::from_bytes(payload))?,
+                )),
+                // Derivable filters persist no index sections; an
+                // unexpected one stays raw and is flagged at assembly.
+                _ => Ok(Slot::Raw(payload.to_vec())),
+            }
+        }
+        // Stats, meta and scheme are cheap and need cross-section
+        // state (the reloaded store) the stream cannot provide.
+        _ => Ok(Slot::Raw(payload.to_vec())),
+    }
+}
+
+/// Takes an index slot out of the streamed-section map: the expected
+/// pre-decoded variant, a raw fallback re-decoded here, a typed error
+/// for a missing section, or a kind/storage mismatch otherwise.
+macro_rules! take_idx {
+    ($map:expr, $kind:expr, $variant:ident, $ty:ty) => {
+        match $map.remove(&$kind) {
+            Some(Slot::$variant(idx)) => Ok(idx),
+            Some(Slot::Raw(bytes)) => codec(<$ty>::from_bytes(bytes.as_slice())),
+            Some(_) => Err(wrong_filter(
+                "index section was decoded under a different filter kind",
+            )),
+            None => Err(ContainerError::MissingSection { kind: $kind }),
+        }
+    };
+}
+
+/// The guidance error for a pre-container raw codec blob.
+fn legacy_blob_error() -> ContainerError {
+    ContainerError::Section {
+        section: "container",
+        offset: 0,
+        detail: "file is a raw index codec blob (legacy format), not a .seal container; \
+                 load it with the seal_index from_bytes compatibility entry points"
+            .to_string(),
     }
 }
 
@@ -666,29 +806,160 @@ impl SealEngine {
         Self::load_with_threads(path, 1)
     }
 
-    /// Loads an engine from a `.seal` container file, fanning the
-    /// per-section CRC verification out over `threads` workers (`0` =
-    /// one per core) and rebuilding derivable filters with the same
-    /// pool. The bytes are fully validated before any part of the
-    /// engine is constructed: bad magic, truncation, bit flips,
-    /// oversized counts and cross-section disagreements all surface as
-    /// typed [`ContainerError`]s, never as panics.
+    /// Loads an engine from a `.seal` container file, **streaming**:
+    /// after the framing (footer, header, directory) is validated, each
+    /// section is CRC-verified *and decoded* by one of `threads` pool
+    /// workers (`0` = one per core) as soon as its bytes are read, so
+    /// store/index decoding overlaps with the remaining file I/O
+    /// instead of waiting for the whole file (see
+    /// [`seal_index::stream_file`]). Derivable filters are rebuilt with
+    /// the same pool. Input validation is identical to the buffered
+    /// path: bad magic, truncation, bit flips, oversized counts and
+    /// cross-section disagreements all surface as typed
+    /// [`ContainerError`]s, never as panics.
     pub fn load_with_threads(path: &Path, threads: usize) -> Result<SealEngine, ContainerError> {
-        let bytes = std::fs::read(path)?;
-        Self::load_from_bytes(&bytes, threads)
+        // Legacy raw codec blobs share no framing with the container;
+        // sniff the magic first for the guidance error.
+        {
+            use std::io::Read as _;
+            let mut head = [0u8; 4];
+            let n = std::fs::File::open(path)?.read(&mut head)?;
+            if seal_index::container::looks_like_legacy_codec(&head[..n]) {
+                return Err(legacy_blob_error());
+            }
+        }
+        let sections = seal_index::stream_file(path, threads, decode_slot)?;
+        Self::assemble_streamed(sections.into_iter().collect(), threads)
+    }
+
+    /// Reconstructs the engine from streamed-and-decoded section
+    /// slots — the assembly half of [`load_with_threads`]
+    /// (cross-section checks, filter construction), mirroring
+    /// [`load_from_bytes`](Self::load_from_bytes) exactly.
+    fn assemble_streamed(
+        mut map: HashMap<u16, Slot>,
+        threads: usize,
+    ) -> Result<SealEngine, ContainerError> {
+        let mut store = match map.remove(&SECTION_STORE_OBJECTS) {
+            Some(Slot::Store(s)) => s,
+            Some(Slot::Raw(b)) => decode_store(&b)?,
+            Some(_) => return Err(wrong_filter("store section decoded as an index")),
+            None => {
+                return Err(ContainerError::MissingSection {
+                    kind: SECTION_STORE_OBJECTS,
+                })
+            }
+        };
+        match map.remove(&SECTION_DICTIONARY) {
+            Some(Slot::Dict(d)) => store.set_dictionary(Some(d)),
+            Some(Slot::Raw(b)) => store.set_dictionary(Some(decode_dictionary(&b)?)),
+            Some(_) => return Err(wrong_filter("dictionary section decoded as an index")),
+            None => {}
+        }
+        let raw_or_missing = |slot: Option<Slot>, kind: u16| match slot {
+            Some(Slot::Raw(b)) => Ok(b),
+            Some(_) => Err(wrong_filter("metadata section decoded as an index")),
+            None => Err(ContainerError::MissingSection { kind }),
+        };
+        let stats = raw_or_missing(map.remove(&SECTION_STORE_STATS), SECTION_STORE_STATS)?;
+        check_stats(&stats, &store)?;
+        let meta = raw_or_missing(map.remove(&SECTION_ENGINE_META), SECTION_ENGINE_META)?;
+        let (kind, cfg) = decode_meta(&meta)?;
+        let store = Arc::new(store);
+        let opts = crate::BuildOpts::with_threads(threads);
+        let filter: Box<dyn CandidateFilter> = match kind {
+            FilterKind::Token => {
+                let idx = take_idx!(map, SECTION_PRIMARY_INDEX, Single32, InvertedIndex<u32>)?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(TokenFilter::from_loaded_arena(store.clone(), cfg, idx))
+            }
+            FilterKind::TokenCompressed => {
+                let idx = take_idx!(
+                    map,
+                    SECTION_PRIMARY_INDEX,
+                    Comp32,
+                    CompressedInvertedIndex<u32>
+                )?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(TokenFilter::from_loaded_compressed(store.clone(), cfg, idx))
+            }
+            FilterKind::TokenBasic => {
+                let idx = take_idx!(map, SECTION_PRIMARY_INDEX, Single32, InvertedIndex<u32>)?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(TokenFilterBasic::from_loaded(store.clone(), cfg, idx))
+            }
+            FilterKind::Grid { side } => {
+                let idx = take_idx!(map, SECTION_PRIMARY_INDEX, Single64, InvertedIndex<u64>)?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(GridFilter::from_loaded(&store, side, cfg, idx))
+            }
+            FilterKind::HashHybrid { side, buckets } => {
+                let idx = take_idx!(map, SECTION_PRIMARY_INDEX, Hybrid64, HybridIndex<u64>)?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(HybridFilter::from_loaded_arena(
+                    store.clone(),
+                    side,
+                    bucket_scheme(buckets),
+                    cfg,
+                    idx,
+                ))
+            }
+            FilterKind::HashHybridCompressed { side, buckets } => {
+                let idx = take_idx!(
+                    map,
+                    SECTION_PRIMARY_INDEX,
+                    CompHybrid64,
+                    CompressedHybridIndex<u64>
+                )?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(HybridFilter::from_loaded_compressed(
+                    store.clone(),
+                    side,
+                    bucket_scheme(buckets),
+                    cfg,
+                    idx,
+                ))
+            }
+            FilterKind::Hierarchical { max_level, budget } => {
+                let scheme_bytes =
+                    raw_or_missing(map.remove(&SECTION_HIER_SCHEME), SECTION_HIER_SCHEME)?;
+                let scheme = decode_scheme(&scheme_bytes, &store, max_level, budget)?;
+                let idx = take_idx!(map, SECTION_PRIMARY_INDEX, Hybrid128, HybridIndex<u128>)?;
+                check_ids(idx.max_object_id(), store.len(), "primary index")?;
+                Box::new(HierarchicalFilter::from_loaded(
+                    store.clone(),
+                    cfg,
+                    scheme,
+                    idx,
+                ))
+            }
+            FilterKind::Adaptive { side } => {
+                let token = take_idx!(map, SECTION_PRIMARY_INDEX, Single32, InvertedIndex<u32>)?;
+                check_ids(token.max_object_id(), store.len(), "primary index")?;
+                let grid = take_idx!(map, SECTION_SECONDARY_INDEX, Single64, InvertedIndex<u64>)?;
+                check_ids(grid.max_object_id(), store.len(), "secondary index")?;
+                Box::new(AdaptiveFilter::from_loaded(
+                    store.clone(),
+                    cfg,
+                    TokenFilter::from_loaded_arena(store.clone(), cfg, token),
+                    GridFilter::from_loaded(&store, side, cfg, grid),
+                ))
+            }
+            FilterKind::KeywordFirst
+            | FilterKind::SpatialFirst
+            | FilterKind::IrTree { .. }
+            | FilterKind::Naive => {
+                return Ok(SealEngine::build_with_opts(store, kind, cfg, opts));
+            }
+        };
+        Ok(SealEngine::from_loaded_parts(store, filter, cfg, kind))
     }
 
     /// [`load_with_threads`](Self::load_with_threads) over bytes
     /// already in memory.
     pub fn load_from_bytes(bytes: &[u8], threads: usize) -> Result<SealEngine, ContainerError> {
         if seal_index::container::looks_like_legacy_codec(bytes) {
-            return Err(ContainerError::Section {
-                section: "container",
-                offset: 0,
-                detail: "file is a raw index codec blob (legacy format), not a .seal container; \
-                         load it with the seal_index from_bytes compatibility entry points"
-                    .to_string(),
-            });
+            return Err(legacy_blob_error());
         }
         let container = Container::parse_with_threads(bytes, threads)?;
         let mut store = decode_store(container.require(SECTION_STORE_OBJECTS)?)?;
@@ -966,6 +1237,97 @@ mod tests {
                 assert_eq!(c, cfg);
             }
         }
+    }
+
+    #[test]
+    fn streaming_load_matches_buffered_for_every_kind() {
+        let kinds = [
+            FilterKind::Token,
+            FilterKind::TokenCompressed,
+            FilterKind::TokenBasic,
+            FilterKind::Grid { side: 16 },
+            FilterKind::HashHybrid {
+                side: 16,
+                buckets: None,
+            },
+            FilterKind::HashHybridCompressed {
+                side: 16,
+                buckets: Some(64),
+            },
+            FilterKind::Hierarchical {
+                max_level: 4,
+                budget: 4,
+            },
+            FilterKind::Adaptive { side: 16 },
+            FilterKind::KeywordFirst,
+        ];
+        let dir = std::env::temp_dir();
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let (store, q) = figure1_store();
+            let e = SealEngine::build(Arc::new(store), kind);
+            let path = dir.join(format!("seal-stream-load-{}-{i}.seal", std::process::id()));
+            e.save(&path).expect("save");
+            for threads in [1usize, 0] {
+                let loaded = SealEngine::load_with_threads(&path, threads).expect("stream load");
+                assert_eq!(loaded.kind(), e.kind());
+                assert_eq!(
+                    loaded.search(&q).sorted().answers,
+                    e.search(&q).sorted().answers,
+                    "streamed engine must answer identically ({kind:?})"
+                );
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn streaming_load_survives_hostile_section_order() {
+        // Meta pushed *after* the index section: the streaming decode
+        // hook cannot see the filter kind mid-stream and must fall
+        // back to raw bytes, decoded at assembly.
+        let e = engine(FilterKind::Token);
+        let f: &TokenFilter = downcast(e.filter(), "TokenFilter").unwrap();
+        let mut w = ContainerWriter::new();
+        w.push_section(SECTION_STORE_STATS, encode_stats(e.store()));
+        w.push_section(SECTION_STORE_OBJECTS, encode_store(e.store()));
+        if let Some(dict) = e.store().dictionary() {
+            w.push_section(SECTION_DICTIONARY, encode_dictionary(dict));
+        }
+        w.push_section(
+            SECTION_PRIMARY_INDEX,
+            f.index().unwrap().to_bytes().as_slice().to_vec(),
+        );
+        w.push_section(SECTION_ENGINE_META, encode_meta(e.kind(), e.config()));
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("seal-stream-hostile-{}.seal", std::process::id()));
+        std::fs::write(&path, w.finish()).expect("write reordered container");
+        let loaded = SealEngine::load_with_threads(&path, 0).expect("hostile order still loads");
+        assert_eq!(loaded.kind(), e.kind());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_load_rejects_legacy_blob_and_corruption() {
+        let e = engine(FilterKind::Token);
+        let f: &TokenFilter = downcast(e.filter(), "TokenFilter").unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("seal-stream-reject-{}.seal", std::process::id()));
+        // A legacy raw codec blob gets the guidance error.
+        std::fs::write(&path, f.index().unwrap().to_bytes().as_slice()).expect("write blob");
+        let err = SealEngine::load(&path)
+            .err()
+            .expect("legacy blob must be rejected");
+        assert!(err.to_string().contains("legacy"), "{err}");
+        // A flipped payload bit surfaces as a section checksum error.
+        let mut bytes = e.to_container_bytes().unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write corrupt");
+        assert!(
+            SealEngine::load_with_threads(&path, 0).is_err(),
+            "corrupt container must fail the streaming load"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,7 +1,9 @@
-//! Compressed posting arenas served **in place**: delta-free varint
-//! object ids plus quantized bound columns, laid out exactly like the
-//! uncompressed columnar CSR form so queries run directly off the
-//! compressed bytes.
+//! Compressed posting arenas served **in place**: quantized bound
+//! columns plus object-id columns in one of two codecs — plain LEB128
+//! varints ([`IdCodec::Varint`], the legacy on-disk kinds) or
+//! delta-coded block bitpacking ([`IdCodec::BlockPacked`], the
+//! default) — laid out exactly like the uncompressed columnar CSR form
+//! so queries run directly off the compressed bytes.
 //!
 //! Table 1 is an index-size study: the paper's inverted lists live on
 //! disk and their footprint is a first-class metric. Earlier revisions
@@ -30,9 +32,17 @@
 //!   offsets: [byte start of group 0, ..., arena.len()]  len = keys+1
 //!   meta:    [(len, scale), ...]            one bound scale per group
 //! arena (one contiguous byte buffer):
-//!   group i, single-bound: [ q_bound: u16 ×len | id: varint ×len ]
+//!   group i, single-bound: [ q_bound: u16 ×len | ids ]
 //!   group i, dual-bound:   [ q_spatial: u16 ×len | q_textual: u16 ×len
-//!                          | id: varint ×len ]
+//!                          | ids ]
+//! ids, IdCodec::Varint:      [ id: varint ×len ]
+//! ids, IdCodec::BlockPacked: [ block ×(len/128) | tail ]
+//!   block: [ width: u8 (1..=64) | first: varint (absolute id)
+//!          | zigzag deltas ×127 at `width` bits, LSB-first,
+//!            ceil(127·width/8) bytes ]
+//!   tail (len%128 ids, only if > 0):
+//!          [ first: varint (absolute id) | zigzag-varint delta
+//!          ×(len%128 − 1) ]
 //! ```
 //!
 //! Because the postings keep the descending-bound order *and* the
@@ -54,8 +64,31 @@
 //! never below the true bound, so pruning with it can only widen the
 //! candidate superset (the same one-sided-error principle the exact
 //! `to_bytes`/`from_bytes` codec relies on, traded for 4× bound
-//! compression). Object ids are LEB128 varints (≤ 2 bytes for ids
-//! below 16 384 instead of a 4-byte word plus padding).
+//! compression).
+//!
+//! # Id codecs
+//!
+//! Under [`IdCodec::Varint`] object ids are LEB128 varints (≤ 2 bytes
+//! for ids below 16 384 instead of a 4-byte word plus padding). Under
+//! [`IdCodec::BlockPacked`] — the default since the CSR finalize order
+//! (descending bound, ties by **ascending id**) makes equal-bound runs
+//! locally sorted — ids are delta-coded and bit-packed in 128-id
+//! blocks: each full block stores one bit width, the first id as an
+//! absolute varint, and 127 zigzag-encoded deltas packed LSB-first at
+//! that width, so an equal-bound run of near-consecutive ids costs a
+//! few *bits* per id instead of 1–5 bytes. Deltas are zigzagged
+//! because a run boundary (bound drops, id restarts low) produces one
+//! negative delta. A partial tail block (fewer than 128 ids) falls
+//! back to delta-varint. The block decoder is branch-free per delta
+//! (one shift/mask accumulator loop) and decodes into the caller's
+//! scratch; [`qualifying_into`] decodes only
+//! `ceil(cut/128)` blocks and truncates to the exact cut.
+//!
+//! Incremental re-encode: [`CompressedInvertedIndex::recompress`]
+//! reuses the compressed bytes of every group whose key was *not*
+//! folded by the most recent `finalize()` (the CSR core records that
+//! key set), so refresh cost is ~linear in the bytes that actually
+//! changed rather than the whole corpus.
 //!
 //! Arenas are validated up front — at [`compress`] time by
 //! construction, at deserialization time by a full decode walk in
@@ -100,6 +133,248 @@ fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
             return Some(out);
         }
         shift += 7;
+    }
+}
+
+/// How object-id columns are encoded inside a compressed arena. See
+/// the [module docs](self) for the byte layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdCodec {
+    /// Plain LEB128 varints, one per id (the legacy on-disk kinds).
+    Varint,
+    /// Delta-coded 128-id blocks, bit-packed at a per-block width;
+    /// partial tail as delta-varint. The default.
+    BlockPacked,
+}
+
+/// Ids per bit-packed block.
+pub(crate) const BLOCK_IDS: usize = 128;
+/// Deltas per full block (the first id is stored absolute).
+pub(crate) const BLOCK_DELTAS: usize = BLOCK_IDS - 1;
+
+/// Zigzag: maps signed deltas onto unsigned so small magnitudes of
+/// either sign pack into few bits (run boundaries go negative).
+#[inline]
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Encodes one id column in the block-packed layout (see module docs):
+/// full 128-id blocks bit-packed at the block's minimal width, the
+/// partial tail delta-varint.
+fn put_ids_blockpacked(buf: &mut BytesMut, ids: &[ObjId]) {
+    let mut chunks = ids.chunks_exact(BLOCK_IDS);
+    for block in &mut chunks {
+        let first = block[0];
+        let mut deltas = [0u64; BLOCK_DELTAS];
+        let mut width = 1u32;
+        let mut prev = i64::from(first);
+        for (d, &id) in deltas.iter_mut().zip(&block[1..]) {
+            let z = zigzag(i64::from(id) - prev);
+            prev = i64::from(id);
+            *d = z;
+            width = width.max(64 - z.leading_zeros());
+        }
+        buf.put_u8(width as u8);
+        put_varint(buf, u64::from(first));
+        // LSB-first accumulator; at most 7 leftover bits + 64 new ones
+        // are ever in flight, so a u128 never overflows.
+        let mut acc = 0u128;
+        let mut nbits = 0u32;
+        for &z in &deltas {
+            acc |= u128::from(z) << nbits;
+            nbits += width;
+            while nbits >= 8 {
+                buf.put_u8((acc & 0xFF) as u8);
+                acc >>= 8;
+                nbits -= 8;
+            }
+        }
+        if nbits > 0 {
+            buf.put_u8((acc & 0xFF) as u8);
+        }
+    }
+    let tail = chunks.remainder();
+    if let Some((&first, rest)) = tail.split_first() {
+        put_varint(buf, u64::from(first));
+        let mut prev = i64::from(first);
+        for &id in rest {
+            put_varint(buf, zigzag(i64::from(id) - prev));
+            prev = i64::from(id);
+        }
+    }
+}
+
+/// The delta-unpacking mask for a block width (1..=64 bits).
+#[inline]
+fn width_mask(width: usize) -> u128 {
+    if width == 64 {
+        u128::from(u64::MAX)
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+/// Walks one block-packed id column starting at `pos`, validating
+/// every invariant the infallible decoder later relies on: widths in
+/// `1..=64`, enough packed bytes per block, every reconstructed id in
+/// `0..=u32::MAX` (checked arithmetic — a hostile delta cannot wrap).
+/// Pushes decoded ids into `out` when given. Returns the position
+/// after the column, or `None` on any violation.
+fn walk_blockpacked(
+    bytes: &[u8],
+    mut pos: usize,
+    len: usize,
+    mut out: Option<&mut Vec<ObjId>>,
+) -> Option<usize> {
+    let max_id = i64::from(u32::MAX);
+    for _ in 0..len / BLOCK_IDS {
+        let &width_byte = bytes.get(pos)?;
+        pos += 1;
+        let width = usize::from(width_byte);
+        if width == 0 || width > 64 {
+            return None;
+        }
+        let first = get_varint(bytes, &mut pos)?;
+        if first > u64::from(u32::MAX) {
+            return None;
+        }
+        if let Some(v) = out.as_deref_mut() {
+            v.push(first as ObjId);
+        }
+        let packed = (BLOCK_DELTAS * width).div_ceil(8);
+        if bytes.len() - pos < packed {
+            return None;
+        }
+        let mask = width_mask(width);
+        let mut prev = first as i64;
+        let mut acc = 0u128;
+        let mut nbits = 0usize;
+        let mut at = pos;
+        for _ in 0..BLOCK_DELTAS {
+            while nbits < width {
+                acc |= u128::from(bytes[at]) << nbits;
+                at += 1;
+                nbits += 8;
+            }
+            let z = (acc & mask) as u64;
+            acc >>= width;
+            nbits -= width;
+            let id = prev.checked_add(unzigzag(z))?;
+            if !(0..=max_id).contains(&id) {
+                return None;
+            }
+            prev = id;
+            if let Some(v) = out.as_deref_mut() {
+                v.push(id as ObjId);
+            }
+        }
+        pos += packed;
+    }
+    let tail = len % BLOCK_IDS;
+    if tail > 0 {
+        let first = get_varint(bytes, &mut pos)?;
+        if first > u64::from(u32::MAX) {
+            return None;
+        }
+        if let Some(v) = out.as_deref_mut() {
+            v.push(first as ObjId);
+        }
+        let mut prev = first as i64;
+        for _ in 1..tail {
+            let id = prev.checked_add(unzigzag(get_varint(bytes, &mut pos)?))?;
+            if !(0..=max_id).contains(&id) {
+                return None;
+            }
+            prev = id;
+            if let Some(v) = out.as_deref_mut() {
+                v.push(id as ObjId);
+            }
+        }
+    }
+    Some(pos)
+}
+
+/// The exact-minimal probe-path decode: unpacks only the
+/// `ceil(cut/128)` blocks the qualifying prefix touches (plus the
+/// varint tail when the cut reaches it) into `scratch`, then truncates
+/// to exactly `cut` ids. Infallible — the arena was validated at
+/// construction or load.
+fn decode_blockpacked_into(bytes: &[u8], len: usize, cut: usize, scratch: &mut Vec<ObjId>) {
+    const VALID: &str = "arena validated at construction";
+    let full_blocks = len / BLOCK_IDS;
+    let need_blocks = cut.div_ceil(BLOCK_IDS).min(full_blocks);
+    let mut pos = 0usize;
+    for _ in 0..need_blocks {
+        let width = usize::from(bytes[pos]);
+        pos += 1;
+        let first = get_varint(bytes, &mut pos).expect(VALID);
+        scratch.push(first as ObjId);
+        let mask = width_mask(width);
+        let mut prev = first as i64;
+        let mut acc = 0u128;
+        let mut nbits = 0usize;
+        for _ in 0..BLOCK_DELTAS {
+            while nbits < width {
+                acc |= u128::from(bytes[pos]) << nbits;
+                pos += 1;
+                nbits += 8;
+            }
+            let z = (acc & mask) as u64;
+            acc >>= width;
+            nbits -= width;
+            prev += unzigzag(z);
+            scratch.push(prev as ObjId);
+        }
+        // The per-delta loads consume exactly ceil(127·width/8) bytes,
+        // so `pos` already sits at the next block header.
+    }
+    if cut > full_blocks * BLOCK_IDS {
+        let first = get_varint(bytes, &mut pos).expect(VALID);
+        scratch.push(first as ObjId);
+        let mut prev = i64::from(first as ObjId);
+        for _ in 1..len % BLOCK_IDS {
+            prev += unzigzag(get_varint(bytes, &mut pos).expect(VALID));
+            scratch.push(prev as ObjId);
+        }
+    }
+    scratch.truncate(cut);
+}
+
+/// Encodes one id column under `codec`.
+fn put_ids(buf: &mut BytesMut, codec: IdCodec, ids: &[ObjId]) {
+    match codec {
+        IdCodec::Varint => {
+            for &id in ids {
+                put_varint(buf, u64::from(id));
+            }
+        }
+        IdCodec::BlockPacked => put_ids_blockpacked(buf, ids),
+    }
+}
+
+/// Decodes a whole id column (both codecs) into `out`, cleared first.
+/// Infallible — arenas are validated at construction or load. Used by
+/// the full-list paths (`max_object_id`, `decompress`).
+fn decode_ids(codec: IdCodec, bytes: &[u8], len: usize, out: &mut Vec<ObjId>) {
+    out.clear();
+    match codec {
+        IdCodec::Varint => {
+            let mut pos = 0usize;
+            for _ in 0..len {
+                let id = get_varint(bytes, &mut pos).expect("arena validated at construction");
+                out.push(id as ObjId);
+            }
+        }
+        IdCodec::BlockPacked => {
+            walk_blockpacked(bytes, 0, len, Some(out)).expect("arena validated at construction");
+        }
     }
 }
 
@@ -265,6 +540,32 @@ pub struct CompressedInvertedIndex<K: Ord> {
     pub(crate) arena: Bytes,
     /// Total postings across all groups.
     pub(crate) posting_count: usize,
+    /// How the id columns are encoded.
+    pub(crate) codec: IdCodec,
+    /// Generation of the source index this was compressed from (0 when
+    /// unknown, e.g. after deserialization) — gates the incremental
+    /// [`recompress`](Self::recompress) fast path.
+    pub(crate) source_generation: u64,
+}
+
+/// Encodes one single-bound group (quantized bound column + id column
+/// under `codec`) onto `buf`; returns its directory entry.
+fn encode_single_group(
+    buf: &mut BytesMut,
+    codec: IdCodec,
+    bounds: &[f64],
+    ids: &[ObjId],
+) -> GroupMeta {
+    let max = bounds.iter().copied().fold(0.0f64, f64::max);
+    let quant = Quantizer::for_max(max);
+    for &b in bounds {
+        buf.put_u16_le(quant.quantize(b));
+    }
+    put_ids(buf, codec, ids);
+    GroupMeta {
+        len: bounds.len() as u32,
+        quant,
+    }
 }
 
 impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
@@ -278,6 +579,13 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
     /// iterator refuses to silently drop them — or if any bound is
     /// non-finite (unquantizable).
     pub fn compress(index: &InvertedIndex<K>) -> Self {
+        Self::compress_with_codec(index, IdCodec::BlockPacked)
+    }
+
+    /// [`compress`](Self::compress) with an explicit id codec (the
+    /// default is [`IdCodec::BlockPacked`]; benches and the legacy
+    /// on-disk kinds use [`IdCodec::Varint`]).
+    pub fn compress_with_codec(index: &InvertedIndex<K>, codec: IdCodec) -> Self {
         let mut keys = Vec::with_capacity(index.key_count());
         let mut offsets = Vec::with_capacity(index.key_count() + 1);
         let mut meta = Vec::with_capacity(index.key_count());
@@ -285,20 +593,14 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
         offsets.push(0);
         let mut posting_count = 0usize;
         for (key, group) in index.iter() {
-            let max = group.bounds.iter().copied().fold(0.0f64, f64::max);
-            let quant = Quantizer::for_max(max);
-            for &b in group.bounds {
-                buf.put_u16_le(quant.quantize(b));
-            }
-            for &id in group.ids {
-                put_varint(&mut buf, u64::from(id));
-            }
+            meta.push(encode_single_group(
+                &mut buf,
+                codec,
+                group.bounds,
+                group.ids,
+            ));
             keys.push(key);
             offsets.push(buf.len());
-            meta.push(GroupMeta {
-                len: group.len() as u32,
-                quant,
-            });
             posting_count += group.len();
         }
         CompressedInvertedIndex {
@@ -307,7 +609,72 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
             meta,
             arena: buf.freeze(),
             posting_count,
+            codec,
+            source_generation: index.generation(),
         }
+    }
+
+    /// Re-compresses after a refresh, re-encoding **only** the groups
+    /// the most recent `finalize()` folded (the CSR core records that
+    /// key set) and byte-copying every untouched group straight out of
+    /// `prev`'s arena — cost ~linear in the bytes that changed.
+    ///
+    /// The fast path applies only when `index` is exactly one
+    /// generation ahead of the one `prev` was compressed from (and
+    /// `prev` was not deserialized, which loses the provenance);
+    /// otherwise this falls back to a full
+    /// [`compress_with_codec`](Self::compress_with_codec) under
+    /// `prev`'s codec.
+    pub fn recompress(index: &InvertedIndex<K>, prev: &Self) -> Self {
+        let incremental =
+            prev.source_generation != 0 && index.generation() == prev.source_generation + 1;
+        if !incremental {
+            return Self::compress_with_codec(index, prev.codec);
+        }
+        let changed: std::collections::HashSet<K> =
+            index.last_folded_keys().iter().copied().collect();
+        let mut keys = Vec::with_capacity(index.key_count());
+        let mut offsets = Vec::with_capacity(index.key_count() + 1);
+        let mut meta = Vec::with_capacity(index.key_count());
+        let mut buf = BytesMut::with_capacity(prev.arena.len());
+        offsets.push(0);
+        let mut posting_count = 0usize;
+        for (key, group) in index.iter() {
+            let reused = !changed.contains(&key)
+                && match prev.keys.binary_search(&key) {
+                    Ok(i) => {
+                        buf.put_slice(&prev.arena.as_slice()[prev.offsets[i]..prev.offsets[i + 1]]);
+                        meta.push(prev.meta[i]);
+                        true
+                    }
+                    Err(_) => false,
+                };
+            if !reused {
+                meta.push(encode_single_group(
+                    &mut buf,
+                    prev.codec,
+                    group.bounds,
+                    group.ids,
+                ));
+            }
+            keys.push(key);
+            offsets.push(buf.len());
+            posting_count += group.len();
+        }
+        CompressedInvertedIndex {
+            keys,
+            offsets,
+            meta,
+            arena: buf.freeze(),
+            posting_count,
+            codec: prev.codec,
+            source_generation: index.generation(),
+        }
+    }
+
+    /// The id codec this arena was encoded with.
+    pub fn codec(&self) -> IdCodec {
+        self.codec
     }
 
     /// Number of keys.
@@ -326,6 +693,14 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
             + self.keys.len() * std::mem::size_of::<K>()
             + self.offsets.len() * std::mem::size_of::<usize>()
             + self.meta.len() * std::mem::size_of::<GroupMeta>()
+    }
+
+    /// Exact bytes of the **id columns** alone: the arena minus the
+    /// fixed 2-bytes-per-posting quantized bound column. This is the
+    /// quantity the [`IdCodec`] choice actually changes — bound
+    /// columns and directory are codec-invariant.
+    pub fn id_column_bytes(&self) -> usize {
+        self.arena.len() - 2 * self.posting_count
     }
 
     /// Length of the list for `key` (0 if absent).
@@ -354,14 +729,16 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
     /// Decodes the object ids of the qualifying postings `I_c(key)`
     /// into `scratch` (cleared first) and returns them as a slice —
     /// the same id-slice contract as the uncompressed
-    /// [`InvertedIndex::qualifying`], with a varint decode standing in
-    /// for the in-place column suffix.
+    /// [`InvertedIndex::qualifying`], with an id-column decode standing
+    /// in for the in-place column suffix.
     ///
     /// The cut runs over the compressed bound column in the quantized
-    /// domain; only the qualifying prefix's ids are varint-decoded
-    /// (bounds are never dequantized — candidates need ids only). Once
-    /// `scratch` has grown to the largest qualifying prefix it is only
-    /// reused — the warm path performs **zero heap allocations**.
+    /// domain; only the qualifying prefix's ids are decoded (bounds
+    /// are never dequantized — candidates need ids only): a varint
+    /// walk of `cut` ids under [`IdCodec::Varint`], the exact-minimal
+    /// `ceil(cut/128)`-block unpack under [`IdCodec::BlockPacked`].
+    /// Once `scratch` has grown to the largest qualifying prefix it is
+    /// only reused — the warm path performs **zero heap allocations**.
     /// Because quantized bounds only ever round up, the result is a
     /// superset of the uncompressed index's qualifying set (never
     /// missing an answer; each bound inflated by at most one
@@ -377,10 +754,15 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
         let bounds = &group[..2 * len];
         let cut = quantized_cut(bounds, len, m.quant, c);
         let ids = &group[2 * len..];
-        let mut pos = 0usize;
-        for _ in 0..cut {
-            let id = get_varint(ids, &mut pos).expect("arena validated at construction");
-            scratch.push(id as ObjId);
+        match self.codec {
+            IdCodec::Varint => {
+                let mut pos = 0usize;
+                for _ in 0..cut {
+                    let id = get_varint(ids, &mut pos).expect("arena validated at construction");
+                    scratch.push(id as ObjId);
+                }
+            }
+            IdCodec::BlockPacked => decode_blockpacked_into(ids, len, cut, scratch),
         }
         &scratch[..]
     }
@@ -391,14 +773,12 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
     /// probe indexes a per-object scratch table with an id.
     pub fn max_object_id(&self) -> Option<ObjId> {
         let mut max = None;
+        let mut decoded = Vec::new();
         for i in 0..self.keys.len() {
             let len = self.meta[i].len as usize;
             let group = &self.arena.as_slice()[self.offsets[i]..self.offsets[i + 1]];
-            let ids = &group[2 * len..];
-            let mut pos = 0usize;
-            for _ in 0..len {
-                let id =
-                    get_varint(ids, &mut pos).expect("arena validated at construction") as ObjId;
+            decode_ids(self.codec, &group[2 * len..], len, &mut decoded);
+            for &id in &decoded {
                 max = Some(max.map_or(id, |m: ObjId| m.max(id)));
             }
         }
@@ -410,16 +790,15 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedInvertedIndex<K> {
     /// quantization step).
     pub fn decompress(&self) -> InvertedIndex<K> {
         let mut out = InvertedIndex::new();
+        let mut decoded = Vec::new();
         for (i, key) in self.keys.iter().enumerate() {
             let m = self.meta[i];
             let len = m.len as usize;
             let group = &self.arena.as_slice()[self.offsets[i]..self.offsets[i + 1]];
             let bounds = &group[..2 * len];
-            let ids = &group[2 * len..];
-            let mut pos = 0usize;
-            for j in 0..len {
-                let id = get_varint(ids, &mut pos).expect("arena validated at construction");
-                out.push(*key, id as ObjId, m.quant.dequantize(column_u16(bounds, j)));
+            decode_ids(self.codec, &group[2 * len..], len, &mut decoded);
+            for (j, &id) in decoded.iter().enumerate() {
+                out.push(*key, id, m.quant.dequantize(column_u16(bounds, j)));
             }
         }
         out.finalize();
@@ -449,6 +828,39 @@ pub struct CompressedHybridIndex<K: Ord> {
     pub(crate) arena: Bytes,
     /// Total postings across all groups.
     pub(crate) posting_count: usize,
+    /// How the id columns are encoded.
+    pub(crate) codec: IdCodec,
+    /// Generation of the source index this was compressed from (0 when
+    /// unknown, e.g. after deserialization) — gates the incremental
+    /// [`recompress`](Self::recompress) fast path.
+    pub(crate) source_generation: u64,
+}
+
+/// Encodes one dual-bound group (two quantized bound columns + id
+/// column under `codec`) onto `buf`; returns its directory entry.
+fn encode_dual_group(
+    buf: &mut BytesMut,
+    codec: IdCodec,
+    spatial_bounds: &[f64],
+    textual_bounds: &[f64],
+    ids: &[ObjId],
+) -> DualGroupMeta {
+    let smax = spatial_bounds.iter().copied().fold(0.0f64, f64::max);
+    let tmax = textual_bounds.iter().copied().fold(0.0f64, f64::max);
+    let spatial = Quantizer::for_max(smax);
+    let textual = Quantizer::for_max(tmax);
+    for &sb in spatial_bounds {
+        buf.put_u16_le(spatial.quantize(sb));
+    }
+    for &tb in textual_bounds {
+        buf.put_u16_le(textual.quantize(tb));
+    }
+    put_ids(buf, codec, ids);
+    DualGroupMeta {
+        len: spatial_bounds.len() as u32,
+        spatial,
+        textual,
+    }
 }
 
 impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
@@ -458,6 +870,11 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
     /// # Panics
     /// If postings are staged, or any bound is non-finite.
     pub fn compress(index: &HybridIndex<K>) -> Self {
+        Self::compress_with_codec(index, IdCodec::BlockPacked)
+    }
+
+    /// [`compress`](Self::compress) with an explicit id codec.
+    pub fn compress_with_codec(index: &HybridIndex<K>, codec: IdCodec) -> Self {
         let mut keys = Vec::with_capacity(index.key_count());
         let mut offsets = Vec::with_capacity(index.key_count() + 1);
         let mut meta = Vec::with_capacity(index.key_count());
@@ -465,26 +882,15 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
         offsets.push(0);
         let mut posting_count = 0usize;
         for (key, group) in index.iter() {
-            let smax = group.spatial_bounds.iter().copied().fold(0.0f64, f64::max);
-            let tmax = group.textual_bounds.iter().copied().fold(0.0f64, f64::max);
-            let spatial = Quantizer::for_max(smax);
-            let textual = Quantizer::for_max(tmax);
-            for &sb in group.spatial_bounds {
-                buf.put_u16_le(spatial.quantize(sb));
-            }
-            for &tb in group.textual_bounds {
-                buf.put_u16_le(textual.quantize(tb));
-            }
-            for &id in group.ids {
-                put_varint(&mut buf, u64::from(id));
-            }
+            meta.push(encode_dual_group(
+                &mut buf,
+                codec,
+                group.spatial_bounds,
+                group.textual_bounds,
+                group.ids,
+            ));
             keys.push(key);
             offsets.push(buf.len());
-            meta.push(DualGroupMeta {
-                len: group.len() as u32,
-                spatial,
-                textual,
-            });
             posting_count += group.len();
         }
         CompressedHybridIndex {
@@ -493,7 +899,66 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
             meta,
             arena: buf.freeze(),
             posting_count,
+            codec,
+            source_generation: index.generation(),
         }
+    }
+
+    /// Re-compresses after a refresh, byte-copying every group the
+    /// most recent `finalize()` did **not** fold — the dual-bound twin
+    /// of [`CompressedInvertedIndex::recompress`], with the same
+    /// one-generation-ahead gate and full-recompress fallback.
+    pub fn recompress(index: &HybridIndex<K>, prev: &Self) -> Self {
+        let incremental =
+            prev.source_generation != 0 && index.generation() == prev.source_generation + 1;
+        if !incremental {
+            return Self::compress_with_codec(index, prev.codec);
+        }
+        let changed: std::collections::HashSet<K> =
+            index.last_folded_keys().iter().copied().collect();
+        let mut keys = Vec::with_capacity(index.key_count());
+        let mut offsets = Vec::with_capacity(index.key_count() + 1);
+        let mut meta = Vec::with_capacity(index.key_count());
+        let mut buf = BytesMut::with_capacity(prev.arena.len());
+        offsets.push(0);
+        let mut posting_count = 0usize;
+        for (key, group) in index.iter() {
+            let reused = !changed.contains(&key)
+                && match prev.keys.binary_search(&key) {
+                    Ok(i) => {
+                        buf.put_slice(&prev.arena.as_slice()[prev.offsets[i]..prev.offsets[i + 1]]);
+                        meta.push(prev.meta[i]);
+                        true
+                    }
+                    Err(_) => false,
+                };
+            if !reused {
+                meta.push(encode_dual_group(
+                    &mut buf,
+                    prev.codec,
+                    group.spatial_bounds,
+                    group.textual_bounds,
+                    group.ids,
+                ));
+            }
+            keys.push(key);
+            offsets.push(buf.len());
+            posting_count += group.len();
+        }
+        CompressedHybridIndex {
+            keys,
+            offsets,
+            meta,
+            arena: buf.freeze(),
+            posting_count,
+            codec: prev.codec,
+            source_generation: index.generation(),
+        }
+    }
+
+    /// The id codec this arena was encoded with.
+    pub fn codec(&self) -> IdCodec {
+        self.codec
     }
 
     /// Number of keys.
@@ -512,6 +977,14 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
             + self.keys.len() * std::mem::size_of::<K>()
             + self.offsets.len() * std::mem::size_of::<usize>()
             + self.meta.len() * std::mem::size_of::<DualGroupMeta>()
+    }
+
+    /// Exact bytes of the **id columns** alone: the arena minus the
+    /// two fixed 2-bytes-per-posting quantized bound columns (spatial
+    /// and textual). This is the quantity the [`IdCodec`] choice
+    /// actually changes.
+    pub fn id_column_bytes(&self) -> usize {
+        self.arena.len() - 4 * self.posting_count
     }
 
     /// Length of the list for `key` (0 if absent).
@@ -550,11 +1023,29 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
             return &[];
         };
         let ids = &group[4 * len..];
-        let mut pos = 0usize;
-        for j in 0..cut {
-            let id = get_varint(ids, &mut pos).expect("arena validated at construction");
-            if column_u16(tbounds, j) >= qt {
-                scratch.push(id as ObjId);
+        match self.codec {
+            IdCodec::Varint => {
+                let mut pos = 0usize;
+                for j in 0..cut {
+                    let id = get_varint(ids, &mut pos).expect("arena validated at construction");
+                    if column_u16(tbounds, j) >= qt {
+                        scratch.push(id as ObjId);
+                    }
+                }
+            }
+            IdCodec::BlockPacked => {
+                // Block-decode the spatial prefix (positions stay
+                // aligned with the textual column), then filter in
+                // place — still zero allocations on the warm path.
+                decode_blockpacked_into(ids, len, cut, scratch);
+                let mut w = 0usize;
+                for j in 0..cut {
+                    if column_u16(tbounds, j) >= qt {
+                        scratch[w] = scratch[j];
+                        w += 1;
+                    }
+                }
+                scratch.truncate(w);
             }
         }
         &scratch[..]
@@ -565,14 +1056,12 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
     /// [`CompressedInvertedIndex::max_object_id`].
     pub fn max_object_id(&self) -> Option<ObjId> {
         let mut max = None;
+        let mut decoded = Vec::new();
         for i in 0..self.keys.len() {
             let len = self.meta[i].len as usize;
             let group = &self.arena.as_slice()[self.offsets[i]..self.offsets[i + 1]];
-            let ids = &group[4 * len..];
-            let mut pos = 0usize;
-            for _ in 0..len {
-                let id =
-                    get_varint(ids, &mut pos).expect("arena validated at construction") as ObjId;
+            decode_ids(self.codec, &group[4 * len..], len, &mut decoded);
+            for &id in &decoded {
                 max = Some(max.map_or(id, |m: ObjId| m.max(id)));
             }
         }
@@ -584,19 +1073,18 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
     /// step).
     pub fn decompress(&self) -> HybridIndex<K> {
         let mut out = HybridIndex::new();
+        let mut decoded = Vec::new();
         for (i, key) in self.keys.iter().enumerate() {
             let m = self.meta[i];
             let len = m.len as usize;
             let group = &self.arena.as_slice()[self.offsets[i]..self.offsets[i + 1]];
             let sbounds = &group[..2 * len];
             let tbounds = &group[2 * len..4 * len];
-            let ids = &group[4 * len..];
-            let mut pos = 0usize;
-            for j in 0..len {
-                let id = get_varint(ids, &mut pos).expect("arena validated at construction");
+            decode_ids(self.codec, &group[4 * len..], len, &mut decoded);
+            for (j, &id) in decoded.iter().enumerate() {
                 out.push(
                     *key,
-                    id as ObjId,
+                    id,
                     m.spatial.dequantize(column_u16(sbounds, j)),
                     m.textual.dequantize(column_u16(tbounds, j)),
                 );
@@ -609,10 +1097,18 @@ impl<K: Ord + Copy + std::hash::Hash + Sync> CompressedHybridIndex<K> {
 
 /// Walks one serialized group, checking that the bound columns fit,
 /// the quantized primary column is non-increasing (the CSR order
-/// survived), and exactly `len` varint ids ≤ `u32::MAX` follow.
-/// Returns the group's byte length. Shared by the deserializers in
-/// [`crate::serialize`] so the probe path can stay infallible.
-pub(crate) fn validate_group(bytes: &[u8], len: usize, columns: usize) -> Option<usize> {
+/// survived), and exactly `len` ids ≤ `u32::MAX` follow under `codec`
+/// (for [`IdCodec::BlockPacked`] that includes block widths in
+/// `1..=64`, per-block byte availability, and overflow-checked delta
+/// reconstruction). Returns the group's byte length. Shared by the
+/// deserializers in [`crate::serialize`] so the probe path can stay
+/// infallible.
+pub(crate) fn validate_group(
+    bytes: &[u8],
+    len: usize,
+    columns: usize,
+    codec: IdCodec,
+) -> Option<usize> {
     let header = 2 * len * columns;
     if bytes.len() < header {
         return None;
@@ -623,14 +1119,19 @@ pub(crate) fn validate_group(bytes: &[u8], len: usize, columns: usize) -> Option
             return None;
         }
     }
-    let mut pos = header;
-    for _ in 0..len {
-        let id = get_varint(bytes, &mut pos)?;
-        if id > u64::from(u32::MAX) {
-            return None;
+    match codec {
+        IdCodec::Varint => {
+            let mut pos = header;
+            for _ in 0..len {
+                let id = get_varint(bytes, &mut pos)?;
+                if id > u64::from(u32::MAX) {
+                    return None;
+                }
+            }
+            Some(pos)
         }
+        IdCodec::BlockPacked => walk_blockpacked(bytes, header, len, None),
     }
-    Some(pos)
 }
 
 #[cfg(test)]
@@ -884,23 +1385,178 @@ mod tests {
 
     #[test]
     fn validate_group_accepts_built_groups_and_rejects_corruption() {
-        let idx = sample_index(64, 10.0);
-        let c = CompressedInvertedIndex::compress(&idx);
-        for i in 0..c.keys.len() {
-            let bytes = &c.arena.as_slice()[c.offsets[i]..c.offsets[i + 1]];
-            assert_eq!(
-                validate_group(bytes, c.meta[i].len as usize, 1),
-                Some(bytes.len())
-            );
-            // A truncated group fails.
-            assert_eq!(
-                validate_group(&bytes[..bytes.len() - 1], c.meta[i].len as usize, 1),
-                None
-            );
+        for codec in [IdCodec::Varint, IdCodec::BlockPacked] {
+            let idx = sample_index(200, 10.0);
+            let c = CompressedInvertedIndex::compress_with_codec(&idx, codec);
+            for i in 0..c.keys.len() {
+                let bytes = &c.arena.as_slice()[c.offsets[i]..c.offsets[i + 1]];
+                assert_eq!(
+                    validate_group(bytes, c.meta[i].len as usize, 1, codec),
+                    Some(bytes.len())
+                );
+                // A truncated group fails.
+                assert_eq!(
+                    validate_group(&bytes[..bytes.len() - 1], c.meta[i].len as usize, 1, codec),
+                    None
+                );
+            }
         }
         // An out-of-order bound column fails.
         let bad = [0u8, 0, 255, 255, 1, 1]; // q0=0 < q1=65535, two ids
-        assert_eq!(validate_group(&bad, 2, 1), None);
+        assert_eq!(validate_group(&bad, 2, 1, IdCodec::Varint), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrips_all_signs() {
+        for d in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            1 << 20,
+            -(1 << 20),
+            i64::MAX,
+            i64::MIN,
+        ] {
+            assert_eq!(unzigzag(zigzag(d)), d, "delta {d}");
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn blockpacked_roundtrips_exact_multiples_and_tails() {
+        // Lengths straddling every block-boundary shape: tail-only,
+        // exactly one block, block + 1, multiple blocks + tail.
+        for n in [1usize, 2, 127, 128, 129, 255, 256, 257, 300] {
+            let ids: Vec<ObjId> = (0..n).map(|i| (i as u32).wrapping_mul(7) % 4096).collect();
+            let mut buf = BytesMut::new();
+            put_ids_blockpacked(&mut buf, &ids);
+            let frozen = buf.freeze();
+            let mut out = Vec::new();
+            let end = walk_blockpacked(frozen.as_slice(), 0, n, Some(&mut out));
+            assert_eq!(end, Some(frozen.len()), "len {n}: column length");
+            assert_eq!(out, ids, "len {n}: ids");
+            // The exact-minimal decoder agrees at every cut.
+            for cut in [0, 1, n / 2, n.saturating_sub(1), n] {
+                let mut scratch = Vec::new();
+                decode_blockpacked_into(frozen.as_slice(), n, cut, &mut scratch);
+                assert_eq!(scratch, ids[..cut], "len {n} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn blockpacked_rejects_bad_widths_and_boundary_truncation() {
+        // 256 sorted ids -> two full blocks, no tail. First byte of the
+        // id column is a block width.
+        let ids: Vec<ObjId> = (0..256u32).map(|i| i * 3).collect();
+        let mut buf = BytesMut::new();
+        put_ids_blockpacked(&mut buf, &ids);
+        let good = buf.freeze();
+        assert_eq!(
+            walk_blockpacked(good.as_slice(), 0, 256, None),
+            Some(good.len())
+        );
+        for bad_width in [0u8, 65, 255] {
+            let mut corrupt = good.as_slice().to_vec();
+            corrupt[0] = bad_width;
+            assert_eq!(
+                walk_blockpacked(&corrupt, 0, 256, None),
+                None,
+                "width {bad_width} must be rejected"
+            );
+        }
+        // Truncation at every byte boundary fails, never panics.
+        for cut in 0..good.len() {
+            assert_eq!(
+                walk_blockpacked(&good.as_slice()[..cut], 0, 256, None),
+                None,
+                "truncated at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn blockpacked_rejects_id_overflow_from_hostile_deltas() {
+        // A tail block whose second delta pushes the id above u32::MAX
+        // must fail the checked reconstruction.
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, u64::from(u32::MAX)); // first id: max
+        put_varint(&mut buf, zigzag(1)); // +1 overflows the id domain
+        let frozen = buf.freeze();
+        assert_eq!(walk_blockpacked(frozen.as_slice(), 0, 2, None), None);
+    }
+
+    #[test]
+    fn blockpacked_matches_varint_codec_answers_and_shrinks_runs() {
+        let idx = sample_index(400, 20.0);
+        let packed = CompressedInvertedIndex::compress_with_codec(&idx, IdCodec::BlockPacked);
+        let varint = CompressedInvertedIndex::compress_with_codec(&idx, IdCodec::Varint);
+        assert_eq!(packed.codec(), IdCodec::BlockPacked);
+        assert_eq!(varint.codec(), IdCodec::Varint);
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        for key in 0u64..8 {
+            for thr in [0.0, 1.0, 5.0, 12.5, 19.9, 100.0] {
+                assert_eq!(
+                    packed.qualifying_into(&key, thr, &mut s1),
+                    varint.qualifying_into(&key, thr, &mut s2),
+                    "key {key} thr {thr}"
+                );
+            }
+        }
+        assert_eq!(packed.max_object_id(), varint.max_object_id());
+        assert_eq!(packed.posting_count(), varint.posting_count());
+        // Long equal-bound runs of ascending ids is where bitpacking
+        // pays: a dense corpus with few distinct bounds.
+        let mut dense: InvertedIndex<u64> = InvertedIndex::new();
+        for obj in 0..20_000u32 {
+            dense.push(1, obj, f64::from(obj % 4));
+        }
+        dense.finalize();
+        let p = CompressedInvertedIndex::compress_with_codec(&dense, IdCodec::BlockPacked);
+        let v = CompressedInvertedIndex::compress_with_codec(&dense, IdCodec::Varint);
+        assert!(
+            p.arena.len() * 4 < v.arena.len() * 3,
+            "blockpacked {} vs varint {}: expected ≥ 25% arena shrink",
+            p.arena.len(),
+            v.arena.len()
+        );
+    }
+
+    #[test]
+    fn recompress_reuses_unchanged_groups_and_matches_full_rebuild() {
+        let mut idx = sample_index(150, 30.0);
+        let first = CompressedInvertedIndex::compress(&idx);
+        assert_eq!(first.source_generation, idx.generation());
+        // Refresh two of the eight keys (plus one brand-new key).
+        for i in 0..40u32 {
+            idx.push(2, 100_000 + i * 5, f64::from(i));
+            idx.push(5, 200_000 + i * 7, f64::from(i) * 0.5);
+            idx.push(99, i, 1.0);
+        }
+        idx.finalize();
+        let incremental = CompressedInvertedIndex::recompress(&idx, &first);
+        let full = CompressedInvertedIndex::compress(&idx);
+        assert_eq!(incremental.keys, full.keys);
+        assert_eq!(incremental.offsets, full.offsets);
+        assert_eq!(incremental.meta, full.meta);
+        assert_eq!(incremental.arena.as_slice(), full.arena.as_slice());
+        assert_eq!(incremental.posting_count, full.posting_count);
+        assert_eq!(incremental.source_generation, idx.generation());
+        // Two generations ahead -> the provenance gate forces the safe
+        // full rebuild, which must still be byte-identical.
+        for i in 0..10u32 {
+            idx.push(3, 300_000 + i, 2.0);
+        }
+        idx.finalize();
+        let behind = CompressedInvertedIndex::recompress(&idx, &first);
+        assert_eq!(
+            behind.arena.as_slice(),
+            CompressedInvertedIndex::compress(&idx).arena.as_slice()
+        );
     }
 }
 
@@ -1004,6 +1660,43 @@ mod dual_tests {
     }
 
     #[test]
+    fn dual_blockpacked_matches_varint_codec_answers() {
+        let idx = sample_hybrid(300);
+        let packed = CompressedHybridIndex::compress_with_codec(&idx, IdCodec::BlockPacked);
+        let varint = CompressedHybridIndex::compress_with_codec(&idx, IdCodec::Varint);
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        for t in 0u64..4 {
+            for g in 0u64..4 {
+                let k = key(t, g);
+                for (cr, ct) in [(0.0, 0.0), (500.0, 0.3), (2500.0, 1.0), (4900.0, 1.9)] {
+                    assert_eq!(
+                        packed.qualifying_into(&k, cr, ct, &mut s1),
+                        varint.qualifying_into(&k, cr, ct, &mut s2),
+                        "key ({t},{g}) thresholds ({cr},{ct})"
+                    );
+                }
+            }
+        }
+        assert_eq!(packed.max_object_id(), varint.max_object_id());
+    }
+
+    #[test]
+    fn dual_recompress_matches_full_rebuild() {
+        let mut idx = sample_hybrid(80);
+        let first = CompressedHybridIndex::compress(&idx);
+        for i in 0..30u32 {
+            idx.push(key(1, 2), 50_000 + i, f64::from(i), 0.5);
+        }
+        idx.finalize();
+        let incremental = CompressedHybridIndex::recompress(&idx, &first);
+        let full = CompressedHybridIndex::compress(&idx);
+        assert_eq!(incremental.keys, full.keys);
+        assert_eq!(incremental.meta, full.meta);
+        assert_eq!(incremental.arena.as_slice(), full.arena.as_slice());
+        assert_eq!(incremental.source_generation, idx.generation());
+    }
+
+    #[test]
     fn dual_textual_threshold_above_scale_prunes_everything() {
         let idx = sample_hybrid(40);
         let c = CompressedHybridIndex::compress(&idx);
@@ -1048,6 +1741,21 @@ mod proptests {
                     .collect();
                 prop_assert!(orig.is_subset(&got));
             }
+        }
+
+        #[test]
+        fn blockpacked_column_roundtrips_arbitrary_ids(
+            ids in proptest::collection::vec(0u32..=u32::MAX, 0..400),
+        ) {
+            // The block codec never requires sorted input — zigzag
+            // deltas cover any id sequence bit-exactly.
+            let mut buf = BytesMut::new();
+            put_ids_blockpacked(&mut buf, &ids);
+            let frozen = buf.freeze();
+            let mut out = Vec::new();
+            let end = walk_blockpacked(frozen.as_slice(), 0, ids.len(), Some(&mut out));
+            prop_assert_eq!(end, Some(frozen.len()));
+            prop_assert_eq!(out, ids);
         }
 
         #[test]

@@ -96,6 +96,16 @@ impl<K: Eq + Hash + Ord + Copy + Sync> HybridIndex<K> {
         self.core.generation()
     }
 
+    /// The sorted keys the most recent folding finalize touched —
+    /// every other group's arena bytes are identical to the previous
+    /// generation's. Incremental re-encoders
+    /// ([`crate::CompressedHybridIndex::recompress`]) re-pack only
+    /// these groups. Empty before the first finalize and after a
+    /// codec load.
+    pub fn last_folded_keys(&self) -> &[K] {
+        self.core.last_folded_keys()
+    }
+
     /// Generation-aware re-finalize: merges staged postings into the
     /// frozen arena and returns the generation now being served. For
     /// the applicability caveat (bounds must not depend on corpus

@@ -110,6 +110,16 @@ impl<K: Eq + Hash + Ord + Copy + Sync> InvertedIndex<K> {
         self.core.generation()
     }
 
+    /// The sorted keys the most recent folding finalize touched —
+    /// every other group's arena bytes are identical to the previous
+    /// generation's. Incremental re-encoders
+    /// ([`crate::CompressedInvertedIndex::recompress`]) re-pack only
+    /// these groups. Empty before the first finalize and after a
+    /// codec load (provenance unknown).
+    pub fn last_folded_keys(&self) -> &[K] {
+        self.core.last_folded_keys()
+    }
+
     /// Generation-aware re-finalize: merges any staged postings into
     /// the frozen arena ([`finalize_with_threads`]
     /// semantics — staged-only sorts, frozen groups merged, never

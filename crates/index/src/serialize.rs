@@ -17,7 +17,8 @@
 //!     key:u128  len:u64
 //!     repeat len times:
 //!       object:u32  bound(s): f64 [f64]
-//! kind 3 (compressed single) / 4 (compressed dual):
+//! kind 3 (compressed single) / 4 (compressed dual), varint ids:
+//! kind 7 (compressed single) / 8 (compressed dual), block-packed ids:
 //!   arena_len:u64
 //!   repeat key_count times:
 //!     key:u128  len:u32  scale:f64 [t_scale:f64]
@@ -41,13 +42,18 @@
 //!
 //! The compressed kinds likewise persist their serving form as-is:
 //! encoding is a directory dump plus one arena memcpy, and decoding
-//! revalidates every group (bound columns in order, varints
-//! well-formed and `u32`-sized).
+//! revalidates every group (bound columns in order, id columns
+//! well-formed under the kind's [`IdCodec`] and `u32`-sized — for the
+//! block-packed kinds 7/8 that includes block widths in `1..=64` and
+//! overflow-checked delta reconstruction). Kind selection on write
+//! follows the arena's codec: block-packed arenas (the
+//! [`CompressedInvertedIndex::compress`] default) write kinds 7/8,
+//! varint arenas write the legacy kinds 3/4, and both load.
 
 use crate::columns::{DualColumns, SingleColumns};
 use crate::compress::{
     validate_group, CompressedHybridIndex, CompressedInvertedIndex, DualGroupMeta, GroupMeta,
-    Quantizer,
+    IdCodec, Quantizer,
 };
 use crate::{HybridIndex, InvertedIndex, ObjId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -62,6 +68,8 @@ const KIND_COMPRESSED_SINGLE: u8 = 3;
 const KIND_COMPRESSED_DUAL: u8 = 4;
 const KIND_SOA_SINGLE: u8 = 5;
 const KIND_SOA_DUAL: u8 = 6;
+const KIND_PACKED_SINGLE: u8 = 7;
+const KIND_PACKED_DUAL: u8 = 8;
 
 /// Errors produced when decoding serialized indexes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +139,7 @@ impl IndexKey for u32 {
         u128::from(self)
     }
     fn from_u128(v: u128) -> Self {
+        // seal-lint: allow(persisted-narrowing-cast) — narrowing is this trait's contract; writers only ever widen a real u32
         v as u32
     }
 }
@@ -174,14 +183,6 @@ fn read_header(buf: &mut impl Buf) -> Result<(u8, u64), IndexCodecError> {
     }
     let kind = buf.get_u8();
     Ok((kind, buf.get_u64_le()))
-}
-
-fn check_header(buf: &mut impl Buf, expect_kind: u8) -> Result<u64, IndexCodecError> {
-    let (kind, key_count) = read_header(buf)?;
-    if kind != expect_kind {
-        return Err(IndexCodecError::BadKind(kind));
-    }
-    Ok(key_count)
 }
 
 /// Reads the SoA directory shared by kinds 5/6: keys + per-group lens,
@@ -355,7 +356,10 @@ impl<K: IndexKey> InvertedIndex<K> {
     pub fn from_bytes(mut buf: impl Buf) -> Result<Self, IndexCodecError> {
         let (kind, key_count) = read_header(&mut buf)?;
         match kind {
-            KIND_SOA_SINGLE => Self::decode_soa(buf, key_count as usize),
+            KIND_SOA_SINGLE => Self::decode_soa(
+                buf,
+                usize::try_from(key_count).map_err(|_| IndexCodecError::Truncated)?,
+            ),
             KIND_SINGLE => Self::decode_aos(buf, key_count),
             other => Err(IndexCodecError::BadKind(other)),
         }
@@ -393,7 +397,7 @@ impl<K: IndexKey> InvertedIndex<K> {
         for _ in 0..key_count {
             check_remaining(&buf, 16 + 8)?;
             let key = K::from_u128(buf.get_u128_le());
-            let len = buf.get_u64_le() as usize;
+            let len = usize::try_from(buf.get_u64_le()).map_err(|_| IndexCodecError::Truncated)?;
             check_remaining(&buf, len.checked_mul(12).ok_or(IndexCodecError::Truncated)?)?;
             for _ in 0..len {
                 let object: ObjId = buf.get_u32_le();
@@ -490,7 +494,10 @@ impl<K: IndexKey> HybridIndex<K> {
     pub fn from_bytes(mut buf: impl Buf) -> Result<Self, IndexCodecError> {
         let (kind, key_count) = read_header(&mut buf)?;
         match kind {
-            KIND_SOA_DUAL => Self::decode_soa(buf, key_count as usize),
+            KIND_SOA_DUAL => Self::decode_soa(
+                buf,
+                usize::try_from(key_count).map_err(|_| IndexCodecError::Truncated)?,
+            ),
             KIND_DUAL => Self::decode_aos(buf, key_count),
             other => Err(IndexCodecError::BadKind(other)),
         }
@@ -536,7 +543,7 @@ impl<K: IndexKey> HybridIndex<K> {
         for _ in 0..key_count {
             check_remaining(&buf, 16 + 8)?;
             let key = K::from_u128(buf.get_u128_le());
-            let len = buf.get_u64_le() as usize;
+            let len = usize::try_from(buf.get_u64_le()).map_err(|_| IndexCodecError::Truncated)?;
             check_remaining(&buf, len.checked_mul(20).ok_or(IndexCodecError::Truncated)?)?;
             for _ in 0..len {
                 let object: ObjId = buf.get_u32_le();
@@ -565,25 +572,34 @@ fn checked_scale(scale: f64) -> Result<Quantizer, IndexCodecError> {
     Ok(Quantizer::from_scale(scale))
 }
 
-/// Shared untrusted-input decode for both compressed kinds: header,
+/// Shared untrusted-input decode for the compressed kinds: header,
 /// overflow-checked directory sizing (a corrupt count must fail, not
 /// abort on a huge allocation), per-key meta parse, sorted-key check,
 /// arena copy, and the full validation walk that rebuilds the byte
-/// offsets so the probe path stays infallible. `meta_bytes` is the
-/// per-entry directory size after the key; `columns` the number of
-/// `u16` bound columns per group.
+/// offsets so the probe path stays infallible. `kinds` is the
+/// `(varint, block-packed)` kind-byte pair this index shape accepts —
+/// the matched kind selects the [`IdCodec`] the validation walk and
+/// the returned index use. `meta_bytes` is the per-entry directory
+/// size after the key; `columns` the number of `u16` bound columns per
+/// group.
 #[allow(clippy::type_complexity)]
 fn decode_compressed<K: IndexKey, M>(
     mut buf: impl Buf,
-    kind: u8,
+    kinds: (u8, u8),
     meta_bytes: usize,
     columns: usize,
     parse_meta: impl Fn(&mut dyn Buf) -> Result<M, IndexCodecError>,
     len_of: impl Fn(&M) -> usize,
-) -> Result<(Vec<K>, Vec<usize>, Vec<M>, Bytes, usize), IndexCodecError> {
-    let key_count = check_header(&mut buf, kind)? as usize;
+) -> Result<(Vec<K>, Vec<usize>, Vec<M>, Bytes, usize, IdCodec), IndexCodecError> {
+    let (kind, raw_key_count) = read_header(&mut buf)?;
+    let codec = match kind {
+        k if k == kinds.0 => IdCodec::Varint,
+        k if k == kinds.1 => IdCodec::BlockPacked,
+        other => return Err(IndexCodecError::BadKind(other)),
+    };
+    let key_count = usize::try_from(raw_key_count).map_err(|_| IndexCodecError::Truncated)?;
     check_remaining(&buf, 8)?;
-    let arena_len = buf.get_u64_le() as usize;
+    let arena_len = usize::try_from(buf.get_u64_le()).map_err(|_| IndexCodecError::Truncated)?;
     let directory = key_count
         .checked_mul(16 + meta_bytes)
         .ok_or(IndexCodecError::Truncated)?;
@@ -611,11 +627,11 @@ fn decode_compressed<K: IndexKey, M>(
     let mut posting_count = 0usize;
     for m in &meta {
         let group = &arena.as_slice()[pos..];
-        let consumed = validate_group(group, len_of(m), columns).ok_or_else(|| {
+        let consumed = validate_group(group, len_of(m), columns, codec).ok_or_else(|| {
             corrupt(
                 "compressed arena",
                 pos,
-                "group failed validation (bound order, varint form, or size)",
+                "group failed validation (bound order, id-column form, or size)",
             )
         })?;
         pos += consumed;
@@ -632,17 +648,22 @@ fn decode_compressed<K: IndexKey, M>(
             ),
         ));
     }
-    Ok((keys, offsets, meta, arena, posting_count))
+    Ok((keys, offsets, meta, arena, posting_count, codec))
 }
 
 impl<K: IndexKey> CompressedInvertedIndex<K> {
     /// Serializes the compressed index: the directory, then the arena
-    /// verbatim. This *is* the at-rest form — no recompression happens.
+    /// verbatim. This *is* the at-rest form — no recompression happens;
+    /// the kind byte records the arena's id codec (kind 7 block-packed,
+    /// kind 3 legacy varint).
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(64 + self.keys.len() * 28 + self.arena.len());
         buf.put_u32_le(MAGIC);
         buf.put_u8(VERSION);
-        buf.put_u8(KIND_COMPRESSED_SINGLE);
+        buf.put_u8(match self.codec {
+            IdCodec::Varint => KIND_COMPRESSED_SINGLE,
+            IdCodec::BlockPacked => KIND_PACKED_SINGLE,
+        });
         buf.put_u64_le(self.keys.len() as u64);
         buf.put_u64_le(self.arena.len() as u64);
         for (key, m) in self.keys.iter().zip(&self.meta) {
@@ -654,13 +675,14 @@ impl<K: IndexKey> CompressedInvertedIndex<K> {
         buf.freeze()
     }
 
-    /// Decodes a compressed index and validates the whole arena (keys
-    /// sorted, bound columns non-increasing, varints well-formed), so
-    /// the returned index can serve probes infallibly.
+    /// Decodes a compressed index (kind 3 varint or kind 7
+    /// block-packed) and validates the whole arena (keys sorted, bound
+    /// columns non-increasing, id columns well-formed), so the
+    /// returned index can serve probes infallibly.
     pub fn from_bytes(buf: impl Buf) -> Result<Self, IndexCodecError> {
-        let (keys, offsets, meta, arena, posting_count) = decode_compressed(
+        let (keys, offsets, meta, arena, posting_count, codec) = decode_compressed(
             buf,
-            KIND_COMPRESSED_SINGLE,
+            (KIND_COMPRESSED_SINGLE, KIND_PACKED_SINGLE),
             4 + 8,
             1,
             |b| {
@@ -670,6 +692,7 @@ impl<K: IndexKey> CompressedInvertedIndex<K> {
                     quant: checked_scale(b.get_f64_le())?,
                 })
             },
+            // seal-lint: allow(persisted-narrowing-cast) — len is u32; u32→usize never truncates on supported 64-bit targets
             |m: &GroupMeta| m.len as usize,
         )?;
         Ok(CompressedInvertedIndex {
@@ -678,18 +701,23 @@ impl<K: IndexKey> CompressedInvertedIndex<K> {
             meta,
             arena,
             posting_count,
+            codec,
+            source_generation: 0,
         })
     }
 }
 
 impl<K: IndexKey> CompressedHybridIndex<K> {
     /// Serializes the compressed hybrid index (directory + arena
-    /// verbatim).
+    /// verbatim; kind 8 block-packed, kind 4 legacy varint).
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(64 + self.keys.len() * 36 + self.arena.len());
         buf.put_u32_le(MAGIC);
         buf.put_u8(VERSION);
-        buf.put_u8(KIND_COMPRESSED_DUAL);
+        buf.put_u8(match self.codec {
+            IdCodec::Varint => KIND_COMPRESSED_DUAL,
+            IdCodec::BlockPacked => KIND_PACKED_DUAL,
+        });
         buf.put_u64_le(self.keys.len() as u64);
         buf.put_u64_le(self.arena.len() as u64);
         for (key, m) in self.keys.iter().zip(&self.meta) {
@@ -702,11 +730,12 @@ impl<K: IndexKey> CompressedHybridIndex<K> {
         buf.freeze()
     }
 
-    /// Decodes and fully validates a compressed hybrid index.
+    /// Decodes and fully validates a compressed hybrid index (kind 4
+    /// varint or kind 8 block-packed).
     pub fn from_bytes(buf: impl Buf) -> Result<Self, IndexCodecError> {
-        let (keys, offsets, meta, arena, posting_count) = decode_compressed(
+        let (keys, offsets, meta, arena, posting_count, codec) = decode_compressed(
             buf,
-            KIND_COMPRESSED_DUAL,
+            (KIND_COMPRESSED_DUAL, KIND_PACKED_DUAL),
             4 + 16,
             2,
             |b| {
@@ -717,6 +746,7 @@ impl<K: IndexKey> CompressedHybridIndex<K> {
                     textual: checked_scale(b.get_f64_le())?,
                 })
             },
+            // seal-lint: allow(persisted-narrowing-cast) — len is u32; u32→usize never truncates on supported 64-bit targets
             |m: &DualGroupMeta| m.len as usize,
         )?;
         Ok(CompressedHybridIndex {
@@ -725,6 +755,8 @@ impl<K: IndexKey> CompressedHybridIndex<K> {
             meta,
             arena,
             posting_count,
+            codec,
+            source_generation: 0,
         })
     }
 }
@@ -1043,21 +1075,82 @@ mod tests {
 
     #[test]
     fn compressed_rejects_wrong_kind_and_truncation() {
+        // compress() defaults to BlockPacked, so the sample is kind 7.
         let c = sample_compressed();
         let bytes = c.to_bytes();
+        assert_eq!(bytes.as_slice()[5], KIND_PACKED_SINGLE);
         assert_eq!(
             InvertedIndex::<u64>::from_bytes(bytes.clone()).unwrap_err(),
-            IndexCodecError::BadKind(KIND_COMPRESSED_SINGLE)
+            IndexCodecError::BadKind(KIND_PACKED_SINGLE)
         );
         assert_eq!(
             CompressedHybridIndex::<u64>::from_bytes(bytes.clone()).unwrap_err(),
-            IndexCodecError::BadKind(KIND_COMPRESSED_SINGLE)
+            IndexCodecError::BadKind(KIND_PACKED_SINGLE)
         );
         let cut = bytes.slice(..bytes.len() - 3);
         assert_eq!(
             CompressedInvertedIndex::<u64>::from_bytes(cut).unwrap_err(),
             IndexCodecError::Truncated
         );
+    }
+
+    #[test]
+    fn both_codec_kinds_roundtrip_and_agree() {
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        for key in 0u64..6 {
+            for obj in 0..300u32 {
+                idx.push(key, obj * 2, f64::from(obj % 5));
+            }
+        }
+        idx.finalize();
+        let packed = CompressedInvertedIndex::compress_with_codec(&idx, IdCodec::BlockPacked);
+        let varint = CompressedInvertedIndex::compress_with_codec(&idx, IdCodec::Varint);
+        assert_eq!(packed.to_bytes().as_slice()[5], KIND_PACKED_SINGLE);
+        assert_eq!(varint.to_bytes().as_slice()[5], KIND_COMPRESSED_SINGLE);
+        let p: CompressedInvertedIndex<u64> =
+            CompressedInvertedIndex::from_bytes(packed.to_bytes()).unwrap();
+        let v: CompressedInvertedIndex<u64> =
+            CompressedInvertedIndex::from_bytes(varint.to_bytes()).unwrap();
+        assert_eq!(p.codec(), IdCodec::BlockPacked);
+        assert_eq!(v.codec(), IdCodec::Varint);
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        for key in 0u64..6 {
+            for thr in [0.0, 1.0, 3.5, 4.0] {
+                assert_eq!(
+                    p.qualifying_into(&key, thr, &mut s1),
+                    v.qualifying_into(&key, thr, &mut s2),
+                    "key {key} thr {thr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_kind_rejects_bad_block_width_behind_valid_header() {
+        // Corrupt the first block's width byte in a kind-7 payload:
+        // the arena validation walk must produce a typed error.
+        let mut idx: InvertedIndex<u64> = InvertedIndex::new();
+        for obj in 0..256u32 {
+            idx.push(1, obj, 1.0);
+        }
+        idx.finalize();
+        let c = CompressedInvertedIndex::compress(&idx);
+        let bytes = c.to_bytes();
+        // Arena starts after header (14) + arena_len (8) + directory
+        // (1 key × 28); the id column follows the 2-byte×256 bound
+        // column, and its first byte is the block width.
+        let width_at = 14 + 8 + 28 + 2 * 256;
+        for bad in [0u8, 65, 255] {
+            let mut raw = bytes.as_slice().to_vec();
+            raw[width_at] = bad;
+            assert!(
+                matches!(
+                    CompressedInvertedIndex::<u64>::from_bytes(&raw[..]).unwrap_err(),
+                    IndexCodecError::Corrupt { .. }
+                ),
+                "width {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,7 @@
+// Positive fixture for `bench-parallelism-recorded`: a bench binary
+// whose JSON output never states the core count it ran under — its
+// recorded baseline cannot be compared across machine shapes.
+fn main() {
+    let qps = 123.4_f64;
+    println!("{{\"bench\": \"probe\", \"qps\": {qps}}}");
+}

@@ -1,0 +1,10 @@
+// Negative fixture for `bench-parallelism-recorded`: the bench
+// records `available_parallelism` in its emitted JSON, so the
+// recorded baseline states the machine shape it was measured on.
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let qps = 123.4_f64;
+    println!("{{\"bench\": \"probe\", \"cores\": {cores}, \"qps\": {qps}}}");
+}

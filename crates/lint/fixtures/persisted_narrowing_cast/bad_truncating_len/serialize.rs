@@ -1,0 +1,8 @@
+// Positive fixture for `persisted-narrowing-cast`: a length written
+// into an on-disk u32 field through a bare `as` cast silently wraps
+// for oversized inputs — producing a valid-CRC container that lies
+// about its own contents.
+pub fn encode_section(payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}

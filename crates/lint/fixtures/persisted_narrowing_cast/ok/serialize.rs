@@ -1,0 +1,18 @@
+// Negative fixture for `persisted-narrowing-cast`: the sanctioned
+// conversions on a persisted-format path — `try_from` with a
+// justified `expect` on the save side, a waived lossless widening on
+// the load side, and `as u64` widenings (always exempt).
+pub fn encode_section(payload: &[u8], out: &mut Vec<u8>) {
+    let len = u32::try_from(payload.len()).expect("section payload fits u32");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+pub fn decode_len(header: [u8; 4]) -> usize {
+    // seal-lint: allow(persisted-narrowing-cast) — u32 → usize is lossless on 64-bit targets
+    u32::from_le_bytes(header) as usize
+}
+
+pub fn file_offset(cursor: usize) -> u64 {
+    cursor as u64
+}

@@ -16,7 +16,9 @@
 //! | `unsafe-forbid` | every crate root carries `#![forbid(unsafe_code)]`; no `unsafe` tokens anywhere | the arena safety story (PRs 1–5) |
 //! | `lock-discipline` | refresh-gate → route → shard-state lock order; route/state guards never live across a probe | the PR 4/PR 8 swap protocols |
 //! | `crate-docs` | crate roots open with `//!` docs; libraries warn on missing docs | the PR 2 `cargo doc -D warnings` gate |
-//! | `waiver-discipline` | waivers name real rules, justify themselves, and suppress something | this PR |
+//! | `persisted-narrowing-cast` | no `as` narrowing on the persisted-format paths (`serialize.rs`, `container.rs`, `persist.rs`) | the PR 10 codec widening |
+//! | `bench-parallelism-recorded` | bench binaries record `available_parallelism` in their JSON output | the PR 10 bench comparability audit |
+//! | `waiver-discipline` | waivers name real rules, justify themselves, and suppress something | the PR 9 lint gate |
 //!
 //! See `docs/ARCHITECTURE.md#enforced-invariants-seal-lint` for the
 //! full rationale behind each rule.
@@ -58,6 +60,8 @@ pub const RULES: &[&str] = &[
     "unsafe-forbid",
     "lock-discipline",
     "crate-docs",
+    "persisted-narrowing-cast",
+    "bench-parallelism-recorded",
     "waiver-discipline",
 ];
 
@@ -69,6 +73,8 @@ pub fn anchor(rule: &str) -> &'static str {
         "unsafe-forbid" => "unsafe-forbid",
         "lock-discipline" => "lock-discipline",
         "crate-docs" => "crate-docs",
+        "persisted-narrowing-cast" => "persisted-narrowing-cast",
+        "bench-parallelism-recorded" => "bench-parallelism-recorded",
         _ => "waiver-discipline",
     }
 }
@@ -91,6 +97,12 @@ pub fn rationale(rule: &str) -> &'static str {
         "crate-docs" => {
             "crate roots open with //! docs; library roots carry #![warn(missing_docs)] (PR 2 doc gate)"
         }
+        "persisted-narrowing-cast" => {
+            "no `as` narrowing to u8/u16/u32/usize on the persisted-format paths — counts and offsets cross the disk boundary via try_from or a waived losslessness argument (PR 10)"
+        }
+        "bench-parallelism-recorded" => {
+            "bench binaries must record available_parallelism in their JSON output so recorded baselines state their core count (PR 10)"
+        }
         _ => "waivers must name real rules, carry a justification, and actually suppress a diagnostic",
     }
 }
@@ -111,6 +123,12 @@ pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Diag> {
         lock_discipline(&norm, lexed, &mask, &mut out);
     }
     crate_docs(&norm, lexed, &mut out);
+    if matches!(name, "serialize.rs" | "container.rs" | "persist.rs") {
+        persisted_narrowing_cast(&norm, lexed, &mask, &mut out);
+    }
+    if norm.contains("/bin/") && name.starts_with("bench_") {
+        bench_parallelism_recorded(&norm, lexed, &mut out);
+    }
     out
 }
 
@@ -497,6 +515,69 @@ fn acquired_lock_name(toks: &[Tok], i: usize) -> String {
     }
 }
 
+/// Narrowing integer targets a persisted-format cast must not `as`
+/// into: anything an oversized in-memory count would silently wrap to
+/// on its way into a length/offset field (`u64` stays exempt — every
+/// widening to the on-disk field width is lossless).
+const NARROWING_TARGETS: &[&str] = &["u8", "u16", "u32", "usize"];
+
+/// `persisted-narrowing-cast`: on the files that define the on-disk
+/// formats (`serialize.rs`, `container.rs`, `persist.rs`), a bare
+/// `as u8/u16/u32/usize` is flagged. A count or offset that crosses
+/// the disk boundary through a silent truncation writes a *valid-CRC
+/// container that lies about its own contents* — the one corruption
+/// class checksums cannot catch. The conversions this codebase wants
+/// instead: `try_from` mapped to a typed codec error on the load
+/// path, `try_from` + `expect` with an invariant argument on the save
+/// path, or a waiver stating why the cast is lossless.
+fn persisted_narrowing_cast(path: &str, lexed: &Lexed, mask: &[bool], out: &mut Vec<Diag>) {
+    let toks = &lexed.toks;
+    for i in 0..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        if toks[i].is_ident("as")
+            && toks.get(i + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident && NARROWING_TARGETS.contains(&t.text.as_str())
+            })
+        {
+            out.push(Diag {
+                file: path.to_string(),
+                line: toks[i].line,
+                rule: "persisted-narrowing-cast",
+                msg: format!(
+                    "`as {}` on a persisted-format path can silently truncate a count or \
+                     offset behind a valid CRC: use try_from (typed error on load, \
+                     justified expect on save), or waive with a losslessness argument",
+                    toks[i + 1].text
+                ),
+            });
+        }
+    }
+}
+
+/// `bench-parallelism-recorded`: every bench binary
+/// (`…/bin/bench_*.rs`) must mention `available_parallelism` — the
+/// recorded-baseline convention since PR 10 is that each bench JSON
+/// states the core count it ran under, because a "regression" measured
+/// on a different machine shape is noise, not signal.
+fn bench_parallelism_recorded(path: &str, lexed: &Lexed, out: &mut Vec<Diag>) {
+    if !lexed
+        .toks
+        .iter()
+        .any(|t| t.is_ident("available_parallelism"))
+    {
+        out.push(Diag {
+            file: path.to_string(),
+            line: 1,
+            rule: "bench-parallelism-recorded",
+            msg: "bench binary never records std::thread::available_parallelism(): put the \
+                  core count in the emitted JSON so recorded baselines are comparable"
+                .to_string(),
+        });
+    }
+}
+
 /// `crate-docs`: crate roots must open with `//!` docs, and library
 /// roots (`lib.rs`) must carry `#![warn(missing_docs)]` so the CI doc
 /// gate (`cargo doc -D warnings` since PR 2) has teeth on new items.
@@ -594,6 +675,35 @@ mod tests {
         assert_eq!(d2.len(), 1, "{d2:?}");
         // Same file name outside the lock set: rule does not run.
         assert!(diags("crates/core/src/other.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn narrowing_casts_flagged_only_on_persisted_paths() {
+        let src = "fn f(n: usize, out: &mut Vec<u8>) { \
+                   out.extend_from_slice(&(n as u32).to_le_bytes()); let w = n as u64; }";
+        let d = diags("crates/index/src/serialize.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "persisted-narrowing-cast");
+        // The same cast outside the persisted-format files is exempt,
+        // and `as u64` widenings never flag.
+        assert!(diags("crates/index/src/columns.rs", src).is_empty());
+        // Test code on a persisted path is exempt.
+        let test_src = "#[cfg(test)]\nmod tests { fn g(n: usize) -> u32 { n as u32 } }";
+        assert!(diags("crates/core/src/persist.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn bench_bins_must_record_parallelism() {
+        let bad = "fn main() { println!(\"{}\", 1); }";
+        let d = diags("crates/bench/src/bin/bench_probe.rs", bad);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "bench-parallelism-recorded");
+        assert_eq!(d[0].line, 1);
+        let ok = "fn main() { let cores = std::thread::available_parallelism()\
+                  .map(|n| n.get()).unwrap_or(1); println!(\"{cores}\"); }";
+        assert!(diags("crates/bench/src/bin/bench_probe.rs", ok).is_empty());
+        // Non-bench binaries are exempt.
+        assert!(diags("crates/cli/src/bin/tool.rs", bad).is_empty());
     }
 
     #[test]

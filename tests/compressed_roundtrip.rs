@@ -5,7 +5,7 @@
 //! and keep the warm probe path allocation-free.
 
 use seal_core::{FilterKind, QueryContext, SealEngine};
-use seal_index::{CompressedInvertedIndex, InvertedIndex};
+use seal_index::{CompressedInvertedIndex, IdCodec, InvertedIndex};
 use seal_text::TokenWeights;
 use std::sync::Arc;
 
@@ -175,6 +175,45 @@ fn warm_compressed_probes_do_not_grow_the_decode_scratch() {
     }
 }
 
+#[test]
+fn block_packed_truncations_and_bad_widths_error() {
+    // Single key, 401 consecutive ids: three full 128-id blocks plus a
+    // delta-varint tail, bounds strictly descending.
+    let mut idx: InvertedIndex<u32> = InvertedIndex::new();
+    let n = 401u32;
+    for id in 0..n {
+        idx.push(7u32, id, f64::from(n - id));
+    }
+    idx.finalize();
+    let packed = CompressedInvertedIndex::compress_with_codec(&idx, IdCodec::BlockPacked);
+    assert_eq!(packed.codec(), IdCodec::BlockPacked);
+    let encoded = packed.to_bytes();
+    let bytes = encoded.as_slice();
+
+    // Every truncation point — in particular every block boundary
+    // inside the id column — must be a typed error, never a panic.
+    for cut in 0..bytes.len() {
+        assert!(
+            CompressedInvertedIndex::<u32>::from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes was accepted"
+        );
+    }
+    assert!(CompressedInvertedIndex::<u32>::from_bytes(bytes).is_ok());
+
+    // The arena is serialized last, so the id column starts at
+    // `len - id_column_bytes()`: the first block's width byte.
+    let width_at = bytes.len() - packed.id_column_bytes();
+    assert_eq!(bytes[width_at], 2, "consecutive ids pack at width 2");
+    for bad in [0u8, 65, 255] {
+        let mut mutated = bytes.to_vec();
+        mutated[width_at] = bad;
+        assert!(
+            CompressedInvertedIndex::<u32>::from_bytes(&mutated[..]).is_err(),
+            "block width {bad} was accepted"
+        );
+    }
+}
+
 #[cfg(test)]
 mod proptests {
     use super::*;
@@ -217,6 +256,55 @@ mod proptests {
                     loaded.qualifying_into(&key, thr, &mut scratch2),
                     compressed.qualifying_into(&key, thr, &mut scratch3)
                 );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn block_packed_roundtrip_matches_varint_reference(
+            entries in proptest::collection::vec(
+                (0u32..4, 0u32..100_000, 0.0f64..1e4), 1..1200),
+            thr in 0.0f64..1e4,
+        ) {
+            // Dense enough per key (~hundreds of postings over 4 keys)
+            // that full 128-id blocks, partial tails and single-id
+            // groups all occur; the block-packed arena must round-trip
+            // through its bytes and answer bit-identically to the
+            // varint reference decode on the same index.
+            let mut idx: InvertedIndex<u32> = InvertedIndex::new();
+            let mut seen = std::collections::HashSet::new();
+            for (k, id, b) in entries {
+                if seen.insert((k, id)) {
+                    idx.push(k, id, b);
+                }
+            }
+            idx.finalize();
+            let varint =
+                CompressedInvertedIndex::compress_with_codec(&idx, IdCodec::Varint);
+            let packed =
+                CompressedInvertedIndex::compress_with_codec(&idx, IdCodec::BlockPacked);
+            let loaded: CompressedInvertedIndex<u32> =
+                CompressedInvertedIndex::from_bytes(packed.to_bytes()).unwrap();
+            prop_assert_eq!(loaded.codec(), IdCodec::BlockPacked);
+            prop_assert_eq!(loaded.posting_count(), idx.posting_count());
+            let mut sv = Vec::new();
+            let mut sp = Vec::new();
+            let mut sl = Vec::new();
+            for key in 0u32..4 {
+                for c in [0.0, thr * 0.4, thr, 1e9] {
+                    let reference = varint.qualifying_into(&key, c, &mut sv).to_vec();
+                    prop_assert_eq!(
+                        packed.qualifying_into(&key, c, &mut sp),
+                        reference.as_slice()
+                    );
+                    prop_assert_eq!(
+                        loaded.qualifying_into(&key, c, &mut sl),
+                        reference.as_slice()
+                    );
+                }
             }
         }
     }

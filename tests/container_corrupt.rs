@@ -8,7 +8,7 @@
 //! attacker-controlled allocation.
 
 use proptest::prelude::*;
-use seal_core::persist::{SECTION_STORE_OBJECTS, SECTION_STORE_STATS};
+use seal_core::persist::{SECTION_PRIMARY_INDEX, SECTION_STORE_OBJECTS, SECTION_STORE_STATS};
 use seal_core::{FilterKind, SealEngine};
 use seal_index::{Container, ContainerWriter};
 use std::sync::Arc;
@@ -43,6 +43,21 @@ fn seal_bytes() -> &'static [u8] {
 fn assert_rejected(bytes: &[u8], what: &str) {
     let err = SealEngine::load_from_bytes(bytes, 1).err();
     assert!(err.is_some(), "{what}: corrupt container was accepted");
+}
+
+/// A container whose primary index is a **block-packed** posting arena
+/// (serialize kind 7): token-compressed over enough objects that the
+/// hot tokens span multiple 128-id blocks. Built once — tests below
+/// mutate copies.
+fn packed_bytes() -> &'static [u8] {
+    static BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    BYTES.get_or_init(|| {
+        let (store, _) = twitter_fixture(2_000, 1);
+        let engine = SealEngine::build(Arc::new(store), FilterKind::TokenCompressed);
+        engine
+            .to_container_bytes()
+            .expect("serializing a healthy engine must succeed")
+    })
 }
 
 #[test]
@@ -101,6 +116,62 @@ fn oversized_declared_count_errors_without_allocating() {
 }
 
 #[test]
+fn packed_container_truncation_at_every_section_boundary_errors() {
+    let bytes = packed_bytes();
+    let container = Container::parse(bytes).expect("pristine container must parse");
+    // The primary index must really be the block-packed kind (byte 5
+    // of the index header is the serialize kind byte, 7 = packed).
+    let primary = container
+        .sections()
+        .iter()
+        .find(|s| s.kind == SECTION_PRIMARY_INDEX)
+        .expect("token-compressed container has a primary index");
+    assert_eq!(
+        primary.payload[5], 7,
+        "primary index must be kind 7 (block-packed)"
+    );
+    SealEngine::load_from_bytes(bytes, 1).expect("pristine packed container must load");
+
+    let mut cuts = vec![0usize, 1, 4, 9];
+    for s in container.sections() {
+        cuts.push(s.offset);
+        cuts.push(s.offset + s.payload.len() / 2);
+        cuts.push(s.offset + s.payload.len());
+    }
+    cuts.push(bytes.len() - 1);
+    for cut in cuts {
+        assert_rejected(
+            &bytes[..cut],
+            &format!("packed container truncated to {cut} bytes"),
+        );
+    }
+}
+
+#[test]
+fn packed_declared_counts_behind_valid_crcs_error() {
+    // The index-section header is [magic u32 | version u8 | kind u8 |
+    // key_count u64 | arena_len u64]. Lie at each count with the
+    // section CRCs recomputed by the writer — only the decoder's typed
+    // count validation stands between the lie and a 2^64 allocation.
+    let bytes = packed_bytes();
+    let container = Container::parse(bytes).expect("pristine container must parse");
+    for at in [6usize, 14] {
+        let mut w = ContainerWriter::new();
+        for s in container.sections() {
+            let mut payload = s.payload.to_vec();
+            if s.kind == SECTION_PRIMARY_INDEX {
+                payload[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            }
+            w.push_section(s.kind, payload);
+        }
+        assert_rejected(
+            &w.finish(),
+            &format!("u64::MAX count at index-header byte {at}"),
+        );
+    }
+}
+
+#[test]
 fn missing_required_section_errors() {
     let bytes = seal_bytes();
     let container = Container::parse(bytes).expect("pristine container must parse");
@@ -144,4 +215,45 @@ proptest! {
     fn random_bytes_error(junk in proptest::collection::vec(0u8..=255, 0..256)) {
         prop_assert!(SealEngine::load_from_bytes(&junk, 1).is_err());
     }
+
+    #[test]
+    fn packed_primary_mutations_behind_valid_crcs_never_panic(
+        frac in 0.0f64..1.0, val in 0u8..=255,
+    ) {
+        // Overwrite one byte of the block-packed primary index and
+        // rebuild the container, so every CRC is valid and the lie
+        // reaches the index decoder itself: it must either reject with
+        // a typed error or decode something servable — never panic,
+        // never make an attacker-sized allocation.
+        let container = Container::parse(packed_bytes()).expect("pristine container must parse");
+        let mut w = ContainerWriter::new();
+        for s in container.sections() {
+            let mut payload = s.payload.to_vec();
+            if s.kind == SECTION_PRIMARY_INDEX && !payload.is_empty() {
+                let pos = (((payload.len() - 1) as f64) * frac) as usize;
+                payload[pos] = val;
+            }
+            w.push_section(s.kind, payload);
+        }
+        let _ = SealEngine::load_from_bytes(&w.finish(), 1);
+    }
+}
+
+/// The streaming file loader must agree with the buffered one on a
+/// healthy container and reject a truncated file with a typed error.
+#[test]
+fn streaming_file_load_parity_and_truncation() {
+    let bytes = packed_bytes();
+    let mut path = std::env::temp_dir();
+    path.push(format!("seal-corrupt-stream-{}.seal", std::process::id()));
+    std::fs::write(&path, bytes).expect("write temp container");
+    let streamed = SealEngine::load_with_threads(&path, 0).expect("streamed load must succeed");
+    let buffered = SealEngine::load_from_bytes(bytes, 1).expect("buffered load must succeed");
+    assert_eq!(streamed.store().len(), buffered.store().len());
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("write truncated container");
+    assert!(
+        SealEngine::load_with_threads(&path, 0).is_err(),
+        "truncated file was accepted by the streaming loader"
+    );
+    std::fs::remove_file(&path).ok();
 }
